@@ -1,0 +1,134 @@
+// sdx-bgpd is a minimal participant border-router daemon: it peers with the
+// SDX route server over BGP, announces configured prefixes, and prints the
+// routes (and virtual next hops) the route server sends back. It is the
+// emulation stand-in for a participant's real router and doubles as a
+// debugging client against a live sdx-controller.
+//
+// Usage:
+//
+//	sdx-bgpd -routeserver 127.0.0.1:1179 -as 65001 -id 172.31.0.1 \
+//	    -announce 198.51.0.0/16 -announce "203.0.0.0/8@3"
+//
+// Each -announce takes PREFIX or PREFIX@PATHLEN (longer AS paths lose the
+// decision process). -withdraw-after N withdraws everything after N seconds
+// to exercise failover, as the paper's Figure 5a does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdx/internal/bgp"
+)
+
+type announceFlag struct {
+	routes []announce
+}
+
+type announce struct {
+	prefix  netip.Prefix
+	pathLen int
+}
+
+func (f *announceFlag) String() string { return fmt.Sprintf("%d prefixes", len(f.routes)) }
+
+func (f *announceFlag) Set(v string) error {
+	parts := strings.SplitN(v, "@", 2)
+	p, err := netip.ParsePrefix(parts[0])
+	if err != nil {
+		return err
+	}
+	a := announce{prefix: p, pathLen: 1}
+	if len(parts) == 2 {
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad path length %q", parts[1])
+		}
+		a.pathLen = n
+	}
+	f.routes = append(f.routes, a)
+	return nil
+}
+
+func main() {
+	var (
+		server        = flag.String("routeserver", "127.0.0.1:1179", "route server address")
+		asn           = flag.Uint("as", 65001, "local AS number")
+		routerID      = flag.String("id", "172.31.0.1", "BGP identifier (the port's router IP)")
+		nextHop       = flag.String("nexthop", "", "NEXT_HOP for announcements (default: -id)")
+		withdrawAfter = flag.Duration("withdraw-after", 0, "withdraw all announcements after this long (0 = never)")
+		announces     announceFlag
+	)
+	flag.Var(&announces, "announce", "prefix to announce, PREFIX or PREFIX@PATHLEN (repeatable)")
+	flag.Parse()
+
+	id := netip.MustParseAddr(*routerID)
+	nh := id
+	if *nextHop != "" {
+		nh = netip.MustParseAddr(*nextHop)
+	}
+
+	speaker := bgp.NewSpeaker(bgp.SessionConfig{
+		LocalAS:  uint16(*asn),
+		LocalID:  id,
+		HoldTime: 90 * time.Second,
+	})
+	speaker.OnUpdate = func(p *bgp.Peer, u *bgp.Update) {
+		for _, w := range u.Withdrawn {
+			log.Printf("rib: withdraw %v", w)
+		}
+		for _, nlri := range u.NLRI {
+			log.Printf("rib: %v via %v as-path [%s]",
+				nlri, u.Attrs.NextHop, u.Attrs.ASPathString())
+		}
+	}
+	speaker.OnDown = func(p *bgp.Peer, err error) {
+		log.Printf("session to route server down: %v", err)
+	}
+
+	peer, err := speaker.Dial(*server)
+	if err != nil {
+		log.Fatalf("dialing route server: %v", err)
+	}
+	log.Printf("established with route server AS%d", peer.Session.PeerAS())
+
+	for _, a := range announces.routes {
+		asns := make([]uint16, a.pathLen)
+		for i := range asns {
+			asns[i] = uint16(*asn)
+		}
+		u := &bgp.Update{
+			Attrs: bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				NextHop: nh,
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
+			},
+			NLRI: []netip.Prefix{a.prefix},
+		}
+		if err := peer.Send(u); err != nil {
+			log.Fatalf("announcing %v: %v", a.prefix, err)
+		}
+		log.Printf("announced %v (path length %d)", a.prefix, a.pathLen)
+	}
+
+	if *withdrawAfter > 0 {
+		time.AfterFunc(*withdrawAfter, func() {
+			var prefixes []netip.Prefix
+			for _, a := range announces.routes {
+				prefixes = append(prefixes, a.prefix)
+			}
+			if err := peer.Send(&bgp.Update{Withdrawn: prefixes}); err != nil {
+				log.Printf("withdrawing: %v", err)
+				return
+			}
+			log.Printf("withdrew %d prefixes", len(prefixes))
+		})
+	}
+
+	<-peer.Session.Done()
+}

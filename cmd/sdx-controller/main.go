@@ -1,0 +1,239 @@
+// sdx-controller is the SDX controller daemon: it terminates the
+// participants' BGP sessions (route server), compiles their policies into
+// flow rules, programs the fabric switches over OpenFlow, answers ARP for
+// virtual next hops, and reacts to BGP updates with the two-stage
+// fast-path/background pipeline.
+//
+// Usage:
+//
+//	sdx-controller -config sdx.json \
+//	    -bgp-listen 127.0.0.1:1179 -of-listen 127.0.0.1:6633
+//
+// The configuration file format is documented in internal/config; an
+// example lives in examples/quickstart (and the README).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/config"
+	"sdx/internal/core"
+	"sdx/internal/openflow"
+	"sdx/internal/routeserver"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "sdx.json", "topology and policy configuration")
+		bgpListen  = flag.String("bgp-listen", "127.0.0.1:1179", "route-server BGP listen address")
+		ofListen   = flag.String("of-listen", "127.0.0.1:6633", "OpenFlow listen address")
+		reoptAfter = flag.Duration("reoptimize-after", 2*time.Second,
+			"background recompilation delay after the last BGP change (burst detection)")
+	)
+	flag.Parse()
+
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		log.Fatalf("loading config: %v", err)
+	}
+
+	rs := routeserver.New(nil)
+	ctrl := core.NewController(rs, core.DefaultOptions())
+	if err := cfg.Apply(ctrl); err != nil {
+		log.Fatalf("applying config: %v", err)
+	}
+
+	d := &daemon{
+		ctrl:       ctrl,
+		reoptAfter: *reoptAfter,
+	}
+
+	// Route-server frontend over live BGP.
+	localID := netip.MustParseAddr("10.255.255.254")
+	if cfg.RouterID != "" {
+		localID = netip.MustParseAddr(cfg.RouterID)
+	}
+	speaker := bgp.NewSpeaker(bgp.SessionConfig{
+		LocalAS: cfg.LocalAS,
+		LocalID: localID,
+	})
+	fe := routeserver.NewFrontend(rs, speaker)
+	fe.NextHop = ctrl.NextHopFor
+	owns := cfg.Ownership()
+	fe.Ownership = func(p routeserver.ID, prefix netip.Prefix) bool {
+		for _, owned := range owns[string(p)] {
+			if owned == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	fe.OnChange = d.onRouteChanges
+	d.frontend = fe
+	for _, pc := range cfg.Participants {
+		for _, port := range pc.Ports {
+			if err := fe.RegisterPeer(netip.MustParseAddr(port.RouterIP), routeserver.ID(pc.ID)); err != nil {
+				log.Fatalf("registering peer: %v", err)
+			}
+		}
+	}
+	bgpAddr, err := speaker.Listen(*bgpListen)
+	if err != nil {
+		log.Fatalf("bgp listen: %v", err)
+	}
+	log.Printf("route server listening on %v (AS%d, id %v)", bgpAddr, cfg.LocalAS, localID)
+
+	// Initial compilation.
+	if _, err := d.recompile(); err != nil {
+		log.Fatalf("initial compilation: %v", err)
+	}
+
+	// OpenFlow switch connections.
+	ln, err := net.Listen("tcp", *ofListen)
+	if err != nil {
+		log.Fatalf("openflow listen: %v", err)
+	}
+	log.Printf("openflow listening on %v", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("openflow accept: %v", err)
+		}
+		go d.serveSwitch(conn)
+	}
+}
+
+// daemon holds the controller's runtime state shared between the BGP and
+// OpenFlow sides.
+type daemon struct {
+	ctrl       *core.Controller
+	frontend   *routeserver.Frontend
+	reoptAfter time.Duration
+
+	mu       sync.Mutex
+	switches map[*openflow.Conn]bool
+	lastBase *core.CompileResult
+	reoptT   *time.Timer
+}
+
+// recompile runs the full pipeline and pushes the base table to every
+// connected switch.
+func (d *daemon) recompile() (*core.CompileResult, error) {
+	res, err := d.ctrl.Compile()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastBase = res
+	for conn := range d.switches {
+		if err := core.PushBase(conn, res); err != nil {
+			log.Printf("pushing base table: %v", err)
+		}
+	}
+	log.Printf("compiled: %d prefix groups, %d rules (%v policy, %v vnh)",
+		res.Stats.PrefixGroups, res.Stats.FlowRules,
+		res.Stats.PolicyTime.Round(time.Millisecond),
+		res.Stats.VNHTime.Round(time.Millisecond))
+	// Refresh participants whose virtual next hops moved; unchanged groups
+	// kept their VNHs, so this is mostly idempotent.
+	if d.frontend != nil {
+		go d.frontend.ReadvertiseAll()
+	}
+	return res, nil
+}
+
+// onRouteChanges is the two-stage reaction of §4.3.2: the quick stage
+// compiles and installs rules for the affected prefixes immediately; the
+// background stage reruns the full pipeline once the burst has quiesced.
+func (d *daemon) onRouteChanges(changes []routeserver.BestChange) {
+	fast, err := d.ctrl.HandleRouteChanges(changes)
+	if err != nil {
+		log.Printf("fast path: %v", err)
+		return
+	}
+	d.mu.Lock()
+	for conn := range d.switches {
+		if err := core.PushFast(conn, fast); err != nil {
+			log.Printf("pushing fast rules: %v", err)
+		}
+	}
+	if d.reoptT != nil {
+		d.reoptT.Stop()
+	}
+	d.reoptT = time.AfterFunc(d.reoptAfter, func() {
+		if _, err := d.recompile(); err != nil {
+			log.Printf("background recompilation: %v", err)
+		}
+	})
+	d.mu.Unlock()
+	log.Printf("fast path: %d prefixes, %d rules in %v",
+		len(fast.NewFECs), len(fast.Rules), fast.Elapsed.Round(time.Millisecond))
+}
+
+// serveSwitch owns one OpenFlow connection: handshake, base-table push,
+// then the PACKET_IN loop (ARP responder).
+func (d *daemon) serveSwitch(raw net.Conn) {
+	conn := openflow.NewConn(raw)
+	features, err := conn.HandshakeController()
+	if err != nil {
+		log.Printf("switch handshake: %v", err)
+		conn.Close()
+		return
+	}
+	log.Printf("switch connected: dpid %#x, %d ports", features.DatapathID, features.NumPorts)
+
+	d.mu.Lock()
+	if d.switches == nil {
+		d.switches = make(map[*openflow.Conn]bool)
+	}
+	d.switches[conn] = true
+	base := d.lastBase
+	d.mu.Unlock()
+	if base != nil {
+		if err := core.PushBase(conn, base); err != nil {
+			log.Printf("pushing base table: %v", err)
+		}
+	}
+	defer func() {
+		d.mu.Lock()
+		delete(d.switches, conn)
+		d.mu.Unlock()
+		conn.Close()
+		log.Printf("switch %#x disconnected", features.DatapathID)
+	}()
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case openflow.TypePacketIn:
+			pi, err := msg.DecodePacketIn()
+			if err != nil {
+				log.Printf("bad packet-in: %v", err)
+				continue
+			}
+			if po, ok := d.ctrl.HandlePacketIn(pi); ok {
+				if err := conn.SendPacketOut(po); err != nil {
+					return
+				}
+			}
+		case openflow.TypeEchoRequest:
+			if err := conn.Send(openflow.Encode(openflow.TypeEchoReply, msg.XID, msg.Body)); err != nil {
+				return
+			}
+		case openflow.TypeBarrierReply, openflow.TypeEchoReply:
+			// fences and liveness acknowledgements
+		default:
+			log.Printf("unexpected %v from switch", msg.Type)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Redirection through middleboxes, keyed on BGP attributes (§2, §3.2).
+//
+// An ISP at the exchange wants every flow SENT BY a content network —
+// identified not by a hand-maintained prefix list but by its AS number in
+// the routing system — to traverse a transcoding middlebox attached to the
+// fabric. The policy uses the paper's RIB-filter idiom:
+//
+//	YouTubePrefixes = RIB.filter('as_path', ' .*43515$')
+//	match(srcip={YouTubePrefixes}) >> fwd(E1)
+//
+// The program derives the prefix set from the live RIB, compiles the
+// redirection, and shows matching traffic detouring through port E1 while
+// everything else flows normally.
+//
+// Run with: go run ./examples/middlebox
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"sdx"
+)
+
+const (
+	portA  = 1 // AS A: eyeball ISP installing the policy
+	portB  = 2 // AS B: transit carrying the content network's routes
+	portE1 = 3 // E1: the middlebox appliance
+)
+
+func main() {
+	rs := sdx.NewRouteServer()
+	ctrl := sdx.NewController(rs, sdx.DefaultOptions())
+
+	macA := sdx.MustParseMAC("02:0a:00:00:00:01")
+	macB := sdx.MustParseMAC("02:0b:00:00:00:01")
+	macE := sdx.MustParseMAC("02:0e:00:00:00:01")
+	for _, p := range []sdx.Participant{
+		{ID: "A", AS: 65001, Ports: []sdx.Port{{Number: portA, MAC: macA, RouterIP: netip.MustParseAddr("172.31.0.1")}}},
+		{ID: "B", AS: 65002, Ports: []sdx.Port{{Number: portB, MAC: macB, RouterIP: netip.MustParseAddr("172.31.0.2")}}},
+		{ID: "E", AS: 65003, Ports: []sdx.Port{{Number: portE1, MAC: macE, RouterIP: netip.MustParseAddr("172.31.0.3")}}},
+	} {
+		if err := ctrl.AddParticipant(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// B carries routes for several origins; 43515 is YouTube's AS.
+	advertise(rs, "B", "172.31.0.2", "208.65.152.0/22", []uint16{65002, 3356, 43515})
+	advertise(rs, "B", "172.31.0.2", "208.117.224.0/19", []uint16{65002, 43515})
+	advertise(rs, "B", "172.31.0.2", "151.101.0.0/16", []uint16{65002, 54113}) // Fastly: not matched
+	// A announces its own eyeball prefix so return traffic has somewhere to go.
+	advertise(rs, "A", "172.31.0.1", "198.51.0.0/16", []uint16{65001})
+
+	// The paper's RIB filter: prefixes whose AS path ends in 43515.
+	ytPrefixes, err := rs.FilterASPath(`(^|.* )43515$`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RIB.filter('as_path', '.*43515$') -> %v\n\n", ytPrefixes)
+
+	// A's outbound policy: anything SENT BY those prefixes detours through
+	// the middlebox port E1; everything else follows BGP.
+	var branches []sdx.Policy
+	for _, p := range ytPrefixes {
+		branches = append(branches, sdx.SeqOf(
+			sdx.MatchPolicy(sdx.MatchAll.SrcIP(p)),
+			sdx.Fwd(sdx.EgressPort(portE1)),
+		))
+	}
+	if err := ctrl.SetPolicies("A", nil, sdx.Par(branches...)); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ctrl.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := sdx.NewSwitch(1)
+	received := map[uint16]int{}
+	for _, n := range []uint16{portA, portB, portE1} {
+		port := n
+		sw.AttachPort(port, func(frame []byte) {
+			received[port]++
+			pkt, _ := sdx.DecodePacket(frame)
+			fmt.Printf("  port %d (%s) got: %v\n", port, portName(port), pkt)
+		})
+	}
+	if err := sdx.InstallBase(sw, res); err != nil {
+		log.Fatal(err)
+	}
+
+	clientMAC := sdx.MustParseMAC("02:99:00:00:00:01")
+	dstPrefix := netip.MustParsePrefix("151.101.0.0/16")
+	sendVia := func(srcIP string) {
+		dst := netip.MustParseAddr("151.101.1.1")
+		dstMAC := macB
+		if tag, ok := ctrl.VMACFor(dstPrefix); ok {
+			dstMAC = tag
+		}
+		frame := sdx.NewUDPPacket(clientMAC, dstMAC,
+			netip.MustParseAddr(srcIP), dst, 40000, 443, []byte("video")).Serialize()
+		if err := sw.Inject(portA, frame); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("A forwards a flow sent by a YouTube address (208.117.230.5):")
+	sendVia("208.117.230.5")
+	fmt.Println("A forwards a flow sent by a non-YouTube address (151.101.1.9):")
+	sendVia("151.101.1.9")
+
+	fmt.Printf("\nmiddlebox saw %d flow(s); normal transit carried %d — the\n",
+		received[portE1], received[portB])
+	fmt.Println("redirection keyed on the AS path, not on a static prefix list.")
+}
+
+func portName(p uint16) string {
+	switch p {
+	case portA:
+		return "AS A"
+	case portB:
+		return "AS B"
+	case portE1:
+		return "middlebox E1"
+	}
+	return "?"
+}
+
+func advertise(rs *sdx.RouteServer, id sdx.ID, router, prefix string, asns []uint16) {
+	if _, err := rs.Advertise(id, sdx.BGPRoute{
+		Prefix: netip.MustParsePrefix(prefix),
+		Attrs: sdx.PathAttrs{
+			NextHop: netip.MustParseAddr(router),
+			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: asns}},
+		},
+		PeerAS: asns[0],
+		PeerID: netip.MustParseAddr(router),
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

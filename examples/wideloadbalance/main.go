@@ -1,0 +1,158 @@
+// Wide-area server load balancing: the paper's second deployment
+// experiment (Figures 4b and 5b).
+//
+// An AWS tenant — a REMOTE participant with no router at the exchange —
+// announces an anycast service prefix through the SDX and, at t=246s,
+// installs a policy that rewrites the destination address of requests from
+// a chosen client onto a second replica. Traffic that used to hit instance
+// #1 splits across both instances, under the tenant's direct control and
+// with no DNS tricks.
+//
+// Run with: go run ./examples/wideloadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"sdx"
+)
+
+const (
+	portA    = 1 // AS A: the clients' ISP
+	portB    = 2 // AS B: transit toward AWS
+	duration = 600
+	policyAt = 246
+)
+
+func main() {
+	rs := sdx.NewRouteServer()
+	ctrl := sdx.NewController(rs, sdx.DefaultOptions())
+
+	macA := sdx.MustParseMAC("02:0a:00:00:00:01")
+	macB := sdx.MustParseMAC("02:0b:00:00:00:01")
+	for _, p := range []sdx.Participant{
+		{ID: "A", AS: 65001, Ports: []sdx.Port{{Number: portA, MAC: macA, RouterIP: netip.MustParseAddr("172.31.0.1")}}},
+		{ID: "B", AS: 65002, Ports: []sdx.Port{{Number: portB, MAC: macB, RouterIP: netip.MustParseAddr("172.31.0.2")}}},
+		// The AWS tenant: a virtual switch, no physical presence (§3.1
+		// "wide-area server load balancing").
+		{ID: "AWS", AS: 65100},
+	} {
+		if err := ctrl.AddParticipant(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	anycast := netip.MustParsePrefix("74.125.1.0/24")
+	service := netip.MustParseAddr("74.125.1.1")
+	instance1 := netip.MustParseAddr("192.168.144.32") // the paper's EC2 pair
+	instance2 := netip.MustParseAddr("192.168.184.53")
+
+	// The tenant originates the anycast prefix at the SDX (§3.2); AS B
+	// provides the actual connectivity toward the instances' network.
+	if _, err := rs.Advertise("AWS", sdx.BGPRoute{
+		Prefix: anycast,
+		Attrs: sdx.PathAttrs{
+			NextHop: netip.MustParseAddr("172.31.0.99"),
+			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: []uint16{65100}}},
+		},
+		PeerAS: 65100,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	deliver := func(instance netip.Addr) sdx.Policy {
+		return sdx.SeqOf(sdx.ModPolicy(sdx.Identity.SetDstIP(instance)), ctrl.DeliverTo("B"))
+	}
+	toService := sdx.MatchPolicy(sdx.MatchAll.DstIP(netip.PrefixFrom(service, 32)))
+
+	// Before the policy: every request lands on instance 1.
+	if err := ctrl.SetPolicies("AWS", sdx.SeqOf(toService, deliver(instance1)), nil); err != nil {
+		log.Fatal(err)
+	}
+
+	sw := sdx.NewSwitch(1)
+	sw.AttachPort(portA, func([]byte) {})
+	var toInstance1, toInstance2 uint64
+	sw.AttachPort(portB, func(frame []byte) {
+		pkt, err := sdx.DecodePacket(frame)
+		if err != nil {
+			return
+		}
+		switch pkt.DstIP() {
+		case instance1:
+			toInstance1 += uint64(len(frame))
+		case instance2:
+			toInstance2 += uint64(len(frame))
+		}
+	})
+	compile := func() {
+		res, err := ctrl.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sdx.InstallBase(sw, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+	compile()
+
+	client1 := netip.MustParseAddr("204.57.0.67") // the client the tenant moves
+	client2 := netip.MustParseAddr("41.0.0.9")
+	clientMAC := sdx.MustParseMAC("02:99:00:00:00:01")
+	payload := make([]byte, 1400)
+
+	frame := func(src netip.Addr) []byte {
+		dstMAC, ok := ctrl.VMACFor(anycast)
+		if !ok {
+			log.Fatal("anycast prefix lost its tag")
+		}
+		return sdx.NewUDPPacket(clientMAC, dstMAC, src, service, 40000, 80, payload).Serialize()
+	}
+
+	fmt.Println("time(s)  instance#1(Mbps)  instance#2(Mbps)  event")
+	var prev1, prev2 uint64
+	for t := 0; t < duration; t++ {
+		event := ""
+		if t == policyAt {
+			// The tenant remotely installs the load-balance policy: client1's
+			// requests now rewrite to instance 2 (the paper's
+			// match(dstip=A) >> modify(dstip=A') idiom).
+			lb := sdx.SeqOf(toService,
+				sdx.IfThenElse(
+					sdx.MatchPred(sdx.MatchAll.SrcIP(netip.PrefixFrom(client1, 32))),
+					deliver(instance2),
+					deliver(instance1),
+				),
+			)
+			if err := ctrl.SetPolicies("AWS", lb, nil); err != nil {
+				log.Fatal(err)
+			}
+			compile()
+			event = "<- tenant installs the wide-area load-balance policy"
+		}
+
+		// Both clients request the service continuously (10 pkt/s each).
+		for i := 0; i < 10; i++ {
+			if err := sw.Inject(portA, frame(client1)); err != nil {
+				log.Fatal(err)
+			}
+			if err := sw.Inject(portA, frame(client2)); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		if t%30 == 0 || event != "" {
+			fmt.Printf("%7d  %16.2f  %16.2f  %s\n",
+				t, mbps(toInstance1-prev1), mbps(toInstance2-prev2), event)
+		}
+		prev1, prev2 = toInstance1, toInstance2
+	}
+
+	fmt.Println("\nShape check (paper Fig. 5b): before t=246s every request reaches")
+	fmt.Println("instance #1; after the remote policy lands, client 204.57.0.67's")
+	fmt.Println("traffic rewrites to instance #2 and the load splits evenly.")
+}
+
+func mbps(bytes uint64) float64 { return float64(bytes) * 8 / 1e6 }

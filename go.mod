@@ -1,0 +1,3 @@
+module sdx
+
+go 1.22

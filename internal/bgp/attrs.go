@@ -1,0 +1,267 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Path attribute type codes (RFC 4271 §5.1, RFC 1997).
+const (
+	attrOrigin      uint8 = 1
+	attrASPath      uint8 = 2
+	attrNextHop     uint8 = 3
+	attrMED         uint8 = 4
+	attrLocalPref   uint8 = 5
+	attrCommunities uint8 = 8
+)
+
+// Origin values.
+const (
+	OriginIGP        uint8 = 0
+	OriginEGP        uint8 = 1
+	OriginIncomplete uint8 = 2
+)
+
+// AS_PATH segment types.
+const (
+	ASSet      uint8 = 1
+	ASSequence uint8 = 2
+)
+
+// ASPathSegment is one segment of an AS_PATH attribute.
+type ASPathSegment struct {
+	Type uint8
+	ASNs []uint16
+}
+
+// PathAttrs is the decoded attribute set of an UPDATE. HasMED/HasLocalPref
+// distinguish "absent" from zero, which matters to the decision process.
+type PathAttrs struct {
+	Origin       uint8
+	ASPath       []ASPathSegment
+	NextHop      netip.Addr
+	MED          uint32
+	HasMED       bool
+	LocalPref    uint32
+	HasLocalPref bool
+	Communities  []uint32
+}
+
+// ASPathLength returns the decision-process length of the AS path: each
+// AS_SEQUENCE member counts 1, each AS_SET counts 1 total (RFC 4271 §9.1.2.2).
+func (a PathAttrs) ASPathLength() int {
+	n := 0
+	for _, seg := range a.ASPath {
+		if seg.Type == ASSet {
+			n++
+		} else {
+			n += len(seg.ASNs)
+		}
+	}
+	return n
+}
+
+// FlatASPath returns the concatenated ASNs of all segments, first hop first.
+func (a PathAttrs) FlatASPath() []uint16 {
+	var out []uint16
+	for _, seg := range a.ASPath {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}
+
+// ASPathString renders the flattened AS path as "65001 65002 43515", the
+// form the RIB's regular-expression filters match against.
+func (a PathAttrs) ASPathString() string {
+	asns := a.FlatASPath()
+	parts := make([]string, len(asns))
+	for i, as := range asns {
+		parts[i] = strconv.Itoa(int(as))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FirstAS returns the neighboring AS (leftmost ASN), or 0 for an empty path.
+func (a PathAttrs) FirstAS() uint16 {
+	for _, seg := range a.ASPath {
+		if len(seg.ASNs) > 0 {
+			return seg.ASNs[0]
+		}
+	}
+	return 0
+}
+
+// OriginAS returns the originating AS (rightmost ASN), or 0 for an empty path.
+func (a PathAttrs) OriginAS() uint16 {
+	for i := len(a.ASPath) - 1; i >= 0; i-- {
+		if n := len(a.ASPath[i].ASNs); n > 0 {
+			return a.ASPath[i].ASNs[n-1]
+		}
+	}
+	return 0
+}
+
+// PrependAS returns a copy of the attributes with as prepended to the AS
+// path, as a router does when propagating a route to an eBGP neighbor.
+func (a PathAttrs) PrependAS(as uint16) PathAttrs {
+	out := a
+	if len(a.ASPath) > 0 && a.ASPath[0].Type == ASSequence && len(a.ASPath[0].ASNs) < 255 {
+		seg := ASPathSegment{Type: ASSequence, ASNs: append([]uint16{as}, a.ASPath[0].ASNs...)}
+		out.ASPath = append([]ASPathSegment{seg}, a.ASPath[1:]...)
+	} else {
+		out.ASPath = append([]ASPathSegment{{Type: ASSequence, ASNs: []uint16{as}}}, a.ASPath...)
+	}
+	return out
+}
+
+// WithNextHop returns a copy of the attributes with the next hop replaced —
+// the route server uses this to install virtual next hops.
+func (a PathAttrs) WithNextHop(nh netip.Addr) PathAttrs {
+	a.NextHop = nh
+	return a
+}
+
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagExtLen     uint8 = 0x10
+)
+
+func appendAttr(b []byte, flags, code uint8, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	b = append(b, flags, code)
+	if flags&flagExtLen != 0 {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(val)))
+	} else {
+		b = append(b, byte(len(val)))
+	}
+	return append(b, val...)
+}
+
+func (a PathAttrs) marshal(b []byte) ([]byte, error) {
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("bgp: NEXT_HOP must be IPv4, got %v", a.NextHop)
+	}
+	b = appendAttr(b, flagTransitive, attrOrigin, []byte{a.Origin})
+
+	var path []byte
+	for _, seg := range a.ASPath {
+		if len(seg.ASNs) == 0 || len(seg.ASNs) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASNs", len(seg.ASNs))
+		}
+		path = append(path, seg.Type, byte(len(seg.ASNs)))
+		for _, as := range seg.ASNs {
+			path = binary.BigEndian.AppendUint16(path, as)
+		}
+	}
+	b = appendAttr(b, flagTransitive, attrASPath, path)
+
+	nh := a.NextHop.As4()
+	b = appendAttr(b, flagTransitive, attrNextHop, nh[:])
+
+	if a.HasMED {
+		b = appendAttr(b, flagOptional, attrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+	}
+	if a.HasLocalPref {
+		b = appendAttr(b, flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+	}
+	if len(a.Communities) > 0 {
+		var cs []byte
+		for _, c := range a.Communities {
+			cs = binary.BigEndian.AppendUint32(cs, c)
+		}
+		b = appendAttr(b, flagOptional|flagTransitive, attrCommunities, cs)
+	}
+	return b, nil
+}
+
+func parsePathAttrs(b []byte) (PathAttrs, error) {
+	var a PathAttrs
+	sawNextHop := false
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return a, fmt.Errorf("bgp: path attribute truncated")
+		}
+		flags, code := b[0], b[1]
+		var alen int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return a, fmt.Errorf("bgp: extended-length attribute truncated")
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:4]))
+			b = b[4:]
+		} else {
+			alen = int(b[2])
+			b = b[3:]
+		}
+		if len(b) < alen {
+			return a, fmt.Errorf("bgp: attribute %d value truncated (%d of %d bytes)", code, len(b), alen)
+		}
+		val := b[:alen]
+		b = b[alen:]
+
+		switch code {
+		case attrOrigin:
+			if alen != 1 {
+				return a, fmt.Errorf("bgp: ORIGIN length %d", alen)
+			}
+			a.Origin = val[0]
+		case attrASPath:
+			for len(val) > 0 {
+				if len(val) < 2 {
+					return a, fmt.Errorf("bgp: AS_PATH segment header truncated")
+				}
+				segType, n := val[0], int(val[1])
+				if segType != ASSet && segType != ASSequence {
+					return a, fmt.Errorf("bgp: AS_PATH segment type %d", segType)
+				}
+				if len(val) < 2+2*n {
+					return a, fmt.Errorf("bgp: AS_PATH segment truncated")
+				}
+				seg := ASPathSegment{Type: segType, ASNs: make([]uint16, n)}
+				for i := 0; i < n; i++ {
+					seg.ASNs[i] = binary.BigEndian.Uint16(val[2+2*i : 4+2*i])
+				}
+				a.ASPath = append(a.ASPath, seg)
+				val = val[2+2*n:]
+			}
+		case attrNextHop:
+			if alen != 4 {
+				return a, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+			sawNextHop = true
+		case attrMED:
+			if alen != 4 {
+				return a, fmt.Errorf("bgp: MED length %d", alen)
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
+		case attrLocalPref:
+			if alen != 4 {
+				return a, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
+			}
+			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(val), true
+		case attrCommunities:
+			if alen%4 != 0 {
+				return a, fmt.Errorf("bgp: COMMUNITIES length %d", alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, binary.BigEndian.Uint32(val[i:i+4]))
+			}
+		default:
+			// Unrecognized optional attributes are ignored; unrecognized
+			// well-known attributes would be a session error in a full
+			// implementation, but the SDX only peers with itself and the
+			// participants' routers, so tolerance is the pragmatic choice.
+		}
+	}
+	if !sawNextHop {
+		return a, fmt.Errorf("bgp: UPDATE with NLRI missing NEXT_HOP")
+	}
+	return a, nil
+}

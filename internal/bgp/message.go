@@ -1,0 +1,310 @@
+// Package bgp implements the subset of BGP-4 (RFC 4271) the SDX needs: the
+// wire codec for OPEN/UPDATE/KEEPALIVE/NOTIFICATION, path attributes,
+// TCP sessions with the standard finite state machine, per-peer RIBs, and
+// the best-path decision process the route server runs on behalf of each
+// participant.
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// Port is the IANA-assigned BGP port.
+const Port = 179
+
+// Version is the only protocol version supported.
+const Version = 4
+
+// MsgType identifies a BGP message type (RFC 4271 §4.1).
+type MsgType uint8
+
+// BGP message types.
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+const (
+	headerLen = 19
+	maxMsgLen = 4096
+)
+
+// Message is any BGP message.
+type Message interface {
+	Type() MsgType
+	marshalBody(b []byte) ([]byte, error)
+}
+
+// Open is the session-establishment message (RFC 4271 §4.2). Optional
+// parameters are not modeled; the SDX route server does not negotiate
+// capabilities.
+type Open struct {
+	AS       uint16
+	HoldTime uint16
+	BGPID    netip.Addr
+}
+
+// Type implements Message.
+func (*Open) Type() MsgType { return MsgOpen }
+
+func (o *Open) marshalBody(b []byte) ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("bgp: OPEN requires an IPv4 BGP identifier, got %v", o.BGPID)
+	}
+	b = append(b, Version)
+	b = binary.BigEndian.AppendUint16(b, o.AS)
+	b = binary.BigEndian.AppendUint16(b, o.HoldTime)
+	id := o.BGPID.As4()
+	b = append(b, id[:]...)
+	return append(b, 0), nil // no optional parameters
+}
+
+// Update carries route withdrawals and an advertisement (RFC 4271 §4.3).
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     PathAttrs
+	NLRI      []netip.Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() MsgType { return MsgUpdate }
+
+func (u *Update) marshalBody(b []byte) ([]byte, error) {
+	wd, err := marshalPrefixes(nil, u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(wd)))
+	b = append(b, wd...)
+
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		attrs, err = u.Attrs.marshal(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+
+	return marshalPrefixes(b, u.NLRI)
+}
+
+// Keepalive is the liveness message (RFC 4271 §4.4).
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MsgType { return MsgKeepalive }
+
+func (*Keepalive) marshalBody(b []byte) ([]byte, error) { return b, nil }
+
+// Notification reports a fatal session error (RFC 4271 §4.5); the sender
+// closes the connection after transmitting it.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Notification error codes.
+const (
+	NotifMessageHeaderError uint8 = 1
+	NotifOpenMessageError   uint8 = 2
+	NotifUpdateMessageError uint8 = 3
+	NotifHoldTimerExpired   uint8 = 4
+	NotifFSMError           uint8 = 5
+	NotifCease              uint8 = 6
+)
+
+// Type implements Message.
+func (*Notification) Type() MsgType { return MsgNotification }
+
+func (n *Notification) marshalBody(b []byte) ([]byte, error) {
+	b = append(b, n.Code, n.Subcode)
+	return append(b, n.Data...), nil
+}
+
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code=%d subcode=%d", n.Code, n.Subcode)
+}
+
+// Marshal renders a message with its 19-byte header.
+func Marshal(m Message) ([]byte, error) {
+	b := make([]byte, headerLen, headerLen+64)
+	for i := 0; i < 16; i++ {
+		b[i] = 0xff // marker
+	}
+	b[18] = byte(m.Type())
+	b, err := m.marshalBody(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxMsgLen {
+		return nil, fmt.Errorf("bgp: message of %d bytes exceeds the %d-byte maximum", len(b), maxMsgLen)
+	}
+	binary.BigEndian.PutUint16(b[16:18], uint16(len(b)))
+	return b, nil
+}
+
+// ReadMessage reads and decodes one message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xff {
+			return nil, fmt.Errorf("bgp: bad marker byte %d: %#02x", i, hdr[i])
+		}
+	}
+	length := binary.BigEndian.Uint16(hdr[16:18])
+	if length < headerLen || length > maxMsgLen {
+		return nil, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	body := make([]byte, length-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return decodeBody(MsgType(hdr[18]), body)
+}
+
+// Decode parses a full message (header included) from a byte slice.
+func Decode(b []byte) (Message, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("bgp: message truncated: %d bytes", len(b))
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != 0xff {
+			return nil, fmt.Errorf("bgp: bad marker byte %d: %#02x", i, b[i])
+		}
+	}
+	length := binary.BigEndian.Uint16(b[16:18])
+	if int(length) != len(b) {
+		return nil, fmt.Errorf("bgp: length field %d does not match %d bytes", length, len(b))
+	}
+	return decodeBody(MsgType(b[18]), b[headerLen:])
+}
+
+func decodeBody(t MsgType, body []byte) (Message, error) {
+	switch t {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return decodeUpdate(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("bgp: KEEPALIVE with %d body bytes", len(body))
+		}
+		return &Keepalive{}, nil
+	case MsgNotification:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("bgp: NOTIFICATION truncated")
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	}
+	return nil, fmt.Errorf("bgp: unknown message type %d", t)
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("bgp: OPEN truncated: %d bytes", len(body))
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("bgp: unsupported version %d", body[0])
+	}
+	o := &Open{
+		AS:       binary.BigEndian.Uint16(body[1:3]),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return nil, fmt.Errorf("bgp: OPEN optional parameter length %d does not match body", optLen)
+	}
+	return o, nil
+}
+
+func decodeUpdate(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("bgp: UPDATE truncated: %d bytes", len(body))
+	}
+	u := &Update{}
+	wdLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if 2+wdLen+2 > len(body) {
+		return nil, fmt.Errorf("bgp: UPDATE withdrawn length %d overruns body", wdLen)
+	}
+	var err error
+	u.Withdrawn, err = parsePrefixes(body[2 : 2+wdLen])
+	if err != nil {
+		return nil, err
+	}
+	rest := body[2+wdLen:]
+	attrLen := int(binary.BigEndian.Uint16(rest[0:2]))
+	if 2+attrLen > len(rest) {
+		return nil, fmt.Errorf("bgp: UPDATE attribute length %d overruns body", attrLen)
+	}
+	if attrLen > 0 {
+		u.Attrs, err = parsePathAttrs(rest[2 : 2+attrLen])
+		if err != nil {
+			return nil, err
+		}
+	}
+	u.NLRI, err = parsePrefixes(rest[2+attrLen:])
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// marshalPrefixes appends prefixes in RFC 4271 NLRI form: one length octet
+// followed by ceil(len/8) address octets.
+func marshalPrefixes(b []byte, ps []netip.Prefix) ([]byte, error) {
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("bgp: IPv4 NLRI only, got %v", p)
+		}
+		p = p.Masked()
+		b = append(b, byte(p.Bits()))
+		a := p.Addr().As4()
+		b = append(b, a[:(p.Bits()+7)/8]...)
+	}
+	return b, nil
+}
+
+func parsePrefixes(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("bgp: NLRI prefix length %d", bits)
+		}
+		n := (bits + 7) / 8
+		if len(b) < 1+n {
+			return nil, fmt.Errorf("bgp: NLRI truncated")
+		}
+		var a [4]byte
+		copy(a[:], b[1:1+n])
+		out = append(out, netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked())
+		b = b[1+n:]
+	}
+	return out, nil
+}

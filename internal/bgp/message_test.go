@@ -1,0 +1,272 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func mp(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ma(s string) netip.Addr   { return netip.MustParseAddr(s) }
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", m.Type(), err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", m.Type(), err)
+	}
+	// Also exercise the streaming path.
+	got2, err := ReadMessage(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadMessage(%v): %v", m.Type(), err)
+	}
+	if got.Type() != got2.Type() {
+		t.Fatalf("Decode and ReadMessage disagree: %v vs %v", got.Type(), got2.Type())
+	}
+	return got
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := &Open{AS: 65001, HoldTime: 90, BGPID: ma("10.0.0.1")}
+	got := roundTrip(t, in).(*Open)
+	if *got != *in {
+		t.Errorf("OPEN round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, &Keepalive{}).(*Keepalive); !ok {
+		t.Error("KEEPALIVE round trip lost type")
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := &Notification{Code: NotifCease, Subcode: 2, Data: []byte{1, 2, 3}}
+	got := roundTrip(t, in).(*Notification)
+	if got.Code != in.Code || got.Subcode != in.Subcode || !bytes.Equal(got.Data, in.Data) {
+		t.Errorf("NOTIFICATION round trip = %+v", got)
+	}
+}
+
+func fullAttrs() PathAttrs {
+	return PathAttrs{
+		Origin: OriginIGP,
+		ASPath: []ASPathSegment{
+			{Type: ASSequence, ASNs: []uint16{65001, 65002}},
+			{Type: ASSet, ASNs: []uint16{65100, 65101}},
+		},
+		NextHop:      ma("192.0.2.1"),
+		MED:          50,
+		HasMED:       true,
+		LocalPref:    200,
+		HasLocalPref: true,
+		Communities:  []uint32{0xFFFF0001, 65001<<16 | 666},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := &Update{
+		Withdrawn: []netip.Prefix{mp("198.51.100.0/24"), mp("203.0.113.0/25")},
+		Attrs:     fullAttrs(),
+		NLRI:      []netip.Prefix{mp("10.0.0.0/8"), mp("172.16.0.0/12"), mp("0.0.0.0/0")},
+	}
+	got := roundTrip(t, in).(*Update)
+	if len(got.Withdrawn) != 2 || got.Withdrawn[0] != mp("198.51.100.0/24") {
+		t.Errorf("withdrawn = %v", got.Withdrawn)
+	}
+	if len(got.NLRI) != 3 || got.NLRI[2] != mp("0.0.0.0/0") {
+		t.Errorf("nlri = %v", got.NLRI)
+	}
+	if !attrsEqual(got.Attrs, in.Attrs) {
+		t.Errorf("attrs = %+v, want %+v", got.Attrs, in.Attrs)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	in := &Update{Withdrawn: []netip.Prefix{mp("10.0.0.0/8")}}
+	got := roundTrip(t, in).(*Update)
+	if len(got.Withdrawn) != 1 || len(got.NLRI) != 0 {
+		t.Errorf("withdraw-only update = %+v", got)
+	}
+}
+
+func TestNLRIPrefixLengths(t *testing.T) {
+	// Exercise every NLRI encoding width (0-4 address bytes).
+	ps := []netip.Prefix{
+		mp("0.0.0.0/0"), mp("128.0.0.0/1"), mp("10.0.0.0/8"),
+		mp("10.128.0.0/9"), mp("192.168.0.0/16"), mp("192.168.128.0/17"),
+		mp("203.0.113.0/24"), mp("203.0.113.128/25"), mp("203.0.113.7/32"),
+	}
+	in := &Update{Attrs: PathAttrs{NextHop: ma("1.1.1.1"),
+		ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{1}}}}, NLRI: ps}
+	got := roundTrip(t, in).(*Update)
+	if len(got.NLRI) != len(ps) {
+		t.Fatalf("NLRI count = %d, want %d", len(got.NLRI), len(ps))
+	}
+	for i, p := range ps {
+		if got.NLRI[i] != p {
+			t.Errorf("NLRI[%d] = %v, want %v", i, got.NLRI[i], p)
+		}
+	}
+}
+
+func TestUpdateRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		var nlri, wd []netip.Prefix
+		for i := rng.Intn(10); i > 0; i-- {
+			var b [4]byte
+			rng.Read(b[:])
+			nlri = append(nlri, netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33)).Masked())
+		}
+		for i := rng.Intn(5); i > 0; i-- {
+			var b [4]byte
+			rng.Read(b[:])
+			wd = append(wd, netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33)).Masked())
+		}
+		attrs := PathAttrs{
+			Origin:  uint8(rng.Intn(3)),
+			NextHop: netip.AddrFrom4([4]byte{byte(rng.Intn(256)), 1, 2, 3}),
+			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(rng.Intn(65535) + 1)}}},
+		}
+		if rng.Intn(2) == 0 {
+			attrs.MED, attrs.HasMED = rng.Uint32(), true
+		}
+		if rng.Intn(2) == 0 {
+			attrs.LocalPref, attrs.HasLocalPref = rng.Uint32(), true
+		}
+		in := &Update{Withdrawn: wd, Attrs: attrs, NLRI: nlri}
+		got := roundTrip(t, in).(*Update)
+		if len(got.NLRI) != len(nlri) || len(got.Withdrawn) != len(wd) {
+			t.Fatalf("trial %d: count mismatch", trial)
+		}
+		for i := range nlri {
+			if got.NLRI[i] != nlri[i] {
+				t.Fatalf("trial %d: NLRI[%d] = %v want %v", trial, i, got.NLRI[i], nlri[i])
+			}
+		}
+		if len(nlri) > 0 && !attrsEqual(got.Attrs, attrs) {
+			t.Fatalf("trial %d: attrs mismatch", trial)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, _ := Marshal(&Keepalive{})
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x00 // corrupt marker
+	if _, err := Decode(bad); err == nil {
+		t.Error("corrupt marker should fail ReadMessage")
+	}
+	if _, err := ReadMessage(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt marker should fail")
+	}
+
+	short := good[:10]
+	if _, err := Decode(short); err == nil {
+		t.Error("truncated message should fail")
+	}
+
+	wrongType := append([]byte(nil), good...)
+	wrongType[18] = 99
+	if _, err := Decode(wrongType); err == nil {
+		t.Error("unknown type should fail")
+	}
+
+	kaWithBody, _ := Marshal(&Keepalive{})
+	kaWithBody = append(kaWithBody, 0xaa)
+	kaWithBody[17] = byte(len(kaWithBody))
+	if _, err := Decode(kaWithBody); err == nil {
+		t.Error("KEEPALIVE with body should fail")
+	}
+}
+
+func TestDecodeBadNLRI(t *testing.T) {
+	u := &Update{Attrs: PathAttrs{NextHop: ma("1.1.1.1")}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}}
+	b, _ := Marshal(u)
+	b[len(b)-2] = 60 // prefix length 60 > 32
+	if _, err := Decode(b); err == nil {
+		t.Error("prefix length > 32 should fail")
+	}
+}
+
+func TestMarshalRejectsIPv6(t *testing.T) {
+	u := &Update{
+		Attrs: PathAttrs{NextHop: ma("1.1.1.1")},
+		NLRI:  []netip.Prefix{netip.MustParsePrefix("2001:db8::/32")},
+	}
+	if _, err := Marshal(u); err == nil {
+		t.Error("IPv6 NLRI should be rejected")
+	}
+	o := &Open{AS: 1, BGPID: ma("::1")}
+	if _, err := Marshal(o); err == nil {
+		t.Error("IPv6 BGP ID should be rejected")
+	}
+}
+
+func TestUpdateMissingNextHop(t *testing.T) {
+	// Hand-build an UPDATE with NLRI but no NEXT_HOP attribute.
+	body := []byte{0, 0} // no withdrawn
+	attrs := appendAttr(nil, flagTransitive, attrOrigin, []byte{0})
+	body = append(body, byte(len(attrs)>>8), byte(len(attrs)))
+	body = append(body, attrs...)
+	body = append(body, 8, 10) // 10.0.0.0/8
+	msg := make([]byte, 19)
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	msg[18] = byte(MsgUpdate)
+	msg = append(msg, body...)
+	msg[16], msg[17] = byte(len(msg)>>8), byte(len(msg))
+	if _, err := Decode(msg); err == nil {
+		t.Error("UPDATE with NLRI but no NEXT_HOP should fail")
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	a := fullAttrs()
+	if a.ASPathLength() != 3 { // 2 sequence members + 1 for the set
+		t.Errorf("ASPathLength = %d, want 3", a.ASPathLength())
+	}
+	if a.FirstAS() != 65001 || a.OriginAS() != 65101 {
+		t.Errorf("FirstAS=%d OriginAS=%d", a.FirstAS(), a.OriginAS())
+	}
+	if got := a.ASPathString(); got != "65001 65002 65100 65101" {
+		t.Errorf("ASPathString = %q", got)
+	}
+	b := a.PrependAS(65000)
+	if b.FirstAS() != 65000 || b.ASPathLength() != 4 {
+		t.Errorf("PrependAS: first=%d len=%d", b.FirstAS(), b.ASPathLength())
+	}
+	if a.FirstAS() != 65001 {
+		t.Error("PrependAS must not mutate the receiver")
+	}
+	c := a.WithNextHop(ma("9.9.9.9"))
+	if c.NextHop != ma("9.9.9.9") || a.NextHop == ma("9.9.9.9") {
+		t.Error("WithNextHop should copy")
+	}
+	empty := PathAttrs{}
+	if empty.FirstAS() != 0 || empty.OriginAS() != 0 || empty.ASPathString() != "" {
+		t.Error("empty-path helpers should return zero values")
+	}
+}
+
+func TestPrependASIntoExistingSegment(t *testing.T) {
+	a := PathAttrs{ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{2, 3}}}}
+	b := a.PrependAS(1)
+	if len(b.ASPath) != 1 || len(b.ASPath[0].ASNs) != 3 || b.ASPath[0].ASNs[0] != 1 {
+		t.Errorf("PrependAS = %+v", b.ASPath)
+	}
+	// Prepending before an AS_SET starts a new segment.
+	s := PathAttrs{ASPath: []ASPathSegment{{Type: ASSet, ASNs: []uint16{5}}}}
+	b2 := s.PrependAS(1)
+	if len(b2.ASPath) != 2 || b2.ASPath[0].Type != ASSequence {
+		t.Errorf("PrependAS before set = %+v", b2.ASPath)
+	}
+}

@@ -1,0 +1,222 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+	"sync"
+)
+
+// Route is one path to a prefix as learned from a specific peer: the unit
+// the decision process ranks and the route server hands to the SDX policy
+// compiler.
+type Route struct {
+	Prefix netip.Prefix
+	Attrs  PathAttrs
+	// PeerAS and PeerID identify the session the route was learned on;
+	// PeerID breaks final ties exactly as RFC 4271 §9.1.2.2(f) prescribes.
+	PeerAS uint16
+	PeerID netip.Addr
+}
+
+func (r Route) String() string {
+	return fmt.Sprintf("%v via %v as-path [%s] from AS%d", r.Prefix, r.Attrs.NextHop,
+		r.Attrs.ASPathString(), r.PeerAS)
+}
+
+// Better reports whether r is preferred over o by the BGP decision process:
+// highest LOCAL_PREF, shortest AS_PATH, lowest ORIGIN, lowest MED (between
+// routes from the same neighbor AS), lowest peer BGP identifier. Both routes
+// must be for the same prefix.
+func (r Route) Better(o Route) bool {
+	lp := func(rt Route) uint32 {
+		if rt.Attrs.HasLocalPref {
+			return rt.Attrs.LocalPref
+		}
+		return 100 // RFC 4271 default
+	}
+	if a, b := lp(r), lp(o); a != b {
+		return a > b
+	}
+	if a, b := r.Attrs.ASPathLength(), o.Attrs.ASPathLength(); a != b {
+		return a < b
+	}
+	if r.Attrs.Origin != o.Attrs.Origin {
+		return r.Attrs.Origin < o.Attrs.Origin
+	}
+	if r.Attrs.FirstAS() == o.Attrs.FirstAS() {
+		med := func(rt Route) uint32 {
+			if rt.Attrs.HasMED {
+				return rt.Attrs.MED
+			}
+			return 0
+		}
+		if a, b := med(r), med(o); a != b {
+			return a < b
+		}
+	}
+	return r.PeerID.Less(o.PeerID)
+}
+
+// SelectBest returns the most preferred route of rs, or false when rs is
+// empty. The scan is deterministic for equal inputs because Better is a
+// strict total order once PeerIDs are distinct.
+func SelectBest(rs []Route) (Route, bool) {
+	if len(rs) == 0 {
+		return Route{}, false
+	}
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.Better(best) {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// RIB stores the routes learned from one peer (an Adj-RIB-In) or destined
+// to one peer (an Adj-RIB-Out): at most one route per prefix per RIB, since
+// a BGP session implicitly replaces earlier advertisements. RIB is safe for
+// concurrent use: session goroutines write while the controller reads.
+type RIB struct {
+	mu     sync.RWMutex
+	routes map[netip.Prefix]Route
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{routes: make(map[netip.Prefix]Route)}
+}
+
+// Set installs or replaces the route for its prefix and reports whether the
+// entry changed.
+func (t *RIB) Set(r Route) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r.Prefix = r.Prefix.Masked()
+	old, had := t.routes[r.Prefix]
+	if had && routesEqual(old, r) {
+		return false
+	}
+	t.routes[r.Prefix] = r
+	return true
+}
+
+// Remove deletes the route for prefix, reporting whether one was present.
+func (t *RIB) Remove(p netip.Prefix) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p = p.Masked()
+	if _, ok := t.routes[p]; !ok {
+		return false
+	}
+	delete(t.routes, p)
+	return true
+}
+
+// Get returns the route for prefix.
+func (t *RIB) Get(p netip.Prefix) (Route, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.routes[p.Masked()]
+	return r, ok
+}
+
+// Len returns the number of prefixes in the RIB.
+func (t *RIB) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.routes)
+}
+
+// Prefixes returns all prefixes in the RIB, in no particular order.
+func (t *RIB) Prefixes() []netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(t.routes))
+	for p := range t.routes {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Walk visits every route. Returning false stops early.
+func (t *RIB) Walk(fn func(Route) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.routes {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// FilterASPath returns the prefixes whose AS path (rendered as
+// space-separated ASNs) matches the regular expression — the paper's
+// RIB.filter('as_path', ".*43515$") idiom for grouping traffic by BGP
+// attributes.
+func (t *RIB) FilterASPath(expr string) ([]netip.Prefix, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: bad as-path filter: %w", err)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []netip.Prefix
+	for p, r := range t.routes {
+		if re.MatchString(r.Attrs.ASPathString()) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// FilterCommunity returns the prefixes carrying the given community value.
+func (t *RIB) FilterCommunity(c uint32) []netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []netip.Prefix
+	for p, r := range t.routes {
+		for _, rc := range r.Attrs.Communities {
+			if rc == c {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func routesEqual(a, b Route) bool {
+	if a.Prefix != b.Prefix || a.PeerAS != b.PeerAS || a.PeerID != b.PeerID {
+		return false
+	}
+	return attrsEqual(a.Attrs, b.Attrs)
+}
+
+func attrsEqual(a, b PathAttrs) bool {
+	if a.Origin != b.Origin || a.NextHop != b.NextHop ||
+		a.HasMED != b.HasMED || a.MED != b.MED ||
+		a.HasLocalPref != b.HasLocalPref || a.LocalPref != b.LocalPref {
+		return false
+	}
+	if len(a.ASPath) != len(b.ASPath) || len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i, seg := range a.ASPath {
+		if seg.Type != b.ASPath[i].Type || len(seg.ASNs) != len(b.ASPath[i].ASNs) {
+			return false
+		}
+		for j, as := range seg.ASNs {
+			if as != b.ASPath[i].ASNs[j] {
+				return false
+			}
+		}
+	}
+	for i, c := range a.Communities {
+		if c != b.Communities[i] {
+			return false
+		}
+	}
+	return true
+}

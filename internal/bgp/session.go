@@ -1,0 +1,289 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a BGP finite-state-machine state (RFC 4271 §8.2.2). Connection
+// establishment is handled by the caller (net.Dial / net.Listen), so
+// sessions move Idle → OpenSent → OpenConfirm → Established.
+type State uint32
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", uint32(s))
+}
+
+// SessionConfig parameterizes one side of a BGP session.
+type SessionConfig struct {
+	LocalAS  uint16
+	LocalID  netip.Addr
+	HoldTime time.Duration // 0 disables keepalives and the hold timer
+	// PeerAS, when nonzero, is enforced against the peer's OPEN.
+	PeerAS uint16
+}
+
+// ErrClosed is returned by Send after the session has shut down.
+var ErrClosed = errors.New("bgp: session closed")
+
+// Session is one BGP session over an established transport connection.
+// Create it with NewSession, complete the exchange of OPENs with Handshake,
+// then consume routes with Run.
+type Session struct {
+	conn  net.Conn
+	cfg   SessionConfig
+	state atomic.Uint32
+
+	peerOpen Open
+	holdTime time.Duration
+
+	writeMu sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+	done    chan struct{}
+}
+
+// NewSession wraps an established transport connection. The session starts
+// in Idle; call Handshake to reach Established.
+func NewSession(conn net.Conn, cfg SessionConfig) *Session {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 90 * time.Second
+	}
+	return &Session{conn: conn, cfg: cfg, done: make(chan struct{})}
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// PeerOpen returns the peer's OPEN message; valid once Established.
+func (s *Session) PeerOpen() Open { return s.peerOpen }
+
+// PeerAS returns the peer's AS number; valid once Established.
+func (s *Session) PeerAS() uint16 { return s.peerOpen.AS }
+
+// PeerID returns the peer's BGP identifier; valid once Established.
+func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
+
+// HoldTime returns the negotiated hold time (the minimum of both OPENs).
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Handshake sends our OPEN, validates the peer's, and exchanges the
+// confirming KEEPALIVEs, driving the FSM to Established.
+func (s *Session) Handshake() error {
+	holdSecs := uint16(s.cfg.HoldTime / time.Second)
+	open := &Open{AS: s.cfg.LocalAS, HoldTime: holdSecs, BGPID: s.cfg.LocalID}
+	if err := s.send(open); err != nil {
+		return fmt.Errorf("bgp: sending OPEN: %w", err)
+	}
+	s.state.Store(uint32(StateOpenSent))
+
+	msg, err := ReadMessage(s.conn)
+	if err != nil {
+		s.abort()
+		return fmt.Errorf("bgp: reading OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*Open)
+	if !ok {
+		s.notifyAndClose(NotifFSMError, 0)
+		return fmt.Errorf("bgp: expected OPEN, got %v", msg.Type())
+	}
+	if s.cfg.PeerAS != 0 && peerOpen.AS != s.cfg.PeerAS {
+		s.notifyAndClose(NotifOpenMessageError, 2 /* bad peer AS */)
+		return fmt.Errorf("bgp: peer AS %d, want %d", peerOpen.AS, s.cfg.PeerAS)
+	}
+	if peerOpen.HoldTime != 0 && peerOpen.HoldTime < 3 {
+		s.notifyAndClose(NotifOpenMessageError, 6 /* unacceptable hold time */)
+		return fmt.Errorf("bgp: unacceptable hold time %d", peerOpen.HoldTime)
+	}
+	s.peerOpen = *peerOpen
+	s.holdTime = s.cfg.HoldTime
+	if d := time.Duration(peerOpen.HoldTime) * time.Second; d != 0 && d < s.holdTime {
+		s.holdTime = d
+	}
+	s.state.Store(uint32(StateOpenConfirm))
+
+	if err := s.send(&Keepalive{}); err != nil {
+		return fmt.Errorf("bgp: sending KEEPALIVE: %w", err)
+	}
+	msg, err = ReadMessage(s.conn)
+	if err != nil {
+		s.abort()
+		return fmt.Errorf("bgp: reading KEEPALIVE: %w", err)
+	}
+	switch m := msg.(type) {
+	case *Keepalive:
+	case *Notification:
+		s.abort()
+		return m
+	default:
+		s.notifyAndClose(NotifFSMError, 0)
+		return fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
+	}
+	s.state.Store(uint32(StateEstablished))
+	return nil
+}
+
+// Run reads messages until the session fails or is closed, invoking handler
+// for each UPDATE. It sends periodic KEEPALIVEs and enforces the negotiated
+// hold time. Run returns nil on a clean Close and the transport or protocol
+// error otherwise.
+func (s *Session) Run(handler func(*Update)) error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: Run before Established (state %v)", s.State())
+	}
+	stopKeepalive := make(chan struct{})
+	var wg sync.WaitGroup
+	if s.holdTime > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(s.holdTime / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := s.send(&Keepalive{}); err != nil {
+						return
+					}
+				case <-stopKeepalive:
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(stopKeepalive)
+		wg.Wait()
+	}()
+
+	for {
+		if s.holdTime > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+				return s.runErr(err)
+			}
+		}
+		msg, err := ReadMessage(s.conn)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.notifyAndClose(NotifHoldTimerExpired, 0)
+				return fmt.Errorf("bgp: hold timer expired: %w", err)
+			}
+			return s.runErr(err)
+		}
+		switch m := msg.(type) {
+		case *Update:
+			handler(m)
+		case *Keepalive:
+			// hold timer already reset by the successful read
+		case *Notification:
+			s.abort()
+			return m
+		default:
+			s.notifyAndClose(NotifFSMError, 0)
+			return fmt.Errorf("bgp: unexpected %v in Established", msg.Type())
+		}
+	}
+}
+
+// runErr maps read errors after Close to a clean nil.
+func (s *Session) runErr(err error) error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+		s.abort()
+		return err
+	}
+}
+
+// Send transmits an UPDATE on the session.
+func (s *Session) Send(u *Update) error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: Send before Established (state %v)", s.State())
+	}
+	return s.send(u)
+}
+
+func (s *Session) send(m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	_, err = s.conn.Write(b)
+	return err
+}
+
+// Close sends a CEASE notification and tears down the transport.
+func (s *Session) Close() error {
+	s.notifyAndClose(NotifCease, 0)
+	return nil
+}
+
+func (s *Session) notifyAndClose(code, subcode uint8) {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return
+	}
+	if b, err := Marshal(&Notification{Code: code, Subcode: subcode}); err == nil {
+		s.writeMu.Lock()
+		s.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		s.conn.Write(b) // best effort; the transport is going away regardless
+		s.writeMu.Unlock()
+	}
+	s.closed = true
+	close(s.done)
+	s.conn.Close()
+	s.state.Store(uint32(StateIdle))
+}
+
+func (s *Session) abort() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.conn.Close()
+	s.state.Store(uint32(StateIdle))
+}
+
+// Done is closed when the session has fully shut down.
+func (s *Session) Done() <-chan struct{} { return s.done }

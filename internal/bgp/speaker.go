@@ -1,0 +1,199 @@
+package bgp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Peer is one established neighbor of a Speaker.
+type Peer struct {
+	Session *Session
+	// In is the Adj-RIB-In: the routes this peer has advertised to us,
+	// maintained by the Speaker as UPDATEs arrive.
+	In *RIB
+
+	speaker *Speaker
+}
+
+// Key returns the map key the Speaker files the peer under: its BGP
+// identifier, which RFC 4271 requires to be unique among neighbors.
+func (p *Peer) Key() string { return p.Session.PeerID().String() }
+
+// Send advertises an UPDATE to this peer.
+func (p *Peer) Send(u *Update) error { return p.Session.Send(u) }
+
+// Speaker manages a set of BGP sessions sharing one local configuration:
+// it accepts inbound connections, dials outbound ones, runs each session's
+// receive loop, keeps per-peer Adj-RIB-Ins, and surfaces events through
+// callbacks. Both the SDX route server and the participant border-router
+// daemon are built on it.
+type Speaker struct {
+	Config SessionConfig
+
+	// OnUpdate is invoked for every UPDATE after the peer's Adj-RIB-In has
+	// been updated. Callbacks run on the session's goroutine.
+	OnUpdate func(p *Peer, u *Update)
+	// OnEstablished is invoked when a session reaches Established.
+	OnEstablished func(p *Peer)
+	// OnDown is invoked when a session ends; err is nil for a clean close.
+	OnDown func(p *Peer, err error)
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// NewSpeaker returns a Speaker with the given local session configuration.
+func NewSpeaker(cfg SessionConfig) *Speaker {
+	return &Speaker{Config: cfg, peers: make(map[string]*Peer)}
+}
+
+// Listen starts accepting BGP connections on addr ("host:port"). It returns
+// once the listener is bound; sessions are served on background goroutines.
+func (s *Speaker) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.runConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Dial connects to a neighbor and completes the handshake, returning the
+// established peer. The session's receive loop runs in the background.
+func (s *Speaker) Dial(addr string) (*Peer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sess := NewSession(conn, s.Config)
+	if err := sess.Handshake(); err != nil {
+		return nil, err
+	}
+	p := s.addPeer(sess)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.servePeer(p)
+	}()
+	return p, nil
+}
+
+func (s *Speaker) runConn(conn net.Conn) {
+	sess := NewSession(conn, s.Config)
+	if err := sess.Handshake(); err != nil {
+		return
+	}
+	s.servePeer(s.addPeer(sess))
+}
+
+func (s *Speaker) addPeer(sess *Session) *Peer {
+	p := &Peer{Session: sess, In: NewRIB(), speaker: s}
+	s.mu.Lock()
+	s.peers[p.Key()] = p
+	s.mu.Unlock()
+	if s.OnEstablished != nil {
+		s.OnEstablished(p)
+	}
+	return p
+}
+
+func (s *Speaker) servePeer(p *Peer) {
+	err := p.Session.Run(func(u *Update) {
+		s.applyUpdate(p, u)
+		if s.OnUpdate != nil {
+			s.OnUpdate(p, u)
+		}
+	})
+	s.mu.Lock()
+	delete(s.peers, p.Key())
+	s.mu.Unlock()
+	if s.OnDown != nil {
+		s.OnDown(p, err)
+	}
+}
+
+func (s *Speaker) applyUpdate(p *Peer, u *Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range u.Withdrawn {
+		p.In.Remove(w)
+	}
+	for _, nlri := range u.NLRI {
+		p.In.Set(Route{
+			Prefix: nlri,
+			Attrs:  u.Attrs,
+			PeerAS: p.Session.PeerAS(),
+			PeerID: p.Session.PeerID(),
+		})
+	}
+}
+
+// Peer returns the established peer with the given BGP identifier.
+func (s *Speaker) Peer(id string) (*Peer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[id]
+	return p, ok
+}
+
+// Peers returns a snapshot of the established peers.
+func (s *Speaker) Peers() []*Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Broadcast sends an UPDATE to every established peer, returning the first
+// error encountered (other peers are still attempted).
+func (s *Speaker) Broadcast(u *Update) error {
+	var first error
+	for _, p := range s.Peers() {
+		if err := p.Send(u); err != nil && first == nil {
+			first = fmt.Errorf("bgp: broadcast to %s: %w", p.Key(), err)
+		}
+	}
+	return first
+}
+
+// Close shuts down the listener and all sessions and waits for their
+// goroutines to finish.
+func (s *Speaker) Close() {
+	s.mu.Lock()
+	ln := s.ln
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
+		p.Session.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sdx/internal/netutil"
+	"sdx/internal/policy"
+)
+
+// CompileStats extends the policy compiler's operation counts with the
+// SDX-level metrics the paper's evaluation reports.
+type CompileStats struct {
+	policy.CompileStats
+	// PrefixGroups is the number of forwarding equivalence classes
+	// (Figure 6's y axis).
+	PrefixGroups int
+	// FlowRules is the number of installable (non-drop) rules (Figure 7).
+	FlowRules int
+	// Participants is the number of registered participants.
+	Participants int
+	// VNHTime and PolicyTime split the compilation wall-clock between
+	// equivalence-class computation and policy composition (Figure 8).
+	VNHTime    time.Duration
+	PolicyTime time.Duration
+}
+
+// CompileResult is one full compilation of the exchange.
+type CompileResult struct {
+	// Classifier is the composed global policy in the virtual location
+	// space (useful for inspection and semantic tests).
+	Classifier policy.Classifier
+	// Rules is the flattened, installable rule list: matches on physical
+	// ingress ports, outputs on physical ports, highest priority first.
+	Rules []policy.Rule
+	// FECs is the equivalence-class table this compilation produced.
+	FECs  []FEC
+	Stats CompileStats
+}
+
+// Compile runs the full §4.1 pipeline: compute equivalence classes, rewrite
+// each participant's policies (isolation, BGP consistency, tag matching),
+// attach default forwarding, compose globally, and flatten to installable
+// rules. It replaces the controller's FEC table, so route-server
+// re-advertisements pick up the new virtual next hops.
+func (c *Controller) Compile() (*CompileResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.compileLocked()
+}
+
+func (c *Controller) compileLocked() (*CompileResult, error) {
+	res := &CompileResult{}
+	res.Stats.Participants = len(c.order)
+
+	vnhStart := time.Now()
+	sets := c.collectReachSets()
+	var fecs []*FEC
+	if c.opts.VNHEncoding {
+		var err error
+		fecs, err = c.computeFECs(sets)
+		if err != nil {
+			return nil, err
+		}
+		old := c.fecs.All()
+		c.fecs.replace(fecs)
+		// Return to the pool only the VNHs that were NOT carried over.
+		reused := make(map[netip.Addr]bool, len(fecs))
+		for _, f := range fecs {
+			reused[f.VNH] = true
+		}
+		for _, f := range old {
+			if !reused[f.VNH] {
+				c.pool.Release(f.VNH)
+			}
+		}
+		c.fastPath.reset()
+	}
+	res.Stats.VNHTime = time.Since(vnhStart)
+	res.Stats.PrefixGroups = len(fecs)
+
+	polStart := time.Now()
+	global, err := c.buildGlobalPolicy(sets, fecs)
+	if err != nil {
+		return nil, err
+	}
+	classifier, stats := policy.CompileWithOptions(global, c.opts.Compile)
+	if c.opts.Optimize {
+		classifier = classifier.Optimize()
+	}
+	res.Stats.CompileStats = stats
+	res.Classifier = classifier
+
+	rules, err := c.flatten(classifier)
+	if err != nil {
+		return nil, err
+	}
+	res.Rules = rules
+	res.Stats.PolicyTime = time.Since(polStart)
+	res.Stats.FlowRules = len(rules)
+	for _, f := range fecs {
+		res.FECs = append(res.FECs, *f)
+	}
+	return res, nil
+}
+
+// buildGlobalPolicy assembles SDX = (Σ outbound policies, else shared
+// default forwarding) >> (Σ inbound policies, else shared default delivery,
+// plus egress passthrough). Two §4.3.1 reductions are structural here:
+// outbound policies match physical ingress ports and so can never fire in
+// the second stage (and vice versa), and default forwarding is SHARED —
+// one tag rule serves every ingress port, with per-port overrides only
+// where a participant's own default next hop differs (it is the best
+// advertiser itself). Sharing is what keeps the rule count near the number
+// of prefix groups rather than groups × participants (Figure 7).
+func (c *Controller) buildGlobalPolicy(sets []reachSet, fecs []*FEC) (policy.Policy, error) {
+	// One BGP filter per next hop, shared across every policy that forwards
+	// there: the reused subtree is what the policy compiler's memo table
+	// (§4.3.1 "many policy idioms appear more than once") capitalizes on.
+	// Per-pair export policies make reach sets receiver-specific, which
+	// disables sharing.
+	var filterCache map[ID]policy.Policy
+	if !c.rs.HasExportPolicy() {
+		filterCache = make(map[ID]policy.Policy)
+	}
+	var pols1, pols2 []policy.Policy
+	for _, p := range c.participantsInOrder() {
+		if p.Outbound != nil && len(p.Ports) > 0 {
+			rewritten, err := c.rewritePolicy(p.Outbound, p.ID, sets, fecs, filterCache)
+			if err != nil {
+				return nil, fmt.Errorf("core: outbound policy of %q: %w", p.ID, err)
+			}
+			pols1 = append(pols1, policy.SeqOf(ingressFilter(p), rewritten))
+		}
+		if p.Inbound != nil {
+			rewritten, err := c.rewritePolicy(p.Inbound, p.ID, nil, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: inbound policy of %q: %w", p.ID, err)
+			}
+			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID]))
+			pols2 = append(pols2, policy.SeqOf(atVirtual, rewritten))
+		}
+	}
+	pass1 := policy.WithDefault(policy.Par(pols1...), c.sharedDefaultOut(fecs))
+	pass2Parts := []policy.Policy{
+		policy.WithDefault(policy.Par(pols2...), c.sharedDefaultIn()),
+	}
+	for _, n := range c.sortedPortNumbers() {
+		pass2Parts = append(pass2Parts, policy.MatchPolicy(policy.MatchAll.Port(EgressPort(n))))
+	}
+	return policy.SeqOf(pass1, policy.Par(pass2Parts...)), nil
+}
+
+// sharedDefaultOut is the first-stage default: traffic follows its tag (or
+// the destination router's MAC) to the best advertiser's virtual switch.
+// The only port-dependent piece is the override for the best advertiser's
+// OWN traffic, whose default route is the second-best advertiser.
+func (c *Controller) sharedDefaultOut(fecs []*FEC) policy.Policy {
+	var overrides, base []policy.Policy
+	for _, f := range fecs {
+		if f.First == "" {
+			continue
+		}
+		base = append(base, policy.SeqOf(
+			policy.MatchPolicy(policy.MatchAll.DstMAC(f.VMAC)),
+			policy.Fwd(c.vports[f.First]),
+		))
+		if f.Second == "" {
+			continue
+		}
+		firstP := c.participants[f.First]
+		if firstP == nil || len(firstP.Ports) == 0 {
+			continue
+		}
+		overrides = append(overrides, policy.SeqOf(
+			ingressFilter(firstP),
+			policy.MatchPolicy(policy.MatchAll.DstMAC(f.VMAC)),
+			policy.Fwd(c.vports[f.Second]),
+		))
+	}
+	for _, other := range c.participantsInOrder() {
+		for _, port := range other.Ports {
+			base = append(base, policy.SeqOf(
+				policy.MatchPolicy(policy.MatchAll.DstMAC(port.MAC)),
+				policy.Fwd(c.vports[other.ID]),
+			))
+		}
+	}
+	return policy.WithDefault(policy.Par(overrides...), policy.Par(base...))
+}
+
+// sharedDefaultIn is the second-stage default: traffic at a participant's
+// virtual switch is delivered on its first physical port with the router's
+// MAC restored (the paper's destination-MAC rewrite).
+func (c *Controller) sharedDefaultIn() policy.Policy {
+	var branches []policy.Policy
+	for _, p := range c.participantsInOrder() {
+		if len(p.Ports) == 0 {
+			continue
+		}
+		home := p.Ports[0]
+		branches = append(branches, policy.SeqOf(
+			policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID])),
+			policy.ModPolicy(policy.Identity.SetDstMAC(home.MAC).SetPort(EgressPort(home.Number))),
+		))
+	}
+	return policy.Par(branches...)
+}
+
+// rewritePolicy applies the §4.1 syntactic transformations to one
+// participant policy: forwards to another participant's virtual switch are
+// restricted to the BGP routes that participant exported (as tag matches
+// under VNH encoding, as raw prefix filters otherwise), and forwards to an
+// egress location gain the recipient router's MAC rewrite.
+func (c *Controller) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
+	switch v := pol.(type) {
+	case *policy.Test, policy.Drop, policy.Pass:
+		return pol, nil
+	case *policy.Mod:
+		return c.rewriteMod(v, owner, sets, fecs, filterCache)
+	case *policy.Union:
+		out := make([]policy.Policy, len(v.Children))
+		for i, ch := range v.Children {
+			r, err := c.rewritePolicy(ch, owner, sets, fecs, filterCache)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return policy.Par(out...), nil
+	case *policy.Seq:
+		out := make([]policy.Policy, len(v.Children))
+		for i, ch := range v.Children {
+			r, err := c.rewritePolicy(ch, owner, sets, fecs, filterCache)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return policy.SeqOf(out...), nil
+	case *policy.If:
+		then, err := c.rewritePolicy(v.Then, owner, sets, fecs, filterCache)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.rewritePolicy(v.Else, owner, sets, fecs, filterCache)
+		if err != nil {
+			return nil, err
+		}
+		return policy.IfThenElse(v.Pred, then, els), nil
+	case *policy.Fallback:
+		prim, err := c.rewritePolicy(v.Primary, owner, sets, fecs, filterCache)
+		if err != nil {
+			return nil, err
+		}
+		def, err := c.rewritePolicy(v.Default, owner, sets, fecs, filterCache)
+		if err != nil {
+			return nil, err
+		}
+		return policy.WithDefault(prim, def), nil
+	default:
+		return nil, fmt.Errorf("unsupported policy node %T", pol)
+	}
+}
+
+func (c *Controller) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
+	port, ok := m.Mods.GetPort()
+	if !ok {
+		return m, nil // pure header rewrite: no location change to police
+	}
+	if phys, isEgress := IsEgress(port); isEgress {
+		// Direct delivery (inbound fwd(B1), middlebox ports): ensure the
+		// frame carries the attached router's MAC.
+		if _, has := m.Mods.GetDstMAC(); has {
+			return m, nil
+		}
+		mac, known := c.portMACs[phys]
+		if !known {
+			return nil, fmt.Errorf("egress to unknown physical port %d", phys)
+		}
+		return policy.ModPolicy(m.Mods.SetDstMAC(mac)), nil
+	}
+	if !IsVirtual(port) {
+		return nil, fmt.Errorf("policy forwards to raw physical port %d; use EgressPort or FwdTo", port)
+	}
+	// fwd(B): restrict to the prefixes B exported to the policy's owner.
+	var hop ID
+	for id, v := range c.vports {
+		if v == port {
+			hop = id
+			break
+		}
+	}
+	if hop == "" {
+		return nil, fmt.Errorf("forward to unknown virtual port %d", port)
+	}
+	if sets == nil {
+		// Inbound policies are not BGP-restricted (§4.1 restricts only
+		// outbound actions).
+		return m, nil
+	}
+	var reach *netutil.PrefixSet
+	for _, rs := range sets {
+		if rs.participant == owner && rs.hop == hop {
+			reach = rs.set
+			break
+		}
+	}
+	if reach == nil || reach.Len() == 0 {
+		return policy.Drop{}, nil // hop exported nothing to owner
+	}
+	if filterCache != nil {
+		if cached, ok := filterCache[hop]; ok {
+			return policy.SeqOf(cached, m), nil
+		}
+	}
+	filter := c.reachFilter(reach, fecs)
+	if filterCache != nil {
+		filterCache[hop] = filter
+	}
+	return policy.SeqOf(filter, m), nil
+}
+
+// reachFilter builds the predicate-policy admitting exactly the traffic
+// destined to the given prefix set: tag matches on the covering equivalence
+// classes under VNH encoding, raw destination-prefix matches otherwise.
+func (c *Controller) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.Policy {
+	var tests []policy.Policy
+	if c.opts.VNHEncoding {
+		for _, f := range fecs {
+			// Classes are built from these very sets, so each class is
+			// entirely inside or outside reach: probing one member decides.
+			if len(f.Prefixes) > 0 && reach.Contains(f.Prefixes[0]) {
+				tests = append(tests, policy.MatchPolicy(policy.MatchAll.DstMAC(f.VMAC)))
+			}
+		}
+	} else {
+		for _, p := range reach.Prefixes() {
+			tests = append(tests, policy.MatchPolicy(policy.MatchAll.DstIP(p)))
+		}
+	}
+	return policy.Par(tests...)
+}
+
+// flatten converts the composed classifier to installable rules: only
+// non-drop rules reachable from physical ingress survive, and egress
+// locations in output actions map back to real port numbers.
+func (c *Controller) flatten(cl policy.Classifier) ([]policy.Rule, error) {
+	var out []policy.Rule
+	for _, r := range cl.Rules {
+		if r.IsDrop() {
+			continue
+		}
+		if port, constrained := r.Match.GetPort(); constrained && !IsPhysical(port) {
+			continue // interior rule (virtual/egress location): unreachable from the wire
+		}
+		actions := make([]policy.Mods, 0, len(r.Actions))
+		for _, a := range r.Actions {
+			port, ok := a.GetPort()
+			if !ok {
+				continue // no output: contributes nothing
+			}
+			phys, isEgress := IsEgress(port)
+			if !isEgress {
+				return nil, fmt.Errorf("core: rule %v leaves traffic at interior location %d", r, port)
+			}
+			actions = append(actions, a.SetPort(phys))
+		}
+		if len(actions) == 0 {
+			continue
+		}
+		out = append(out, policy.Rule{Match: r.Match, Actions: actions})
+	}
+	return out, nil
+}
+
+// prefixesOf is a small helper for tests and the bench harness.
+func prefixesOf(ps ...string) []netip.Prefix {
+	out := make([]netip.Prefix, len(ps))
+	for i, s := range ps {
+		out[i] = netip.MustParsePrefix(s)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"sdx/internal/bgp"
+	"sdx/internal/netutil"
+	"sdx/internal/policy"
+	"sdx/internal/routeserver"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// VNHEncoding enables the §4.2 data-plane state reduction: prefixes are
+	// grouped into forwarding equivalence classes tagged by virtual MACs,
+	// and policies match tags instead of destination prefixes. Disabling it
+	// (the ablation baseline) inserts raw prefix filters instead.
+	VNHEncoding bool
+	// VNHPool is the prefix VNH addresses are drawn from; defaults to
+	// 172.16.0.0/12 (the paper uses a private block the same way).
+	VNHPool netip.Prefix
+	// Compile carries the §4.3 optimization toggles through to the policy
+	// compiler.
+	Compile policy.CompileOptions
+	// Optimize runs the O(n²) shadow-elimination pass on the final
+	// classifier (the background re-optimization stage).
+	Optimize bool
+}
+
+// DefaultOptions is the paper's configuration: VNH encoding and every
+// control-plane optimization on.
+func DefaultOptions() Options {
+	return Options{
+		VNHEncoding: true,
+		VNHPool:     netip.MustParsePrefix("172.16.0.0/12"),
+	}
+}
+
+// Controller is the SDX controller: it owns the participant topology,
+// consults the route server, compiles the global policy, and answers ARP
+// for virtual next hops.
+type Controller struct {
+	opts Options
+	rs   *routeserver.Server
+
+	mu           sync.RWMutex
+	participants map[ID]*Participant
+	order        []ID
+	vports       map[ID]uint16
+	portMACs     map[uint16]netutil.MAC
+	portOwner    map[uint16]ID
+	nextVirtual  uint16
+
+	pool     *netutil.IPPool
+	fecs     *FECTable
+	fastPath *fastPathState
+}
+
+// NewController returns a controller bound to a route-server engine.
+func NewController(rs *routeserver.Server, opts Options) *Controller {
+	if !opts.VNHPool.IsValid() {
+		opts.VNHPool = netip.MustParsePrefix("172.16.0.0/12")
+	}
+	pool, err := netutil.NewIPPool(opts.VNHPool)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad VNH pool: %v", err))
+	}
+	return &Controller{
+		opts:         opts,
+		rs:           rs,
+		participants: make(map[ID]*Participant),
+		vports:       make(map[ID]uint16),
+		portMACs:     make(map[uint16]netutil.MAC),
+		portOwner:    make(map[uint16]ID),
+		nextVirtual:  virtualBase,
+		pool:         pool,
+		fecs:         newFECTable(),
+		fastPath:     newFastPathState(),
+	}
+}
+
+// RouteServer returns the underlying engine.
+func (c *Controller) RouteServer() *routeserver.Server { return c.rs }
+
+// Options returns the controller's configuration.
+func (c *Controller) Options() Options { return c.opts }
+
+// AddParticipant registers a participant with the controller and, if not
+// already present, with the route server. Port numbers must be unique
+// across participants and within the physical range.
+func (c *Controller) AddParticipant(p Participant) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.participants[p.ID]; dup {
+		return fmt.Errorf("core: participant %q already registered", p.ID)
+	}
+	for _, port := range p.Ports {
+		if !IsPhysical(port.Number) {
+			return fmt.Errorf("core: port %d of %q outside the physical range 1..%d",
+				port.Number, p.ID, maxPhysicalPort)
+		}
+		if owner, taken := c.portOwner[port.Number]; taken {
+			return fmt.Errorf("core: port %d of %q already owned by %q", port.Number, p.ID, owner)
+		}
+	}
+	if _, ok := c.rs.AS(p.ID); !ok {
+		if err := c.rs.AddParticipant(p.ID, p.AS); err != nil {
+			return err
+		}
+	}
+	cp := p
+	cp.Ports = append([]Port(nil), p.Ports...)
+	c.participants[p.ID] = &cp
+	c.order = append(c.order, p.ID)
+	c.vports[p.ID] = c.nextVirtual
+	c.nextVirtual++
+	for _, port := range cp.Ports {
+		c.portMACs[port.Number] = port.MAC
+		c.portOwner[port.Number] = p.ID
+	}
+	return nil
+}
+
+// SetPolicies replaces a participant's policies. Call Compile afterwards to
+// realize the change (the paper's "configuration change" workload).
+func (c *Controller) SetPolicies(id ID, inbound, outbound policy.Policy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.participants[id]
+	if !ok {
+		return fmt.Errorf("core: unknown participant %q", id)
+	}
+	p.Inbound, p.Outbound = inbound, outbound
+	return nil
+}
+
+// Participant returns a copy of the registered participant.
+func (c *Controller) Participant(id ID) (Participant, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.participants[id]
+	if !ok {
+		return Participant{}, false
+	}
+	return *p, true
+}
+
+// Participants returns the registered IDs in registration order.
+func (c *Controller) Participants() []ID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]ID(nil), c.order...)
+}
+
+// PortOwner returns the participant owning a physical port.
+func (c *Controller) PortOwner(port uint16) (ID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.portOwner[port]
+	return id, ok
+}
+
+// NextHopFor is the routeserver.NextHopResolver the controller supplies to
+// the route-server frontend: prefixes in a forwarding equivalence class
+// advertise that class's virtual next hop; everything else keeps the
+// original next-hop address (plain route-server behaviour).
+func (c *Controller) NextHopFor(receiver routeserver.ID, prefix netip.Prefix, route bgp.Route) netip.Addr {
+	if fec, ok := c.fecs.ByPrefix(prefix); ok {
+		return fec.VNH
+	}
+	return route.Attrs.NextHop
+}
+
+// VMACFor returns the virtual MAC tagging prefix's equivalence class, if
+// the prefix is in one.
+func (c *Controller) VMACFor(prefix netip.Prefix) (netutil.MAC, bool) {
+	fec, ok := c.fecs.ByPrefix(prefix)
+	if !ok {
+		return netutil.MAC{}, false
+	}
+	return fec.VMAC, true
+}
+
+// FECs returns the current equivalence-class table.
+func (c *Controller) FECs() []FEC { return c.fecs.All() }

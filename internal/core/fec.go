@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdx/internal/netutil"
+	"sdx/internal/policy"
+)
+
+// FEC is a forwarding equivalence class (§4.2): a maximal set of prefixes
+// that share forwarding behaviour throughout the fabric, tagged in the data
+// plane by a virtual MAC and signalled in the control plane by a virtual
+// next-hop IP address.
+type FEC struct {
+	ID       uint32
+	VNH      netip.Addr
+	VMAC     netutil.MAC
+	Prefixes []netip.Prefix
+	// First and Second are the advertisers of the globally best and
+	// second-best routes; participant X's default next hop for the class is
+	// First unless X == First, in which case Second.
+	First  ID
+	Second ID
+}
+
+// DefaultNextHop returns the participant that receiver's default (BGP-
+// selected) route for this class points at, or false when there is none
+// (e.g. the only advertiser is the receiver itself).
+func (f *FEC) DefaultNextHop(receiver ID) (ID, bool) {
+	if f.First != "" && f.First != receiver {
+		return f.First, true
+	}
+	if f.Second != "" && f.Second != receiver {
+		return f.Second, true
+	}
+	return "", false
+}
+
+// FECTable is the controller's current class assignment, replaced wholesale
+// by the background pass and appended to by the fast path.
+type FECTable struct {
+	mu       sync.RWMutex
+	byPrefix map[netip.Prefix]*FEC
+	list     []*FEC
+	nextID   uint32
+}
+
+func newFECTable() *FECTable {
+	return &FECTable{byPrefix: make(map[netip.Prefix]*FEC)}
+}
+
+// ByPrefix returns the class containing prefix.
+func (t *FECTable) ByPrefix(p netip.Prefix) (*FEC, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, ok := t.byPrefix[p.Masked()]
+	return f, ok
+}
+
+// All returns a snapshot of the classes.
+func (t *FECTable) All() []FEC {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]FEC, len(t.list))
+	for i, f := range t.list {
+		out[i] = *f
+	}
+	return out
+}
+
+// Len returns the number of classes — the paper's "prefix groups" metric
+// (Figure 6).
+func (t *FECTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.list)
+}
+
+func (t *FECTable) allocID() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// replace installs a fresh class list (the background pass).
+func (t *FECTable) replace(fecs []*FEC) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.list = fecs
+	t.byPrefix = make(map[netip.Prefix]*FEC)
+	for _, f := range fecs {
+		for _, p := range f.Prefixes {
+			t.byPrefix[p] = f
+		}
+	}
+}
+
+// add appends one class, remapping its prefixes (the fast path's singleton
+// classes land here).
+func (t *FECTable) add(f *FEC) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.list = append(t.list, f)
+	for _, p := range f.Prefixes {
+		t.byPrefix[p] = f
+	}
+}
+
+// reachSet names one pass-1 grouping input: the prefixes that hop exported
+// to the participant, relevant because the participant's outbound policy
+// forwards some traffic to hop.
+type reachSet struct {
+	participant ID
+	hop         ID
+	set         *netutil.PrefixSet
+}
+
+// collectReachSets walks every participant's outbound policy for fwd()
+// targets that are virtual ports and resolves each to the corresponding
+// export set from the route server, in deterministic order.
+func (c *Controller) collectReachSets() []reachSet {
+	var out []reachSet
+	for _, p := range c.participantsInOrder() {
+		if p.Outbound == nil {
+			continue
+		}
+		targets := map[uint16]bool{}
+		collectFwdTargets(p.Outbound, targets)
+		var hops []ID
+		for loc := range targets {
+			if !IsVirtual(loc) {
+				continue
+			}
+			for id, v := range c.vports {
+				if v == loc {
+					hops = append(hops, id)
+				}
+			}
+		}
+		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+		for _, hop := range hops {
+			out = append(out, reachSet{
+				participant: p.ID,
+				hop:         hop,
+				set:         c.rs.ReachableVia(p.ID, hop),
+			})
+		}
+	}
+	return out
+}
+
+// collectFwdTargets accumulates every location assigned by a SetPort mod
+// anywhere in the policy tree.
+func collectFwdTargets(pol policy.Policy, into map[uint16]bool) {
+	switch v := pol.(type) {
+	case *policy.Test, policy.Drop, policy.Pass, nil:
+	case *policy.Mod:
+		if port, ok := v.Mods.GetPort(); ok {
+			into[port] = true
+		}
+	case *policy.Union:
+		for _, ch := range v.Children {
+			collectFwdTargets(ch, into)
+		}
+	case *policy.Seq:
+		for _, ch := range v.Children {
+			collectFwdTargets(ch, into)
+		}
+	case *policy.If:
+		collectFwdTargets(v.Then, into)
+		collectFwdTargets(v.Else, into)
+	case *policy.Fallback:
+		collectFwdTargets(v.Primary, into)
+		collectFwdTargets(v.Default, into)
+	default:
+		panic(fmt.Sprintf("core: unsupported policy node %T", pol))
+	}
+}
+
+// computeFECs runs the three-pass Minimum Disjoint Subset construction of
+// §4.2: prefixes are keyed by (a) their membership across every policy
+// reach set and (b) the advertisers of their best and second-best routes;
+// each distinct key is one equivalence class. The paper's polynomial MDS
+// algorithm reduces to this single bucketing pass.
+func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
+	// Universe: prefixes whose default behaviour at least one policy
+	// overrides. Prefixes outside it keep plain route-server handling.
+	universe := netutil.NewPrefixSet()
+	for _, rs := range sets {
+		for _, p := range rs.set.Prefixes() {
+			universe.Add(p)
+		}
+	}
+	// Prefixes announced by remote participants (no physical ports) have no
+	// router MAC to attract their traffic; they always need a tag so the
+	// fabric can steer them to the announcer's virtual switch — the
+	// wide-area load-balancing shape (§3.2 "originating BGP routes from the
+	// SDX").
+	for _, p := range c.participantsInOrder() {
+		if len(p.Ports) > 0 {
+			continue
+		}
+		for _, prefix := range c.rs.Advertised(p.ID) {
+			universe.Add(prefix)
+		}
+	}
+	prefixes := universe.Prefixes() // sorted
+
+	groups := make(map[string][]netip.Prefix)
+	keys := make([]string, 0)
+	meta := make(map[string][2]ID)
+	var keyBuf strings.Builder
+	for _, p := range prefixes {
+		keyBuf.Reset()
+		for _, rs := range sets {
+			if rs.set.Contains(p) {
+				keyBuf.WriteByte('1')
+			} else {
+				keyBuf.WriteByte('0')
+			}
+		}
+		first, second := c.rs.BestTwo(p)
+		keyBuf.WriteByte('|')
+		keyBuf.WriteString(string(first))
+		keyBuf.WriteByte('|')
+		keyBuf.WriteString(string(second))
+		k := keyBuf.String()
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+			meta[k] = [2]ID{first, second}
+		}
+		groups[k] = append(groups[k], p)
+	}
+
+	// Preserve tags across recompilations: a group whose membership and
+	// default next hops are unchanged keeps its VNH and VMAC, so the route
+	// server need not churn BGP advertisements (and routers need not re-ARP)
+	// for prefixes the background pass did not actually move.
+	old := make(map[string]*FEC)
+	for _, f := range c.fecs.All() {
+		fc := f
+		old[fecIdentity(&fc)] = &fc
+	}
+	fecs := make([]*FEC, 0, len(keys))
+	for _, k := range keys {
+		candidate := &FEC{
+			Prefixes: groups[k],
+			First:    meta[k][0],
+			Second:   meta[k][1],
+		}
+		if prev, ok := old[fecIdentity(candidate)]; ok {
+			candidate.ID, candidate.VNH, candidate.VMAC = prev.ID, prev.VNH, prev.VMAC
+			delete(old, fecIdentity(candidate)) // consume: no double reuse
+		} else {
+			vnh, err := c.pool.Alloc()
+			if err != nil {
+				return nil, fmt.Errorf("core: allocating VNH: %w", err)
+			}
+			candidate.ID = c.fecs.allocID()
+			candidate.VNH = vnh
+			candidate.VMAC = netutil.VMAC(candidate.ID)
+		}
+		fecs = append(fecs, candidate)
+	}
+	return fecs, nil
+}
+
+// fecIdentity keys a class by its full behaviour: member prefixes plus the
+// default next-hop pair.
+func fecIdentity(f *FEC) string {
+	var b strings.Builder
+	for _, p := range f.Prefixes {
+		b.WriteString(p.String())
+		b.WriteByte(' ')
+	}
+	b.WriteByte('|')
+	b.WriteString(string(f.First))
+	b.WriteByte('|')
+	b.WriteString(string(f.Second))
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sdx/internal/netutil"
+	"sdx/internal/policy"
+	"sdx/internal/routeserver"
+)
+
+// fastPathState tracks what the quick reaction stage has installed since
+// the last full compilation, so the background pass can account for (and
+// eventually retire) it.
+type fastPathState struct {
+	mu    sync.Mutex
+	rules []policy.Rule
+	fecs  []*FEC
+}
+
+func newFastPathState() *fastPathState { return &fastPathState{} }
+
+func (f *fastPathState) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.fecs = nil
+}
+
+func (f *fastPathState) record(rules []policy.Rule, fecs []*FEC) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rules...)
+	f.fecs = append(f.fecs, fecs...)
+}
+
+// FastPathRules returns the rules the quick stage has added since the last
+// full compilation — the paper's Figure 9 "additional forwarding rules".
+func (c *Controller) FastPathRules() []policy.Rule {
+	c.fastPath.mu.Lock()
+	defer c.fastPath.mu.Unlock()
+	return append([]policy.Rule(nil), c.fastPath.rules...)
+}
+
+// FastPathResult is the outcome of one quick-stage reaction to a burst of
+// BGP best-route changes.
+type FastPathResult struct {
+	// Rules are the additional forwarding rules to install above the base
+	// table (highest priority first).
+	Rules []policy.Rule
+	// NewFECs are the fresh singleton equivalence classes, one per
+	// affected prefix.
+	NewFECs []FEC
+	// Elapsed is the quick stage's computation time (Figure 10's metric).
+	Elapsed time.Duration
+}
+
+// HandleRouteChanges is the quick reaction stage of §4.3.2: for every
+// prefix whose best route changed it mints a fresh virtual next hop
+// (bypassing minimum-disjoint-subset optimization entirely) and recompiles
+// only the policy slices that can carry that prefix's traffic. The returned
+// rules go in at higher priority than the base table; Reoptimize later
+// recomputes the optimal tables in the background.
+func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*FastPathResult, error) {
+	start := time.Now()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	// Dedupe to affected prefixes, preserving arrival order.
+	seen := make(map[netip.Prefix]bool)
+	var affected []netip.Prefix
+	for _, ch := range changes {
+		if !seen[ch.Prefix] {
+			seen[ch.Prefix] = true
+			affected = append(affected, ch.Prefix)
+		}
+	}
+
+	res := &FastPathResult{}
+	var newFecs []*FEC
+	for _, prefix := range affected {
+		fec, rules, err := c.fastPathForPrefix(prefix)
+		if err != nil {
+			return nil, err
+		}
+		if fec != nil {
+			newFecs = append(newFecs, fec)
+			res.NewFECs = append(res.NewFECs, *fec)
+		}
+		res.Rules = append(res.Rules, rules...)
+	}
+	c.fastPath.record(res.Rules, newFecs)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// fastPathForPrefix assigns prefix a fresh singleton FEC and compiles the
+// slice of the global policy that concerns it.
+func (c *Controller) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, error) {
+	prefix = prefix.Masked()
+	first, second := c.rs.BestTwo(prefix)
+	if first == "" {
+		// The prefix is gone: no new tag; traffic falls back to the base
+		// table, whose route-server withdrawals already stopped attracting
+		// it. (Stale base rules are retired by the background pass.)
+		return nil, nil, nil
+	}
+	id := c.fecs.allocID()
+	vnh, err := c.pool.Alloc()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: fast path VNH: %w", err)
+	}
+	fec := &FEC{
+		ID:       id,
+		VNH:      vnh,
+		VMAC:     netutil.VMAC(id),
+		Prefixes: []netip.Prefix{prefix},
+		First:    first,
+		Second:   second,
+	}
+	c.fecs.add(fec)
+
+	mini, err := c.buildPrefixSlicePolicy(prefix, fec)
+	if err != nil {
+		return nil, nil, err
+	}
+	classifier, _ := policy.CompileWithOptions(mini, c.opts.Compile)
+	flat, err := c.flatten(classifier)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Keep only the rules that concern the new tag; the remainder merely
+	// restates base-table behaviour.
+	var rules []policy.Rule
+	for _, r := range flat {
+		if mac, ok := r.Match.GetDstMAC(); ok && mac == fec.VMAC {
+			rules = append(rules, r)
+		}
+	}
+	return fec, rules, nil
+}
+
+// buildPrefixSlicePolicy assembles the two-stage policy restricted to
+// traffic tagged with the prefix's fresh VMAC: each participant's outbound
+// policy with forwards filtered to "does that hop export this prefix to
+// me", plus single-class defaults, composed with the normal inbound stage.
+func (c *Controller) buildPrefixSlicePolicy(prefix netip.Prefix, fec *FEC) (policy.Policy, error) {
+	tag := policy.MatchPolicy(policy.MatchAll.DstMAC(fec.VMAC))
+	var pols1, pols2 []policy.Policy
+	for _, p := range c.participantsInOrder() {
+		if p.Outbound != nil && len(p.Ports) > 0 {
+			rewritten, err := c.rewriteForPrefix(p.Outbound, p.ID, prefix, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: fast path policy of %q: %w", p.ID, err)
+			}
+			pols1 = append(pols1, policy.SeqOf(ingressFilter(p), rewritten))
+		}
+		if p.Inbound != nil {
+			rewritten, err := c.rewritePolicy(p.Inbound, p.ID, nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID]))
+			pols2 = append(pols2, policy.SeqOf(atVirtual, rewritten))
+		}
+	}
+	// Single-class shared default: the tag's base rule plus the best
+	// advertiser's own-traffic override.
+	var overrides, base []policy.Policy
+	base = append(base, policy.SeqOf(tag, policy.Fwd(c.vports[fec.First])))
+	if fec.Second != "" {
+		if firstP := c.participants[fec.First]; firstP != nil && len(firstP.Ports) > 0 {
+			overrides = append(overrides, policy.SeqOf(
+				ingressFilter(firstP), tag, policy.Fwd(c.vports[fec.Second])))
+		}
+	}
+	defOut := policy.WithDefault(policy.Par(overrides...), policy.Par(base...))
+
+	pass1 := policy.WithDefault(policy.Par(pols1...), defOut)
+	pass2Parts := []policy.Policy{
+		policy.WithDefault(policy.Par(pols2...), c.sharedDefaultIn()),
+	}
+	for _, n := range c.sortedPortNumbers() {
+		pass2Parts = append(pass2Parts, policy.MatchPolicy(policy.MatchAll.Port(EgressPort(n))))
+	}
+	return policy.SeqOf(pass1, policy.Par(pass2Parts...)), nil
+}
+
+// rewriteForPrefix is rewritePolicy specialized to a single prefix: fwd(B)
+// becomes tag-match >> fwd(B) when B currently exports the prefix to the
+// owner, and drop otherwise.
+func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.Prefix, tag policy.Policy) (policy.Policy, error) {
+	switch v := pol.(type) {
+	case *policy.Test, policy.Drop, policy.Pass:
+		return pol, nil
+	case *policy.Mod:
+		port, ok := v.Mods.GetPort()
+		if !ok {
+			return pol, nil
+		}
+		if phys, isEgress := IsEgress(port); isEgress {
+			if _, has := v.Mods.GetDstMAC(); has {
+				return pol, nil
+			}
+			mac, known := c.portMACs[phys]
+			if !known {
+				return nil, fmt.Errorf("egress to unknown physical port %d", phys)
+			}
+			return policy.ModPolicy(v.Mods.SetDstMAC(mac)), nil
+		}
+		var hop ID
+		for id, vp := range c.vports {
+			if vp == port {
+				hop = id
+				break
+			}
+		}
+		if hop == "" {
+			return nil, fmt.Errorf("forward to unknown virtual port %d", port)
+		}
+		if _, exports := c.rs.AdvertisedRoute(hop, prefix); !exports || hop == owner {
+			return policy.Drop{}, nil
+		}
+		return policy.SeqOf(tag, v), nil
+	case *policy.Union:
+		out := make([]policy.Policy, len(v.Children))
+		for i, ch := range v.Children {
+			r, err := c.rewriteForPrefix(ch, owner, prefix, tag)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return policy.Par(out...), nil
+	case *policy.Seq:
+		out := make([]policy.Policy, len(v.Children))
+		for i, ch := range v.Children {
+			r, err := c.rewriteForPrefix(ch, owner, prefix, tag)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return policy.SeqOf(out...), nil
+	case *policy.If:
+		then, err := c.rewriteForPrefix(v.Then, owner, prefix, tag)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.rewriteForPrefix(v.Else, owner, prefix, tag)
+		if err != nil {
+			return nil, err
+		}
+		return policy.IfThenElse(v.Pred, then, els), nil
+	case *policy.Fallback:
+		prim, err := c.rewriteForPrefix(v.Primary, owner, prefix, tag)
+		if err != nil {
+			return nil, err
+		}
+		def, err := c.rewriteForPrefix(v.Default, owner, prefix, tag)
+		if err != nil {
+			return nil, err
+		}
+		return policy.WithDefault(prim, def), nil
+	default:
+		return nil, fmt.Errorf("unsupported policy node %T", pol)
+	}
+}
+
+// Reoptimize is the background stage: a full recompilation that rebuilds
+// the minimal equivalence classes and tables, clearing the fast path's
+// accumulated state. Callers swap the result into the data plane and drop
+// the fast-path priority band.
+func (c *Controller) Reoptimize() (*CompileResult, error) {
+	return c.Compile()
+}

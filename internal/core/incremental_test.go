@@ -1,0 +1,194 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"sdx/internal/packet"
+	"sdx/internal/routeserver"
+)
+
+func TestFastPathOnWithdrawal(t *testing.T) {
+	c := figure1(t, DefaultOptions())
+	sw, sinks := deployFigure1(t, c)
+	baseRules := sw.Table.Len()
+
+	// C withdraws p1: the best route for p1 flips to B.
+	changes, err := c.RouteServer().Withdraw("C", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) == 0 {
+		t.Fatal("withdrawal caused no best-route changes")
+	}
+	res, err := c.HandleRouteChanges(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewFECs) != 1 || len(res.NewFECs[0].Prefixes) != 1 || res.NewFECs[0].Prefixes[0] != p1 {
+		t.Fatalf("fast path FECs = %+v", res.NewFECs)
+	}
+	if res.NewFECs[0].First != "B" {
+		t.Errorf("new best advertiser = %v, want B", res.NewFECs[0].First)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("fast path produced no rules")
+	}
+	if err := InstallFast(sw, res); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Table.Len() <= baseRules {
+		t.Error("fast path rules not added above the base table")
+	}
+
+	// Traffic tagged with the NEW VMAC (what A's router uses after the
+	// refreshed advertisement) must flow: default (non-web) now via B.
+	newTag := res.NewFECs[0].VMAC
+	frame := packet.NewUDP(clientMAC, newTag,
+		netip.MustParseAddr("8.8.8.8"), netip.MustParseAddr("11.0.0.9"),
+		5000, 22, nil).Serialize()
+	if err := sw.Inject(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	onlyPort(t, sinks, 2) // B1 (B's inbound TE, low source half)
+	clearSinks(sinks)
+
+	// Web traffic still matches A's policy toward B (B exports p1).
+	frame = packet.NewUDP(clientMAC, newTag,
+		netip.MustParseAddr("8.8.8.8"), netip.MustParseAddr("11.0.0.9"),
+		5000, 80, nil).Serialize()
+	sw.Inject(1, frame)
+	onlyPort(t, sinks, 2)
+	clearSinks(sinks)
+
+	// HTTPS toward C must NOT fire anymore: C no longer exports p1, so the
+	// fast-path slice drops back to... default via B.
+	frame = packet.NewUDP(clientMAC, newTag,
+		netip.MustParseAddr("8.8.8.8"), netip.MustParseAddr("11.0.0.9"),
+		5000, 443, nil).Serialize()
+	sw.Inject(1, frame)
+	onlyPort(t, sinks, 2)
+
+	// The controller's VNH table now maps p1 to the fresh class, so the
+	// route server re-advertises the new VNH.
+	fec, ok := c.fecs.ByPrefix(p1)
+	if !ok || fec.VMAC != newTag {
+		t.Errorf("FEC table not updated: %+v, %v", fec, ok)
+	}
+	// ARP for the fresh VNH resolves.
+	if mac, ok := c.ResolveARP(res.NewFECs[0].VNH); !ok || mac != newTag {
+		t.Errorf("ResolveARP(new VNH) = %v, %v", mac, ok)
+	}
+}
+
+func TestFastPathNewPrefix(t *testing.T) {
+	c := figure1(t, DefaultOptions())
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	p9 := netip.MustParsePrefix("99.0.0.0/8")
+	changes, err := c.RouteServer().Advertise("B", routeFrom(65002, "172.31.0.2", p9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.HandleRouteChanges(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewFECs) != 1 || res.NewFECs[0].First != "B" {
+		t.Fatalf("fast path for new prefix = %+v", res.NewFECs)
+	}
+	if len(res.Rules) == 0 {
+		t.Error("no rules for new prefix")
+	}
+	// Figure 9's accounting: the controller tracks the added rules.
+	if got := len(c.FastPathRules()); got != len(res.Rules) {
+		t.Errorf("FastPathRules = %d, want %d", got, len(res.Rules))
+	}
+}
+
+func TestFastPathPrefixFullyGone(t *testing.T) {
+	c := figure1(t, DefaultOptions())
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	// p4 is only advertised by C; withdrawing it removes the prefix.
+	changes, err := c.RouteServer().Withdraw("C", p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.HandleRouteChanges(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewFECs) != 0 || len(res.Rules) != 0 {
+		t.Errorf("vanished prefix should produce nothing: %+v", res)
+	}
+}
+
+func TestReoptimizeResetsFastPath(t *testing.T) {
+	c := figure1(t, DefaultOptions())
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	changes, _ := c.RouteServer().Withdraw("C", p1)
+	if _, err := c.HandleRouteChanges(changes); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FastPathRules()) == 0 {
+		t.Fatal("fast path rules missing")
+	}
+	res, err := c.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FastPathRules()) != 0 {
+		t.Error("background pass should clear fast-path state")
+	}
+	// After reoptimization the FEC partition reflects the new topology.
+	// Membership vectors: p1 (B yes, C no, best B), p2 (B yes, C yes,
+	// best C), p3 (B yes, C yes, best B), p4 (B no, C yes, best C) — all
+	// distinct, so four groups.
+	if res.Stats.PrefixGroups != 4 {
+		t.Errorf("prefix groups after reoptimize = %d, want 4", res.Stats.PrefixGroups)
+	}
+	fec, ok := c.fecs.ByPrefix(p1)
+	if !ok || fec.First != "B" || len(fec.Prefixes) != 1 {
+		t.Errorf("p1's class after reoptimize = %+v, %v", fec, ok)
+	}
+}
+
+func TestFastPathBurst(t *testing.T) {
+	// Several prefixes change at once; each gets its own singleton class
+	// and the rule count grows roughly linearly (Figure 9's shape).
+	c := figure1(t, DefaultOptions())
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	var prefixes []netip.Prefix
+	for i := 0; i < 5; i++ {
+		prefixes = append(prefixes, netip.MustParsePrefix(
+			netip.AddrFrom4([4]byte{byte(100 + i), 0, 0, 0}).String()+"/8"))
+	}
+	for _, p := range prefixes {
+		if _, err := c.RouteServer().Advertise("B", routeFrom(65002, "172.31.0.2", p, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hand the controller the burst as one change batch.
+	var burst []routeserver.BestChange
+	for _, p := range prefixes {
+		burst = append(burst, routeserver.BestChange{Participant: "A", Prefix: p})
+	}
+	res, err := c.HandleRouteChanges(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewFECs) != len(prefixes) {
+		t.Fatalf("classes = %d, want %d", len(res.NewFECs), len(prefixes))
+	}
+	perPrefix := len(res.Rules) / len(prefixes)
+	if perPrefix == 0 {
+		t.Error("expected at least one rule per changed prefix")
+	}
+}

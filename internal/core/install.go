@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/openflow"
+	"sdx/internal/policy"
+)
+
+// Priority bands. Base-table rules occupy [basePriority, fastPriority);
+// fast-path rules sit above them so a quick reaction wins until the
+// background pass swaps in fresh base tables.
+const (
+	basePriority uint16 = 0x1000
+	fastPriority uint16 = 0xf000
+)
+
+// FlowModsForRules lowers an ordered rule list (highest priority first) to
+// FLOW_MODs in the given priority band.
+func FlowModsForRules(rules []policy.Rule, top uint16) ([]*openflow.FlowMod, error) {
+	if int(top) < len(rules) {
+		return nil, fmt.Errorf("core: %d rules do not fit under priority %d", len(rules), top)
+	}
+	out := make([]*openflow.FlowMod, len(rules))
+	for i, r := range rules {
+		fm, err := openflow.FlowModFromRule(r, top-uint16(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d (%v): %w", i, r, err)
+		}
+		out[i] = fm
+	}
+	return out, nil
+}
+
+// InstallBase replaces the base priority band of the switch with the
+// compilation result. Fast-path rules (if any) are also cleared: a full
+// compilation subsumes them.
+func InstallBase(sw *dataplane.Switch, res *CompileResult) error {
+	fms, err := FlowModsForRules(res.Rules, fastPriority-1)
+	if err != nil {
+		return err
+	}
+	sw.Table.Clear()
+	for _, fm := range fms {
+		if err := sw.InstallFlowMod(fm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallFast adds a fast-path result above the base band.
+func InstallFast(sw *dataplane.Switch, res *FastPathResult) error {
+	fms, err := FlowModsForRules(res.Rules, 0xfffe)
+	if err != nil {
+		return err
+	}
+	for _, fm := range fms {
+		if err := sw.InstallFlowMod(fm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushBase writes the base band over an OpenFlow connection, clearing the
+// table first (a wildcard delete), and fences with a barrier.
+func PushBase(conn *openflow.Conn, res *CompileResult) error {
+	if err := conn.SendFlowMod(&openflow.FlowMod{
+		Match:   openflow.MatchFromPolicy(policy.MatchAll),
+		Command: openflow.FlowModDelete,
+	}); err != nil {
+		return err
+	}
+	fms, err := FlowModsForRules(res.Rules, fastPriority-1)
+	if err != nil {
+		return err
+	}
+	for _, fm := range fms {
+		if err := conn.SendFlowMod(fm); err != nil {
+			return err
+		}
+	}
+	_, err = conn.SendBarrier()
+	return err
+}
+
+// PushFast writes a fast-path band over an OpenFlow connection.
+func PushFast(conn *openflow.Conn, res *FastPathResult) error {
+	fms, err := FlowModsForRules(res.Rules, 0xfffe)
+	if err != nil {
+		return err
+	}
+	for _, fm := range fms {
+		if err := conn.SendFlowMod(fm); err != nil {
+			return err
+		}
+	}
+	_, err = conn.SendBarrier()
+	return err
+}

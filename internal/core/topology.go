@@ -1,0 +1,169 @@
+// Package core implements the SDX controller: the virtual-switch
+// programming abstraction (§3), the policy compilation pipeline with its
+// data-plane and control-plane optimizations (§4), virtual next-hop
+// assignment, the ARP responder, and two-stage incremental recompilation.
+//
+// Locations. The policy language addresses locations with one uint16 port
+// space, partitioned three ways:
+//
+//   - physical ingress ports: 1 .. 0x3fff, the fabric's real port numbers;
+//   - virtual ports: one per participant (VirtualPort), modelling "the
+//     packet is at AS X's virtual switch";
+//   - egress locations: EgressPort(p) for physical port p, modelling "the
+//     packet is leaving the fabric on p".
+//
+// Participants write outbound policies that forward to virtual ports
+// (fwd(B) in the paper) and inbound policies that forward to their own
+// egress locations (fwd(B1)). Compilation composes every policy twice —
+// SDX = (ΣP) >> (ΣP) — after which all surviving rules match physical
+// ingress ports and output to egress locations, which Flatten maps back to
+// real port numbers for the switch.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"sdx/internal/netutil"
+	"sdx/internal/policy"
+	"sdx/internal/routeserver"
+)
+
+// Location-space partition boundaries.
+const (
+	maxPhysicalPort = 0x3fff
+	virtualBase     = 0x4000
+	egressBase      = 0x8000
+)
+
+// ID names a participant (re-exported from routeserver for convenience).
+type ID = routeserver.ID
+
+// Port is one physical attachment of a participant's border router to the
+// fabric.
+type Port struct {
+	// Number is the fabric port (1..0x3fff).
+	Number uint16
+	// MAC is the router interface's hardware address.
+	MAC netutil.MAC
+	// RouterIP is the interface's peering-LAN address, which doubles as
+	// the router's BGP identifier in this implementation.
+	RouterIP netip.Addr
+}
+
+// Participant is one AS at the exchange. Remote participants (the wide-area
+// load-balancing application) have no Ports.
+type Participant struct {
+	ID    ID
+	AS    uint16
+	Ports []Port
+
+	// Inbound applies to traffic arriving at the participant's virtual
+	// switch from other participants; Outbound to traffic its own border
+	// router sends into the fabric. Either may be nil.
+	Inbound  policy.Policy
+	Outbound policy.Policy
+}
+
+// VirtualPort returns the location of the participant's virtual switch.
+// Participants are indexed in registration order.
+func (c *Controller) VirtualPort(id ID) (uint16, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.vports[id]
+	return v, ok
+}
+
+// MustVirtualPort is VirtualPort for static configuration; it panics when
+// the participant is unknown.
+func (c *Controller) MustVirtualPort(id ID) uint16 {
+	v, ok := c.VirtualPort(id)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown participant %q", id))
+	}
+	return v
+}
+
+// EgressPort returns the egress location for a physical port.
+func EgressPort(physical uint16) uint16 { return egressBase + physical }
+
+// IsEgress reports whether loc is an egress location, returning the
+// physical port.
+func IsEgress(loc uint16) (uint16, bool) {
+	if loc >= egressBase {
+		return loc - egressBase, true
+	}
+	return 0, false
+}
+
+// IsVirtual reports whether loc is a virtual port.
+func IsVirtual(loc uint16) bool { return loc >= virtualBase && loc < egressBase }
+
+// IsPhysical reports whether loc is a physical ingress port.
+func IsPhysical(loc uint16) bool { return loc >= 1 && loc <= maxPhysicalPort }
+
+// FwdTo returns the policy that hands traffic to another participant's
+// virtual switch — the paper's fwd(B).
+func (c *Controller) FwdTo(id ID) policy.Policy {
+	return policy.Fwd(c.MustVirtualPort(id))
+}
+
+// Deliver returns the policy that puts traffic on the wire out of the given
+// physical port, rewriting the destination MAC to the attached router's —
+// the paper's fwd(B1) as written in inbound policies.
+func (c *Controller) Deliver(portNumber uint16) policy.Policy {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mac, ok := c.portMACs[portNumber]
+	if !ok {
+		panic(fmt.Sprintf("core: no participant port numbered %d", portNumber))
+	}
+	return policy.ModPolicy(policy.Identity.SetDstMAC(mac).SetPort(EgressPort(portNumber)))
+}
+
+// DeliverTo is Deliver for a participant's first port: the common case for
+// remote policies that must pick the exit for rewritten traffic (wide-area
+// load balancing).
+func (c *Controller) DeliverTo(id ID) policy.Policy {
+	c.mu.RLock()
+	p, ok := c.participants[id]
+	c.mu.RUnlock()
+	if !ok || len(p.Ports) == 0 {
+		panic(fmt.Sprintf("core: participant %q has no physical ports", id))
+	}
+	return c.Deliver(p.Ports[0].Number)
+}
+
+// participantsInOrder returns participants in registration order; the
+// compilation pipeline iterates this for run-to-run determinism.
+func (c *Controller) participantsInOrder() []*Participant {
+	out := make([]*Participant, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.participants[id])
+	}
+	return out
+}
+
+// ingressFilter returns the predicate-policy matching any of the
+// participant's physical ingress ports, or nil for remote participants.
+func ingressFilter(p *Participant) policy.Policy {
+	if len(p.Ports) == 0 {
+		return nil
+	}
+	tests := make([]policy.Policy, len(p.Ports))
+	for i, port := range p.Ports {
+		tests[i] = policy.MatchPolicy(policy.MatchAll.Port(port.Number))
+	}
+	return policy.Par(tests...)
+}
+
+// sortedPortNumbers returns every physical port number in use, ascending.
+func (c *Controller) sortedPortNumbers() []uint16 {
+	out := make([]uint16, 0, len(c.portMACs))
+	for n := range c.portMACs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,200 @@
+package dataplane
+
+import (
+	"testing"
+
+	"sdx/internal/netutil"
+	"sdx/internal/packet"
+	"sdx/internal/policy"
+)
+
+// threeSwitchFabric builds a line topology S1 - S2 - S3 with one global
+// port per switch:
+//
+//	global 1 (macA) on S1, global 2 (macB) on S2, global 3 (macC) on S3
+//	trunks: S1:100 <-> S2:100, S2:101 <-> S3:100
+func threeSwitchFabric(t *testing.T) (*Fabric, map[uint16]*collector) {
+	t.Helper()
+	f := NewFabric()
+	for _, dpid := range []uint64{1, 2, 3} {
+		if err := f.AddSwitch(NewSwitch(dpid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect(1, 100, 2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(2, 101, 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	sinks := map[uint16]*collector{}
+	for g, loc := range map[uint16]struct {
+		dpid uint64
+		mac  netutil.MAC
+	}{
+		1: {1, macA},
+		2: {2, macB},
+		3: {3, netutil.MustParseMAC("02:00:00:00:00:0c")},
+	} {
+		c := &collector{}
+		sinks[g] = c
+		if err := f.MapPort(g, loc.dpid, 1, loc.mac, c.sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, sinks
+}
+
+func fabricRules() []policy.Rule {
+	macC := netutil.MustParseMAC("02:00:00:00:00:0c")
+	return []policy.Rule{
+		// Policy: web traffic entering global port 1 delivers on global 3.
+		{Match: policy.MatchAll.Port(1).DstPort(80),
+			Actions: []policy.Mods{policy.Identity.SetDstMAC(macC).SetPort(3)}},
+		// Default: non-web traffic from port 1 delivers on global 2.
+		{Match: policy.MatchAll.Port(1),
+			Actions: []policy.Mods{policy.Identity.SetDstMAC(macB).SetPort(2)}},
+	}
+}
+
+func TestFabricCrossSwitchDelivery(t *testing.T) {
+	f, sinks := threeSwitchFabric(t)
+	if err := f.InstallGlobal(fabricRules()); err != nil {
+		t.Fatal(err)
+	}
+
+	web := packet.NewUDP(macA, netutil.VMAC(1), ipA, ipB, 4000, 80, []byte("w")).Serialize()
+	if err := f.Inject(1, web); err != nil {
+		t.Fatal(err)
+	}
+	// Two trunk hops: S1 -> S2 -> S3.
+	if sinks[3].count() != 1 {
+		t.Fatalf("web frame not delivered across two trunks: %d", sinks[3].count())
+	}
+	got := sinks[3].last(t)
+	if got.Eth.DstMAC != netutil.MustParseMAC("02:00:00:00:00:0c") {
+		t.Errorf("delivered dstmac = %v", got.Eth.DstMAC)
+	}
+
+	other := packet.NewUDP(macA, netutil.VMAC(1), ipA, ipB, 4000, 22, []byte("o")).Serialize()
+	if err := f.Inject(1, other); err != nil {
+		t.Fatal(err)
+	}
+	if sinks[2].count() != 1 {
+		t.Fatalf("default frame not delivered to adjacent switch: %d", sinks[2].count())
+	}
+	if sinks[1].count() != 0 {
+		t.Error("nothing should return to the ingress port")
+	}
+}
+
+func TestFabricSameSwitchDelivery(t *testing.T) {
+	f := NewFabric()
+	sw := NewSwitch(1)
+	if err := f.AddSwitch(sw); err != nil {
+		t.Fatal(err)
+	}
+	in, out := &collector{}, &collector{}
+	if err := f.MapPort(1, 1, 1, macA, in.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MapPort(2, 1, 2, macB, out.sink); err != nil {
+		t.Fatal(err)
+	}
+	rules := []policy.Rule{{
+		Match:   policy.MatchAll.Port(1),
+		Actions: []policy.Mods{policy.Identity.SetDstMAC(macB).SetPort(2)},
+	}}
+	if err := f.InstallGlobal(rules); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(1, udpFrame(80)); err != nil {
+		t.Fatal(err)
+	}
+	if out.count() != 1 {
+		t.Fatalf("same-switch delivery failed: %d", out.count())
+	}
+}
+
+func TestFabricWildcardPortRuleInstalledEverywhere(t *testing.T) {
+	f, sinks := threeSwitchFabric(t)
+	macC := netutil.MustParseMAC("02:00:00:00:00:0c")
+	// A shared-default style rule with no port constraint: any ingress,
+	// dstmac-routed to global 3.
+	rules := []policy.Rule{{
+		Match:   policy.MatchAll.DstMAC(macC),
+		Actions: []policy.Mods{policy.Identity.SetPort(3)},
+	}}
+	if err := f.InstallGlobal(rules); err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.NewUDP(macA, macC, ipA, ipB, 1, 2, nil).Serialize()
+	for _, g := range []uint16{1, 2} {
+		if err := f.Inject(g, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sinks[3].count() != 2 {
+		t.Fatalf("wildcard rule delivered %d of 2 frames", sinks[3].count())
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	f := NewFabric()
+	sw := NewSwitch(1)
+	if err := f.AddSwitch(sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSwitch(NewSwitch(1)); err == nil {
+		t.Error("duplicate dpid should fail")
+	}
+	if err := f.Connect(1, 5, 9, 5); err == nil {
+		t.Error("trunk to unknown switch should fail")
+	}
+	if err := f.MapPort(1, 9, 1, macA, func([]byte) {}); err == nil {
+		t.Error("mapping to unknown switch should fail")
+	}
+	if err := f.MapPort(1, 1, 1, macA, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MapPort(1, 1, 2, macB, func([]byte) {}); err == nil {
+		t.Error("double-mapping a global port should fail")
+	}
+	if err := f.Inject(42, udpFrame(80)); err == nil {
+		t.Error("inject on unmapped port should fail")
+	}
+	// Rule outputs to an unmapped global port.
+	bad := []policy.Rule{{
+		Match:   policy.MatchAll.Port(1),
+		Actions: []policy.Mods{policy.Identity.SetPort(77)},
+	}}
+	if err := f.InstallGlobal(bad); err == nil {
+		t.Error("rule toward an unmapped port should fail installation")
+	}
+}
+
+func TestFabricPartitionedTopology(t *testing.T) {
+	f := NewFabric()
+	f.AddSwitch(NewSwitch(1))
+	f.AddSwitch(NewSwitch(2)) // no trunk between them
+	f.MapPort(1, 1, 1, macA, func([]byte) {})
+	f.MapPort(2, 2, 1, macB, func([]byte) {})
+	rules := []policy.Rule{{
+		Match:   policy.MatchAll.Port(1),
+		Actions: []policy.Mods{policy.Identity.SetPort(2)},
+	}}
+	if err := f.InstallGlobal(rules); err == nil {
+		t.Error("partitioned fabric should fail installation")
+	}
+}
+
+func TestFabricRuleCount(t *testing.T) {
+	f, _ := threeSwitchFabric(t)
+	if err := f.InstallGlobal(fabricRules()); err != nil {
+		t.Fatal(err)
+	}
+	// 2 policy rules on S1 + 3 transit rules per switch.
+	if got := f.RuleCount(); got != 2+3*3 {
+		t.Errorf("RuleCount = %d, want 11", got)
+	}
+}

@@ -1,0 +1,120 @@
+package dataplane
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sdx/internal/openflow"
+)
+
+// ServeController attaches the switch to a controller over an established
+// transport connection: it performs the OpenFlow handshake, forwards
+// table-miss frames as PACKET_INs, and applies FLOW_MODs and PACKET_OUTs
+// until the connection fails or the switch is detached. It blocks; run it
+// on its own goroutine.
+func (s *Switch) ServeController(conn net.Conn) error {
+	oc := openflow.NewConn(conn)
+	if err := oc.HandshakeSwitch(openflow.FeaturesReply{
+		DatapathID: s.DatapathID,
+		NumPorts:   uint16(s.NumPorts()),
+	}); err != nil {
+		return err
+	}
+
+	var sendMu sync.Mutex
+	s.mu.Lock()
+	s.toController = func(pi *openflow.PacketIn) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		oc.Send(openflow.EncodePacketIn(pi, oc.NextXID()))
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.toController = nil
+		s.mu.Unlock()
+		oc.Close()
+	}()
+
+	for {
+		msg, err := oc.Recv()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case openflow.TypeFlowMod:
+			fm, err := msg.DecodeFlowMod()
+			if err != nil {
+				return err
+			}
+			if err := s.InstallFlowMod(fm); err != nil {
+				return err
+			}
+		case openflow.TypePacketOut:
+			po, err := msg.DecodePacketOut()
+			if err != nil {
+				return err
+			}
+			if err := s.ExecutePacketOut(po); err != nil {
+				// A malformed injected frame is the controller's bug, not a
+				// reason to kill the channel.
+				continue
+			}
+		case openflow.TypeStatsRequest:
+			req, err := msg.DecodeFlowStatsRequest()
+			if err != nil {
+				return err
+			}
+			var entries []openflow.FlowStatsEntry
+			for _, e := range s.Table.Entries() {
+				if !req.Match.ToPolicy().Subsumes(e.Match) {
+					continue
+				}
+				entries = append(entries, openflow.FlowStatsEntry{
+					Match:    openflow.MatchFromPolicy(e.Match),
+					Priority: e.Priority,
+					Packets:  e.Packets,
+					Bytes:    e.Bytes,
+					Actions:  e.Actions,
+				})
+			}
+			sendMu.Lock()
+			err = oc.Send(openflow.EncodeFlowStatsReply(entries, msg.XID))
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case openflow.TypeBarrierRequest:
+			// The switch applies messages synchronously, so the barrier is
+			// trivially satisfied.
+			sendMu.Lock()
+			err := oc.Send(openflow.Encode(openflow.TypeBarrierReply, msg.XID, nil))
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case openflow.TypeEchoRequest:
+			sendMu.Lock()
+			err := oc.Send(openflow.Encode(openflow.TypeEchoReply, msg.XID, msg.Body))
+			sendMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case openflow.TypeHello, openflow.TypeEchoReply, openflow.TypeBarrierReply:
+			// ignorable in steady state
+		default:
+			return fmt.Errorf("dataplane: unexpected %v from controller", msg.Type)
+		}
+	}
+}
+
+// AttachController wires the switch's table-miss path to an in-process
+// callback instead of an OpenFlow connection. The controller embedding the
+// switch in the same process (as the benchmarks and examples do) uses this
+// to avoid the socket round trip while exercising identical table logic.
+func (s *Switch) AttachController(handler func(*openflow.PacketIn)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.toController = handler
+}

@@ -1,0 +1,306 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdx/internal/openflow"
+	"sdx/internal/packet"
+	"sdx/internal/policy"
+)
+
+// PortStats counts traffic through one switch port; the deployment
+// experiments read these to plot traffic-rate curves.
+type PortStats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+type port struct {
+	out     func(frame []byte)
+	rxPkts  atomic.Uint64
+	rxBytes atomic.Uint64
+	txPkts  atomic.Uint64
+	txBytes atomic.Uint64
+}
+
+// Switch is the software fabric switch. Frames enter through Inject (or a
+// daemon's socket front end), are matched against the flow table, rewritten,
+// and emitted on attached ports. Unmatched frames go to the controller as
+// PACKET_INs when one is attached, otherwise they are dropped.
+type Switch struct {
+	DatapathID uint64
+	Table      *FlowTable
+
+	mu    sync.RWMutex
+	ports map[uint16]*port
+
+	// controller delivery; nil when no controller is attached
+	toController func(*openflow.PacketIn)
+
+	droppedNoMatch atomic.Uint64
+	droppedNoPort  atomic.Uint64
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(datapathID uint64) *Switch {
+	return &Switch{
+		DatapathID: datapathID,
+		Table:      NewFlowTable(),
+		ports:      make(map[uint16]*port),
+	}
+}
+
+// AttachPort connects a port: frames the switch emits on portNo are passed
+// to out. Attaching an existing port number replaces its sink.
+func (s *Switch) AttachPort(portNo uint16, out func(frame []byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[portNo] = &port{out: out}
+}
+
+// DetachPort removes a port.
+func (s *Switch) DetachPort(portNo uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ports, portNo)
+}
+
+// NumPorts returns the number of attached ports.
+func (s *Switch) NumPorts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ports)
+}
+
+// Stats returns counters for portNo.
+func (s *Switch) Stats(portNo uint16) (PortStats, bool) {
+	s.mu.RLock()
+	p, ok := s.ports[portNo]
+	s.mu.RUnlock()
+	if !ok {
+		return PortStats{}, false
+	}
+	return PortStats{
+		RxPackets: p.rxPkts.Load(), RxBytes: p.rxBytes.Load(),
+		TxPackets: p.txPkts.Load(), TxBytes: p.txBytes.Load(),
+	}, true
+}
+
+// Dropped returns the counts of frames dropped for want of a matching rule
+// and for output to a missing port.
+func (s *Switch) Dropped() (noMatch, noPort uint64) {
+	return s.droppedNoMatch.Load(), s.droppedNoPort.Load()
+}
+
+// Inject delivers one frame into the switch on the given ingress port, as
+// if received from the wire. It returns an error only for undecodable
+// frames; policy drops are not errors.
+func (s *Switch) Inject(inPort uint16, frame []byte) error {
+	s.mu.RLock()
+	p, ok := s.ports[inPort]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dataplane: inject on unattached port %d", inPort)
+	}
+	p.rxPkts.Add(1)
+	p.rxBytes.Add(uint64(len(frame)))
+	return s.process(inPort, frame)
+}
+
+func (s *Switch) process(inPort uint16, frame []byte) error {
+	pkt, err := packet.Decode(frame)
+	if err != nil {
+		return fmt.Errorf("dataplane: undecodable frame on port %d: %w", inPort, err)
+	}
+	located := toPolicyPacket(inPort, pkt)
+	entry, ok := s.Table.Lookup(located, len(frame))
+	if !ok {
+		s.punt(inPort, frame)
+		return nil
+	}
+	if len(entry.Actions) == 0 {
+		return nil // explicit drop
+	}
+	s.applyActions(entry.Actions, pkt, frame, inPort)
+	return nil
+}
+
+// applyActions executes an OpenFlow action list: set-field actions mutate
+// the working packet; each output emits the current state.
+func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, frame []byte, inPort uint16) {
+	work := *pkt // shallow copy; layer pointers cloned on first write below
+	cloned := false
+	clone := func() {
+		if cloned {
+			return
+		}
+		cloned = true
+		if pkt.IPv4 != nil {
+			ip := *pkt.IPv4
+			work.IPv4 = &ip
+		}
+		if pkt.TCP != nil {
+			tcp := *pkt.TCP
+			work.TCP = &tcp
+		}
+		if pkt.UDP != nil {
+			udp := *pkt.UDP
+			work.UDP = &udp
+		}
+	}
+	dirty := false
+	for _, a := range actions {
+		switch a.Type {
+		case openflow.ActionTypeOutput:
+			switch a.Port {
+			case openflow.PortController:
+				s.punt(inPort, s.render(&work, frame, dirty))
+			case openflow.PortFlood:
+				s.flood(inPort, s.render(&work, frame, dirty))
+			default:
+				s.emit(a.Port, s.render(&work, frame, dirty))
+			}
+		case openflow.ActionTypeSetDLSrc:
+			clone()
+			work.Eth.SrcMAC = a.MAC
+			dirty = true
+		case openflow.ActionTypeSetDLDst:
+			clone()
+			work.Eth.DstMAC = a.MAC
+			dirty = true
+		case openflow.ActionTypeSetNWSrc:
+			clone()
+			if work.IPv4 != nil {
+				work.IPv4.SrcIP = a.IP
+			}
+			dirty = true
+		case openflow.ActionTypeSetNWDst:
+			clone()
+			if work.IPv4 != nil {
+				work.IPv4.DstIP = a.IP
+			}
+			dirty = true
+		case openflow.ActionTypeSetTPSrc:
+			clone()
+			if work.TCP != nil {
+				work.TCP.SrcPort = a.TP
+			}
+			if work.UDP != nil {
+				work.UDP.SrcPort = a.TP
+			}
+			dirty = true
+		case openflow.ActionTypeSetTPDst:
+			clone()
+			if work.TCP != nil {
+				work.TCP.DstPort = a.TP
+			}
+			if work.UDP != nil {
+				work.UDP.DstPort = a.TP
+			}
+			dirty = true
+		}
+	}
+}
+
+// render returns the wire image of the working packet, reserializing only
+// when a set-field action has fired.
+func (s *Switch) render(work *packet.Packet, orig []byte, dirty bool) []byte {
+	if !dirty {
+		return orig
+	}
+	return work.Serialize()
+}
+
+func (s *Switch) emit(portNo uint16, frame []byte) {
+	s.mu.RLock()
+	p, ok := s.ports[portNo]
+	s.mu.RUnlock()
+	if !ok {
+		s.droppedNoPort.Add(1)
+		return
+	}
+	p.txPkts.Add(1)
+	p.txBytes.Add(uint64(len(frame)))
+	p.out(frame)
+}
+
+func (s *Switch) flood(inPort uint16, frame []byte) {
+	s.mu.RLock()
+	targets := make([]uint16, 0, len(s.ports))
+	for n := range s.ports {
+		if n != inPort {
+			targets = append(targets, n)
+		}
+	}
+	s.mu.RUnlock()
+	for _, n := range targets {
+		s.emit(n, frame)
+	}
+}
+
+// punt sends a frame to the controller, or counts a drop without one.
+func (s *Switch) punt(inPort uint16, frame []byte) {
+	s.mu.RLock()
+	send := s.toController
+	s.mu.RUnlock()
+	if send == nil {
+		s.droppedNoMatch.Add(1)
+		return
+	}
+	send(&openflow.PacketIn{
+		BufferID: 0xffffffff,
+		InPort:   inPort,
+		Reason:   openflow.ReasonNoMatch,
+		Data:     frame,
+	})
+}
+
+// InstallFlowMod applies a controller flow modification to the table.
+func (s *Switch) InstallFlowMod(fm *openflow.FlowMod) error {
+	m := fm.Match.ToPolicy()
+	switch fm.Command {
+	case openflow.FlowModAdd, openflow.FlowModModify:
+		s.Table.Add(&FlowEntry{Match: m, Priority: fm.Priority, Actions: fm.Actions, Cookie: fm.Cookie})
+	case openflow.FlowModDelete:
+		s.Table.Delete(m, fm.Priority, false)
+	case openflow.FlowModDeleteStrict:
+		s.Table.Delete(m, fm.Priority, true)
+	default:
+		return fmt.Errorf("dataplane: unsupported flow-mod command %d", fm.Command)
+	}
+	return nil
+}
+
+// ExecutePacketOut injects a controller-originated frame through the given
+// action list.
+func (s *Switch) ExecutePacketOut(po *openflow.PacketOut) error {
+	pkt, err := packet.Decode(po.Data)
+	if err != nil {
+		return fmt.Errorf("dataplane: undecodable packet-out: %w", err)
+	}
+	s.applyActions(po.Actions, pkt, po.Data, po.InPort)
+	return nil
+}
+
+// toPolicyPacket flattens a decoded frame into the located-packet view the
+// flow table matches on.
+func toPolicyPacket(inPort uint16, pkt *packet.Packet) policy.Packet {
+	p := policy.Packet{
+		Port:    inPort,
+		SrcMAC:  pkt.Eth.SrcMAC,
+		DstMAC:  pkt.Eth.DstMAC,
+		EthType: pkt.Eth.EtherType,
+	}
+	if pkt.IPv4 != nil {
+		p.SrcIP = pkt.IPv4.SrcIP
+		p.DstIP = pkt.IPv4.DstIP
+		p.Proto = pkt.IPv4.Protocol
+	}
+	p.SrcPort = pkt.SrcPort()
+	p.DstPort = pkt.DstPort()
+	return p
+}

@@ -1,0 +1,175 @@
+// Package dataplane implements the SDX fabric: a software OpenFlow switch
+// with a priority flow table, header matching and rewriting, per-rule and
+// per-port counters, and a controller channel speaking the openflow
+// package's wire protocol. It stands in for the Open vSwitch instance of
+// the paper's deployment while preserving rule-table semantics.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdx/internal/openflow"
+	"sdx/internal/policy"
+)
+
+// FlowEntry is one installed rule: an OpenFlow match, a priority, the
+// action list, and hit counters.
+type FlowEntry struct {
+	Match    policy.Match
+	Priority uint16
+	Actions  []openflow.Action
+	Cookie   uint64
+
+	Packets uint64
+	Bytes   uint64
+}
+
+func (e *FlowEntry) String() string {
+	acts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		switch a.Type {
+		case openflow.ActionTypeOutput:
+			acts[i] = fmt.Sprintf("output:%d", a.Port)
+		case openflow.ActionTypeSetDLDst:
+			acts[i] = "set_dl_dst:" + a.MAC.String()
+		case openflow.ActionTypeSetDLSrc:
+			acts[i] = "set_dl_src:" + a.MAC.String()
+		case openflow.ActionTypeSetNWDst:
+			acts[i] = "set_nw_dst:" + a.IP.String()
+		case openflow.ActionTypeSetNWSrc:
+			acts[i] = "set_nw_src:" + a.IP.String()
+		case openflow.ActionTypeSetTPDst:
+			acts[i] = fmt.Sprintf("set_tp_dst:%d", a.TP)
+		case openflow.ActionTypeSetTPSrc:
+			acts[i] = fmt.Sprintf("set_tp_src:%d", a.TP)
+		default:
+			acts[i] = fmt.Sprintf("action(%d)", a.Type)
+		}
+	}
+	actStr := "drop"
+	if len(acts) > 0 {
+		actStr = strings.Join(acts, ",")
+	}
+	return fmt.Sprintf("priority=%d %s -> %s", e.Priority, e.Match, actStr)
+}
+
+// FlowTable is a priority-ordered flow table. Higher priority wins; among
+// equal priorities the earliest-installed rule wins, matching Open vSwitch
+// behaviour closely enough for the SDX, which always uses distinct
+// priorities for overlapping rules.
+type FlowTable struct {
+	mu      sync.RWMutex
+	entries []*FlowEntry
+	seq     uint64
+	order   map[*FlowEntry]uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{order: make(map[*FlowEntry]uint64)}
+}
+
+// Add installs a rule. An existing rule with the same match and priority is
+// replaced (counters reset), mirroring OFPFC_ADD semantics.
+func (t *FlowTable) Add(e *FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, old := range t.entries {
+		if old.Match == e.Match && old.Priority == e.Priority {
+			t.order[e] = t.order[old]
+			delete(t.order, old)
+			t.entries[i] = e
+			return
+		}
+	}
+	t.seq++
+	t.order[e] = t.seq
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.order[t.entries[i]] < t.order[t.entries[j]]
+	})
+}
+
+// Delete removes rules whose match equals m (strict) at the given priority;
+// with strict=false it removes every rule subsumed by m regardless of
+// priority, mirroring OFPFC_DELETE.
+func (t *FlowTable) Delete(m policy.Match, priority uint16, strict bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		del := false
+		if strict {
+			del = e.Match == m && e.Priority == priority
+		} else {
+			del = m.Subsumes(e.Match)
+		}
+		if del {
+			removed++
+			delete(t.order, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Clear removes every rule.
+func (t *FlowTable) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+	t.order = make(map[*FlowEntry]uint64)
+	t.seq = 0
+}
+
+// Lookup returns the highest-priority entry covering pkt and bumps its
+// counters by size bytes.
+func (t *FlowTable) Lookup(pkt policy.Packet, size int) (*FlowEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.Match.Covers(pkt) {
+			e.Packets++
+			e.Bytes += uint64(size)
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of installed rules — the data-plane state metric
+// of Figures 7 and 9.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Entries returns a snapshot of the rules in priority order.
+func (t *FlowTable) Entries() []FlowEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]FlowEntry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = *e
+	}
+	return out
+}
+
+// Dump renders the table like "ovs-ofctl dump-flows".
+func (t *FlowTable) Dump() string {
+	var b strings.Builder
+	for _, e := range t.Entries() {
+		fmt.Fprintf(&b, "%s n_packets=%d n_bytes=%d\n", e.String(), e.Packets, e.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"time"
+
+	"sdx/internal/core"
+	"sdx/internal/policy"
+	"sdx/internal/routeserver"
+	"sdx/internal/workload"
+)
+
+// AblationRow measures one controller configuration on the same workload.
+type AblationRow struct {
+	Name        string
+	CompileTime time.Duration
+	FlowRules   int
+	Stats       core.CompileStats
+}
+
+// AblationResult quantifies the contribution of each §4.2/§4.3 design
+// choice DESIGN.md calls out: the disjoint-union fast path, subtree
+// memoization, and the VNH/VMAC data-plane encoding itself.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation compiles one fixed workload under each configuration. The
+// no-VNH baseline uses a reduced prefix count: raw prefix filters blow the
+// policy size up so far (that is the point of §4.2) that the full workload
+// would not finish in bench time.
+func Ablation(cfg Config, participants, prefixes int) (*AblationResult, error) {
+	if participants == 0 {
+		participants = 100
+	}
+	if prefixes == 0 {
+		prefixes = 3000
+	}
+	prefixes = cfg.scale(prefixes)
+
+	configs := []struct {
+		name string
+		opts core.Options
+		// prefixOverride shrinks the workload for configurations that
+		// cannot handle the full one.
+		prefixOverride int
+	}{
+		{name: "full (paper configuration)", opts: core.DefaultOptions()},
+		{name: "no disjoint-union shortcut", opts: func() core.Options {
+			o := core.DefaultOptions()
+			o.Compile = policy.CompileOptions{NoDisjoint: true}
+			return o
+		}()},
+		{name: "no memoization", opts: func() core.Options {
+			o := core.DefaultOptions()
+			o.Compile = policy.CompileOptions{NoMemo: true}
+			return o
+		}()},
+		{name: "no VNH encoding (raw prefix filters)", opts: core.Options{VNHEncoding: false},
+			prefixOverride: prefixes / 10},
+	}
+
+	res := &AblationResult{}
+	cfg.printf("Ablation: contribution of each optimization (%d participants)\n", participants)
+	cfg.printf("%-38s %10s %12s %10s %8s %8s\n",
+		"configuration", "prefixes", "compile", "rules", "par-ops", "memo")
+	for _, c := range configs {
+		n := prefixes
+		if c.prefixOverride > 0 {
+			n = c.prefixOverride
+		}
+		rng := cfg.rng()
+		ex := workload.GenerateExchange(rng, participants, n)
+		ctrl := core.NewController(routeserver.New(nil), c.opts)
+		if err := ex.Populate(ctrl); err != nil {
+			return nil, err
+		}
+		if _, err := workload.InstallPolicies(rng, ex, ctrl, workload.DefaultPolicyMix()); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		cres, err := ctrl.Compile()
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Name:        c.name,
+			CompileTime: time.Since(start),
+			FlowRules:   cres.Stats.FlowRules,
+			Stats:       cres.Stats,
+		}
+		res.Rows = append(res.Rows, row)
+		cfg.printf("%-38s %10d %12s %10d %8d %8d\n",
+			c.name, n, row.CompileTime.Round(time.Millisecond), row.FlowRules,
+			row.Stats.Parallel, row.Stats.MemoHits)
+	}
+	cfg.printf("the full configuration should dominate: fewer parallel compositions\n")
+	cfg.printf("(disjoint concat), memo hits > 0, and rules bounded by prefix groups\n")
+	return res, nil
+}

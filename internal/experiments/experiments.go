@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5.2 deployment experiments and Section 6 performance
+// evaluation) on the repository's own substrates. Each experiment returns
+// structured results and can render the same rows or series the paper
+// reports; cmd/sdx-bench drives them from the command line and the root
+// bench_test.go wraps them as Go benchmarks.
+//
+// Scale. The paper ran against full routing tables (≈518k prefixes). The
+// defaults here use the same participant counts but scale prefix counts to
+// what a laptop compiles in seconds; Config.Scale restores larger runs.
+// EXPERIMENTS.md records the shape comparisons.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sdx/internal/core"
+	"sdx/internal/routeserver"
+	"sdx/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Scale multiplies the default prefix counts (1.0 = defaults; the
+	// paper's full tables would be roughly Scale 20).
+	Scale float64
+	// Out receives the rendered rows; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) rng() *rand.Rand {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func (c Config) scale(n int) int {
+	if c.Scale <= 0 {
+		return n
+	}
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) printf(format string, args ...any) {
+	fmt.Fprintf(c.out(), format, args...)
+}
+
+// buildExchange generates, registers, and populates an exchange with the
+// §6.1 policy mix installed, returning the controller ready to compile.
+func buildExchange(rng *rand.Rand, participants, prefixes int, mix workload.PolicyMixOptions) (*workload.Exchange, *core.Controller, error) {
+	ex := workload.GenerateExchange(rng, participants, prefixes)
+	ctrl := core.NewController(routeserver.New(nil), core.DefaultOptions())
+	if err := ex.Populate(ctrl); err != nil {
+		return nil, nil, err
+	}
+	if _, err := workload.InstallPolicies(rng, ex, ctrl, mix); err != nil {
+		return nil, nil, err
+	}
+	return ex, ctrl, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sdx/internal/workload"
+)
+
+// Fig6Point is one point of Figure 6: the number of prefix groups produced
+// when SDX policies touch a given number of prefixes.
+type Fig6Point struct {
+	Participants int
+	Prefixes     int // |p_x|: prefixes with SDX policies
+	PrefixGroups int
+}
+
+// Fig6Result reproduces Figure 6.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Fig6 runs the paper's prefix-group experiment: over an AMS-IX-like
+// announcement population, take the top N participants by prefix count,
+// intersect each announcement set p_i with a random policy set p_x of size
+// x, and count the atoms of the resulting collection (the Minimum Disjoint
+// Subset construction). The paper's Figure 6 sweeps N ∈ {100,200,300} and
+// x ∈ [0, 25000].
+func Fig6(cfg Config, participantCounts []int, prefixSteps []int) (*Fig6Result, error) {
+	if len(participantCounts) == 0 {
+		participantCounts = []int{100, 200, 300}
+	}
+	if len(prefixSteps) == 0 {
+		prefixSteps = []int{0, 5000, 10000, 15000, 20000, 25000}
+	}
+	rng := cfg.rng()
+	maxN := 0
+	for _, n := range participantCounts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	maxX := 0
+	for _, x := range prefixSteps {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	universe := cfg.scale(maxX)
+	if universe < maxX {
+		// Never generate fewer prefixes than the largest requested x.
+		universe = maxX
+	}
+	if universe == 0 {
+		universe = 1000
+	}
+	ex := workload.GenerateExchange(rng, maxN, universe+universe/10)
+
+	// Rank members by announcement count, as the paper selects "the top N
+	// by prefix count".
+	ranked := make([]int, len(ex.Members))
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return len(ex.Members[ranked[a]].Announced) > len(ex.Members[ranked[b]].Announced)
+	})
+
+	res := &Fig6Result{}
+	cfg.printf("Figure 6: prefix groups vs prefixes with policies\n")
+	cfg.printf("%12s", "prefixes")
+	for _, n := range participantCounts {
+		cfg.printf(" %8s", strconv.Itoa(n)+"p")
+	}
+	cfg.printf("\n")
+	for _, x := range prefixSteps {
+		cfg.printf("%12d", x)
+		for _, n := range participantCounts {
+			topN := map[int]bool{}
+			for _, mi := range ranked[:n] {
+				topN[mi] = true
+			}
+			px := samplePrefixes(rng, ex.Prefixes, x)
+			groups := countAtoms(ex, topN, px)
+			res.Points = append(res.Points, Fig6Point{Participants: n, Prefixes: x, PrefixGroups: groups})
+			cfg.printf(" %8d", groups)
+		}
+		cfg.printf("\n")
+	}
+	cfg.printf("paper: sub-linear growth; ~300-1500 groups at 25k prefixes;\n")
+	cfg.printf("       more participants -> more groups\n")
+	return res, nil
+}
+
+// countAtoms counts the atoms (minimum disjoint subsets) of the collection
+// {p_i ∩ px : i ∈ topN}: prefixes with identical membership vectors share
+// an atom. Prefixes in px that no top-N member announces contribute no
+// group (their default behaviour is untouched).
+func countAtoms(ex *workload.Exchange, topN map[int]bool, px map[netip.Prefix]bool) int {
+	atoms := map[string]bool{}
+	var key strings.Builder
+	for p := range px {
+		key.Reset()
+		any := false
+		for _, mi := range ex.AnnouncersOf[p] {
+			if topN[mi] {
+				key.WriteString(strconv.Itoa(mi))
+				key.WriteByte(',')
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		atoms[key.String()] = true
+	}
+	return len(atoms)
+}
+
+func samplePrefixes(rng *rand.Rand, all []netip.Prefix, n int) map[netip.Prefix]bool {
+	out := make(map[netip.Prefix]bool, n)
+	if n >= len(all) {
+		for _, p := range all {
+			out[p] = true
+		}
+		return out
+	}
+	perm := rng.Perm(len(all))
+	for _, i := range perm[:n] {
+		out[all[i]] = true
+	}
+	return out
+}

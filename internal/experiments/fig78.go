@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"sdx/internal/workload"
+)
+
+// Fig78Point is one point of Figures 7 and 8: the flow-rule count and
+// initial compilation time at a given number of prefix groups.
+type Fig78Point struct {
+	Participants int
+	Prefixes     int
+	PolicyMix    float64 // §6.1 fraction multiplier used to reach the group count
+	PrefixGroups int
+	FlowRules    int
+	CompileTime  time.Duration
+	VNHTime      time.Duration
+}
+
+// Fig78Result carries both figures: they share the sweep, exactly as the
+// paper derives Figure 8's x axis from Figure 7's.
+type Fig78Result struct {
+	Points []Fig78Point
+}
+
+// Fig7and8 sweeps the prefix-group count (the paper's 200-1000 x-axis) for
+// each participant count by growing the prefix table at fixed §6.1 policy
+// density (with diverse forwarding targets), compiles the full exchange at
+// each point, and records the rule-table size (Figure 7) and the initial
+// compilation time (Figure 8).
+func Fig7and8(cfg Config, participantCounts []int, prefixSteps []int) (*Fig78Result, error) {
+	if len(participantCounts) == 0 {
+		participantCounts = []int{100, 200, 300}
+	}
+	if len(prefixSteps) == 0 {
+		prefixSteps = []int{2000, 5000, 10000, 20000}
+	}
+	res := &Fig78Result{}
+	cfg.printf("Figures 7 & 8: flow rules and compilation time vs prefix groups\n")
+	cfg.printf("%5s %9s %8s %10s %12s %10s\n",
+		"parts", "prefixes", "groups", "flowrules", "compile", "vnh")
+	for _, n := range participantCounts {
+		for _, prefixBase := range prefixSteps {
+			prefixes := cfg.scale(prefixBase)
+			rng := cfg.rng() // fresh stream per point: points are independent
+			mix := workload.DefaultPolicyMix()
+			mix.Multiplier = 2
+			mix.BroadTargets = true
+			_, ctrl, err := buildExchange(rng, n, prefixes, mix)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			cres, err := ctrl.Compile()
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			pt := Fig78Point{
+				Participants: n,
+				Prefixes:     prefixes,
+				PolicyMix:    2,
+				PrefixGroups: cres.Stats.PrefixGroups,
+				FlowRules:    cres.Stats.FlowRules,
+				CompileTime:  elapsed,
+				VNHTime:      cres.Stats.VNHTime,
+			}
+			res.Points = append(res.Points, pt)
+			cfg.printf("%5d %9d %8d %10d %12s %10s\n",
+				n, prefixes, pt.PrefixGroups, pt.FlowRules,
+				pt.CompileTime.Round(time.Millisecond),
+				pt.VNHTime.Round(time.Millisecond))
+		}
+	}
+	sort.Slice(res.Points, func(i, j int) bool {
+		if res.Points[i].Participants != res.Points[j].Participants {
+			return res.Points[i].Participants < res.Points[j].Participants
+		}
+		return res.Points[i].PrefixGroups < res.Points[j].PrefixGroups
+	})
+	cfg.printf("paper Fig 7: rules grow linearly with groups; ~30k rules at 1000\n")
+	cfg.printf("             groups / 300 participants\n")
+	cfg.printf("paper Fig 8: compile time grows superlinearly with groups;\n")
+	cfg.printf("             minutes at 1000 groups (Python) — absolute values differ\n")
+	return res, nil
+}

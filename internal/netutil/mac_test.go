@@ -1,0 +1,108 @@
+package netutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	cases := []struct {
+		in   string
+		want MAC
+		ok   bool
+	}{
+		{"08:00:27:89:3b:9f", MAC{0x08, 0x00, 0x27, 0x89, 0x3b, 0x9f}, true},
+		{"FF:FF:FF:FF:FF:FF", BroadcastMAC, true},
+		{"00:00:00:00:00:00", MAC{}, true},
+		{"08:00:27:89:3b", MAC{}, false},
+		{"08:00:27:89:3b:9f:aa", MAC{}, false},
+		{"08:00:27:89:3b:zz", MAC{}, false},
+		{"", MAC{}, false},
+		{"080027893b9f", MAC{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMAC(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseMAC(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseMAC(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	f := func(b [6]byte) bool {
+		m := MAC(b)
+		back, err := ParseMAC(m.String())
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= (1 << 48) - 1
+		return MACFromUint64(v).Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Error("broadcast MAC should be broadcast and multicast")
+	}
+	m := MustParseMAC("08:00:27:89:3b:9f")
+	if m.IsBroadcast() || m.IsMulticast() || m.IsLocal() || m.IsZero() {
+		t.Errorf("unicast global MAC misclassified: %v", m)
+	}
+	if !(MAC{}).IsZero() {
+		t.Error("zero MAC should report IsZero")
+	}
+}
+
+func TestVMACRoundTrip(t *testing.T) {
+	f := func(id uint32) bool {
+		id &= 0xffffff
+		m := VMAC(id)
+		got, ok := VMACID(m)
+		return ok && got == id && m.IsLocal() && !m.IsMulticast()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMACIDRejectsForeignMAC(t *testing.T) {
+	if _, ok := VMACID(MustParseMAC("08:00:27:89:3b:9f")); ok {
+		t.Error("VMACID accepted a non-virtual MAC")
+	}
+	if _, ok := VMACID(BroadcastMAC); ok {
+		t.Error("VMACID accepted broadcast")
+	}
+}
+
+func TestVMACDistinct(t *testing.T) {
+	seen := make(map[MAC]uint32)
+	for id := uint32(0); id < 4096; id++ {
+		m := VMAC(id)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("VMAC collision: ids %d and %d both map to %v", prev, id, m)
+		}
+		seen[m] = id
+	}
+}
+
+func TestMustParseMACPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseMAC did not panic on bad input")
+		}
+	}()
+	MustParseMAC("not-a-mac")
+}

@@ -1,0 +1,82 @@
+package netutil
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPPool hands out addresses from a prefix in order, with free-list reuse.
+// The SDX controller draws virtual next-hop (VNH) addresses from one of
+// these; the paper uses a private /12 for the same purpose. IPPool is not
+// safe for concurrent use.
+type IPPool struct {
+	base netip.Prefix
+	next netip.Addr
+	free []netip.Addr
+	used map[netip.Addr]bool
+}
+
+// NewIPPool returns a pool over the given IPv4 prefix. The network address
+// itself is never allocated.
+func NewIPPool(p netip.Prefix) (*IPPool, error) {
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("netutil: IPPool requires an IPv4 prefix, got %v", p)
+	}
+	p = p.Masked()
+	return &IPPool{
+		base: p,
+		next: p.Addr().Next(),
+		used: make(map[netip.Addr]bool),
+	}, nil
+}
+
+// MustNewIPPool is NewIPPool for static configuration; it panics on error.
+func MustNewIPPool(s string) *IPPool {
+	pool, err := NewIPPool(netip.MustParsePrefix(s))
+	if err != nil {
+		panic(err)
+	}
+	return pool
+}
+
+// Alloc returns the next free address, or an error when the pool is
+// exhausted.
+func (p *IPPool) Alloc() (netip.Addr, error) {
+	for len(p.free) > 0 {
+		a := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if !p.used[a] {
+			p.used[a] = true
+			return a, nil
+		}
+	}
+	for p.base.Contains(p.next) {
+		a := p.next
+		p.next = p.next.Next()
+		if !p.used[a] {
+			p.used[a] = true
+			return a, nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("netutil: IP pool %v exhausted", p.base)
+}
+
+// Release returns an address to the pool. Releasing an address that was not
+// allocated is a no-op.
+func (p *IPPool) Release(a netip.Addr) {
+	if !p.used[a] {
+		return
+	}
+	delete(p.used, a)
+	p.free = append(p.free, a)
+}
+
+// Reserve marks an address as in use regardless of allocation order, for
+// statically configured next hops that must not be minted as VNHs.
+func (p *IPPool) Reserve(a netip.Addr) { p.used[a] = true }
+
+// InUse returns the number of currently allocated addresses.
+func (p *IPPool) InUse() int { return len(p.used) }
+
+// Contains reports whether a falls inside the pool's prefix.
+func (p *IPPool) Contains(a netip.Addr) bool { return p.base.Contains(a) }

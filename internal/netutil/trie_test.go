@@ -1,0 +1,220 @@
+package netutil
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mp(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ma(s string) netip.Addr   { return netip.MustParseAddr(s) }
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie[string]
+	if !tr.Insert(mp("10.0.0.0/8"), "a") {
+		t.Error("first insert should be fresh")
+	}
+	if tr.Insert(mp("10.0.0.0/8"), "b") {
+		t.Error("second insert of same prefix should replace, not add")
+	}
+	if v, ok := tr.Get(mp("10.0.0.0/8")); !ok || v != "b" {
+		t.Errorf("Get = %q,%v want b,true", v, ok)
+	}
+	if _, ok := tr.Get(mp("10.0.0.0/9")); ok {
+		t.Error("Get of unstored more-specific prefix should miss")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(mp("0.0.0.0/0"), 0)
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	tr.Insert(mp("10.1.0.0/16"), 2)
+	tr.Insert(mp("10.1.2.0/24"), 3)
+
+	cases := []struct {
+		addr string
+		want int
+		plen int
+	}{
+		{"10.1.2.3", 3, 24},
+		{"10.1.3.3", 2, 16},
+		{"10.2.0.1", 1, 8},
+		{"192.168.0.1", 0, 0},
+	}
+	for _, c := range cases {
+		p, v, ok := tr.Lookup(ma(c.addr))
+		if !ok || v != c.want || p.Bits() != c.plen {
+			t.Errorf("Lookup(%s) = %v,%d,%v; want plen=%d val=%d", c.addr, p, v, ok, c.plen, c.want)
+		}
+	}
+}
+
+func TestTrieLookupMiss(t *testing.T) {
+	var tr Trie[int]
+	if _, _, ok := tr.Lookup(ma("1.2.3.4")); ok {
+		t.Error("empty trie should miss")
+	}
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	if _, _, ok := tr.Lookup(ma("11.0.0.1")); ok {
+		t.Error("address outside stored prefixes should miss")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	tr.Insert(mp("10.1.0.0/16"), 2)
+	if !tr.Delete(mp("10.1.0.0/16")) {
+		t.Error("Delete of stored prefix should report true")
+	}
+	if tr.Delete(mp("10.1.0.0/16")) {
+		t.Error("second Delete should report false")
+	}
+	if _, v, ok := tr.Lookup(ma("10.1.2.3")); !ok || v != 1 {
+		t.Errorf("after delete, lookup should fall back to /8; got %d,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(mp("10.1.2.3/32"), 9)
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	if _, v, _ := tr.Lookup(ma("10.1.2.3")); v != 9 {
+		t.Errorf("host route not preferred: got %d", v)
+	}
+	if _, v, _ := tr.Lookup(ma("10.1.2.4")); v != 1 {
+		t.Errorf("host route leaked to neighbour: got %d", v)
+	}
+}
+
+func TestTrieDefaultRouteOnly(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(mp("0.0.0.0/0"), 7)
+	p, v, ok := tr.Lookup(ma("203.0.113.9"))
+	if !ok || v != 7 || p.Bits() != 0 {
+		t.Errorf("default route lookup = %v,%d,%v", p, v, ok)
+	}
+}
+
+func TestTrieWalkOrderAndPrefixes(t *testing.T) {
+	var tr Trie[int]
+	in := []string{"10.1.2.0/24", "0.0.0.0/0", "10.0.0.0/8", "192.168.0.0/16"}
+	for i, s := range in {
+		tr.Insert(mp(s), i)
+	}
+	got := tr.Prefixes()
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.2.0/24", "192.168.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("Prefixes len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("Prefixes[%d] = %v, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	tr.Insert(mp("11.0.0.0/8"), 2)
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("walk visited %d nodes after early stop, want 1", n)
+	}
+}
+
+// Property: Trie lookup agrees with a brute-force linear scan for random
+// prefix tables and probe addresses.
+func TestTrieMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var tr Trie[int]
+		type entry struct {
+			p netip.Prefix
+			v int
+		}
+		var entries []entry
+		n := rng.Intn(60) + 1
+		for i := 0; i < n; i++ {
+			var b [4]byte
+			rng.Read(b[:])
+			bits := rng.Intn(33)
+			p := netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+			tr.Insert(p, i)
+			replaced := false
+			for j := range entries {
+				if entries[j].p == p {
+					entries[j].v = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				entries = append(entries, entry{p, i})
+			}
+		}
+		for probe := 0; probe < 200; probe++ {
+			var b [4]byte
+			rng.Read(b[:])
+			addr := netip.AddrFrom4(b)
+			// Brute force: longest containing prefix wins.
+			bestBits, bestV, found := -1, 0, false
+			for _, e := range entries {
+				if e.p.Contains(addr) && e.p.Bits() > bestBits {
+					bestBits, bestV, found = e.p.Bits(), e.v, true
+				}
+			}
+			gp, gv, gok := tr.Lookup(addr)
+			if gok != found {
+				t.Fatalf("trial %d: Lookup(%v) found=%v, brute=%v", trial, addr, gok, found)
+			}
+			if found && (gv != bestV || gp.Bits() != bestBits) {
+				t.Fatalf("trial %d: Lookup(%v) = %v,%d; brute = bits %d val %d",
+					trial, addr, gp, gv, bestBits, bestV)
+			}
+		}
+	}
+}
+
+func TestTrieInsertPanicsOnIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert should panic for IPv6 prefixes")
+		}
+	}()
+	var tr Trie[int]
+	tr.Insert(netip.MustParsePrefix("2001:db8::/32"), 1)
+}
+
+func TestSortPrefixes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := make([]netip.Prefix, 30)
+		for i := range ps {
+			var b [4]byte
+			rng.Read(b[:])
+			ps[i] = netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33)).Masked()
+		}
+		SortPrefixes(ps)
+		for i := 1; i < len(ps); i++ {
+			c := ps[i-1].Addr().Compare(ps[i].Addr())
+			if c > 0 || (c == 0 && ps[i-1].Bits() > ps[i].Bits()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

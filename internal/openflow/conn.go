@@ -1,0 +1,101 @@
+package openflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn is a framed OpenFlow connection with serialized writes and
+// monotonically increasing transaction ids. It wraps either end of the
+// channel: the controller and the software switch both use it.
+type Conn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	xid     atomic.Uint32
+}
+
+// NewConn wraps an established transport connection.
+func NewConn(c net.Conn) *Conn { return &Conn{conn: c} }
+
+// NextXID returns a fresh transaction id.
+func (c *Conn) NextXID() uint32 { return c.xid.Add(1) }
+
+// Send writes one pre-encoded message.
+func (c *Conn) Send(b []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.conn.Write(b)
+	return err
+}
+
+// Recv reads one message.
+func (c *Conn) Recv() (*Message, error) { return ReadMessage(c.conn) }
+
+// Close tears down the transport.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// HandshakeController performs the controller side of session setup: HELLO
+// exchange followed by FEATURES_REQUEST/REPLY. It returns the switch's
+// feature description.
+func (c *Conn) HandshakeController() (*FeaturesReply, error) {
+	if err := c.Send(Encode(TypeHello, c.NextXID(), nil)); err != nil {
+		return nil, fmt.Errorf("openflow: sending HELLO: %w", err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("openflow: reading HELLO: %w", err)
+	}
+	if msg.Type != TypeHello {
+		return nil, fmt.Errorf("openflow: expected HELLO, got %v", msg.Type)
+	}
+	if err := c.Send(Encode(TypeFeaturesRequest, c.NextXID(), nil)); err != nil {
+		return nil, fmt.Errorf("openflow: sending FEATURES_REQUEST: %w", err)
+	}
+	msg, err = c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("openflow: reading FEATURES_REPLY: %w", err)
+	}
+	return msg.DecodeFeaturesReply()
+}
+
+// HandshakeSwitch performs the switch side of session setup, answering the
+// controller's HELLO and FEATURES_REQUEST with the given features.
+func (c *Conn) HandshakeSwitch(features FeaturesReply) error {
+	msg, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("openflow: reading HELLO: %w", err)
+	}
+	if msg.Type != TypeHello {
+		return fmt.Errorf("openflow: expected HELLO, got %v", msg.Type)
+	}
+	if err := c.Send(Encode(TypeHello, c.NextXID(), nil)); err != nil {
+		return fmt.Errorf("openflow: sending HELLO: %w", err)
+	}
+	msg, err = c.Recv()
+	if err != nil {
+		return fmt.Errorf("openflow: reading FEATURES_REQUEST: %w", err)
+	}
+	if msg.Type != TypeFeaturesRequest {
+		return fmt.Errorf("openflow: expected FEATURES_REQUEST, got %v", msg.Type)
+	}
+	return c.Send(EncodeFeaturesReply(&features, msg.XID))
+}
+
+// SendFlowMod encodes and sends a flow modification.
+func (c *Conn) SendFlowMod(fm *FlowMod) error {
+	return c.Send(EncodeFlowMod(fm, c.NextXID()))
+}
+
+// SendPacketOut encodes and sends a packet injection.
+func (c *Conn) SendPacketOut(po *PacketOut) error {
+	return c.Send(EncodePacketOut(po, c.NextXID()))
+}
+
+// SendBarrier sends a BARRIER_REQUEST and returns its transaction id; the
+// caller matches the eventual BARRIER_REPLY by xid.
+func (c *Conn) SendBarrier() (uint32, error) {
+	xid := c.NextXID()
+	return xid, c.Send(Encode(TypeBarrierRequest, xid, nil))
+}

@@ -1,0 +1,131 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stats types (OF 1.0 §5.3.5); only flow stats are needed by the SDX, which
+// polls them to monitor per-policy traffic (the Figure 5 series).
+const statsTypeFlow uint16 = 1
+
+// FlowStatsRequest asks for the counters of every flow entry subsumed by
+// Match (MatchAll for a full dump).
+type FlowStatsRequest struct {
+	Match Match
+}
+
+// EncodeFlowStatsRequest renders the request.
+func EncodeFlowStatsRequest(req *FlowStatsRequest, xid uint32) []byte {
+	body := binary.BigEndian.AppendUint16(nil, statsTypeFlow)
+	body = binary.BigEndian.AppendUint16(body, 0) // flags
+	body = req.Match.encode(body)
+	body = append(body, 0xff, 0)                         // table id: all, pad
+	body = binary.BigEndian.AppendUint16(body, PortNone) // out_port filter: none
+	return Encode(TypeStatsRequest, xid, body)
+}
+
+// DecodeFlowStatsRequest parses a STATS_REQUEST body.
+func (m *Message) DecodeFlowStatsRequest() (*FlowStatsRequest, error) {
+	if m.Type != TypeStatsRequest {
+		return nil, fmt.Errorf("openflow: %v is not STATS_REQUEST", m.Type)
+	}
+	if len(m.Body) < 4+matchLen+4 {
+		return nil, fmt.Errorf("openflow: STATS_REQUEST truncated: %d bytes", len(m.Body))
+	}
+	if st := binary.BigEndian.Uint16(m.Body[0:2]); st != statsTypeFlow {
+		return nil, fmt.Errorf("openflow: unsupported stats type %d", st)
+	}
+	match, err := decodeMatch(m.Body[4 : 4+matchLen])
+	if err != nil {
+		return nil, err
+	}
+	return &FlowStatsRequest{Match: match}, nil
+}
+
+// FlowStatsEntry is one flow's counters in a stats reply.
+type FlowStatsEntry struct {
+	Match    Match
+	Priority uint16
+	Packets  uint64
+	Bytes    uint64
+	Actions  []Action
+}
+
+const flowStatsFixed = 2 + 1 + 1 + matchLen + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8
+
+// EncodeFlowStatsReply renders the counters of the given entries.
+func EncodeFlowStatsReply(entries []FlowStatsEntry, xid uint32) []byte {
+	body := binary.BigEndian.AppendUint16(nil, statsTypeFlow)
+	body = binary.BigEndian.AppendUint16(body, 0) // flags: no more parts
+	for _, e := range entries {
+		var acts []byte
+		for _, a := range e.Actions {
+			acts = a.encode(acts)
+		}
+		body = binary.BigEndian.AppendUint16(body, uint16(flowStatsFixed+len(acts)))
+		body = append(body, 0, 0) // table id, pad
+		body = e.Match.encode(body)
+		body = binary.BigEndian.AppendUint32(body, 0) // duration sec
+		body = binary.BigEndian.AppendUint32(body, 0) // duration nsec
+		body = binary.BigEndian.AppendUint16(body, e.Priority)
+		body = binary.BigEndian.AppendUint16(body, 0) // idle timeout
+		body = binary.BigEndian.AppendUint16(body, 0) // hard timeout
+		body = append(body, 0, 0, 0, 0, 0, 0)         // pad
+		body = binary.BigEndian.AppendUint64(body, 0) // cookie
+		body = binary.BigEndian.AppendUint64(body, e.Packets)
+		body = binary.BigEndian.AppendUint64(body, e.Bytes)
+		body = append(body, acts...)
+	}
+	return Encode(TypeStatsReply, xid, body)
+}
+
+// DecodeFlowStatsReply parses a STATS_REPLY body.
+func (m *Message) DecodeFlowStatsReply() ([]FlowStatsEntry, error) {
+	if m.Type != TypeStatsReply {
+		return nil, fmt.Errorf("openflow: %v is not STATS_REPLY", m.Type)
+	}
+	if len(m.Body) < 4 {
+		return nil, fmt.Errorf("openflow: STATS_REPLY truncated")
+	}
+	if st := binary.BigEndian.Uint16(m.Body[0:2]); st != statsTypeFlow {
+		return nil, fmt.Errorf("openflow: unsupported stats type %d", st)
+	}
+	b := m.Body[4:]
+	var out []FlowStatsEntry
+	for len(b) > 0 {
+		if len(b) < flowStatsFixed {
+			return nil, fmt.Errorf("openflow: flow stats entry truncated: %d bytes", len(b))
+		}
+		entryLen := int(binary.BigEndian.Uint16(b[0:2]))
+		if entryLen < flowStatsFixed || entryLen > len(b) {
+			return nil, fmt.Errorf("openflow: bad flow stats entry length %d", entryLen)
+		}
+		var e FlowStatsEntry
+		var err error
+		e.Match, err = decodeMatch(b[4 : 4+matchLen])
+		if err != nil {
+			return nil, err
+		}
+		rest := b[4+matchLen:]
+		// rest layout: duration sec(4) nsec(4), priority(2), idle(2),
+		// hard(2), pad(6), cookie(8), packets(8), bytes(8).
+		e.Priority = binary.BigEndian.Uint16(rest[8:10])
+		e.Packets = binary.BigEndian.Uint64(rest[28:36])
+		e.Bytes = binary.BigEndian.Uint64(rest[36:44])
+		e.Actions, err = decodeActions(b[flowStatsFixed:entryLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		b = b[entryLen:]
+	}
+	return out, nil
+}
+
+// RequestFlowStats sends a flow-stats request and returns its transaction
+// id; the caller matches the STATS_REPLY by xid in its receive loop.
+func (c *Conn) RequestFlowStats(match Match) (uint32, error) {
+	xid := c.NextXID()
+	return xid, c.Send(EncodeFlowStatsRequest(&FlowStatsRequest{Match: match}, xid))
+}

@@ -1,0 +1,84 @@
+package openflow
+
+import (
+	"bytes"
+	"testing"
+
+	"sdx/internal/policy"
+)
+
+func TestFlowStatsRoundTrip(t *testing.T) {
+	entries := []FlowStatsEntry{
+		{
+			Match:    MatchFromPolicy(policy.MatchAll.Port(1).DstPort(80)),
+			Priority: 100,
+			Packets:  12345,
+			Bytes:    9876543,
+			Actions:  []Action{Output(2)},
+		},
+		{
+			Match:    MatchFromPolicy(policy.MatchAll.DstMAC(macY)),
+			Priority: 10,
+			Packets:  1,
+			Bytes:    60,
+			Actions:  []Action{{Type: ActionTypeSetDLDst, MAC: macX}, Output(3)},
+		},
+	}
+	wire := EncodeFlowStatsReply(entries, 7)
+	msg, err := ReadMessage(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.XID != 7 {
+		t.Fatalf("xid = %d", msg.XID)
+	}
+	got, err := msg.DecodeFlowStatsReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if got[0].Packets != 12345 || got[0].Bytes != 9876543 || got[0].Priority != 100 {
+		t.Errorf("entry 0 = %+v", got[0])
+	}
+	if got[0].Match.ToPolicy() != policy.MatchAll.Port(1).DstPort(80) {
+		t.Errorf("entry 0 match = %v", got[0].Match.ToPolicy())
+	}
+	if len(got[1].Actions) != 2 || got[1].Actions[1].Port != 3 {
+		t.Errorf("entry 1 actions = %+v", got[1].Actions)
+	}
+}
+
+func TestFlowStatsRequestRoundTrip(t *testing.T) {
+	req := &FlowStatsRequest{Match: MatchFromPolicy(policy.MatchAll.Port(2))}
+	msg, err := ReadMessage(bytes.NewReader(EncodeFlowStatsRequest(req, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := msg.DecodeFlowStatsRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Match.ToPolicy() != policy.MatchAll.Port(2) {
+		t.Errorf("match = %v", got.Match.ToPolicy())
+	}
+}
+
+func TestFlowStatsEmptyReply(t *testing.T) {
+	msg, _ := ReadMessage(bytes.NewReader(EncodeFlowStatsReply(nil, 1)))
+	got, err := msg.DecodeFlowStatsReply()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty reply = %v, %v", got, err)
+	}
+}
+
+func TestFlowStatsWrongTypes(t *testing.T) {
+	hello := &Message{Header: Header{Type: TypeHello}}
+	if _, err := hello.DecodeFlowStatsReply(); err == nil {
+		t.Error("DecodeFlowStatsReply on HELLO should fail")
+	}
+	if _, err := hello.DecodeFlowStatsRequest(); err == nil {
+		t.Error("DecodeFlowStatsRequest on HELLO should fail")
+	}
+}

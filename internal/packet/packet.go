@@ -1,0 +1,199 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+
+	"sdx/internal/netutil"
+)
+
+// Packet is a fully decoded frame: the layers present plus the raw payload
+// of the innermost decoded layer. Absent layers are nil.
+type Packet struct {
+	Eth     Ethernet
+	ARP     *ARP
+	IPv4    *IPv4
+	TCP     *TCP
+	UDP     *UDP
+	Payload []byte
+}
+
+// Decode parses an Ethernet frame and as much of the stack above it as the
+// package understands. Unknown EtherTypes and IP protocols are not errors:
+// the remaining bytes land in Payload, mirroring gopacket's lazy tolerance
+// so the fabric can still switch frames it cannot fully parse.
+func Decode(data []byte) (*Packet, error) {
+	p := &Packet{}
+	rest, err := p.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Eth.EtherType {
+	case EtherTypeARP:
+		a := &ARP{}
+		if err := a.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.ARP = a
+	case EtherTypeIPv4:
+		ip := &IPv4{}
+		rest, err = ip.DecodeFromBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.IPv4 = ip
+		switch ip.Protocol {
+		case ProtoTCP:
+			t := &TCP{}
+			rest, err = t.DecodeFromBytes(rest)
+			if err != nil {
+				return nil, err
+			}
+			p.TCP = t
+		case ProtoUDP:
+			u := &UDP{}
+			rest, err = u.DecodeFromBytes(rest)
+			if err != nil {
+				return nil, err
+			}
+			p.UDP = u
+		}
+		p.Payload = rest
+	default:
+		p.Payload = rest
+	}
+	return p, nil
+}
+
+// Serialize renders the packet back to a wire image, recomputing lengths
+// and the IPv4 checksum.
+func (p *Packet) Serialize() []byte {
+	hdr := p.Eth.SerializeTo(nil)
+	switch {
+	case p.ARP != nil:
+		return p.ARP.SerializeTo(hdr)
+	case p.IPv4 != nil:
+		var inner []byte
+		switch {
+		case p.TCP != nil:
+			inner = p.TCP.SerializeTo(nil, p.Payload)
+		case p.UDP != nil:
+			inner = p.UDP.SerializeTo(nil, p.Payload)
+		default:
+			inner = p.Payload
+		}
+		return p.IPv4.SerializeTo(hdr, inner)
+	default:
+		return append(hdr, p.Payload...)
+	}
+}
+
+// SrcIP returns the IPv4 source, or the zero Addr when not IP.
+func (p *Packet) SrcIP() netip.Addr {
+	if p.IPv4 == nil {
+		return netip.Addr{}
+	}
+	return p.IPv4.SrcIP
+}
+
+// DstIP returns the IPv4 destination, or the zero Addr when not IP.
+func (p *Packet) DstIP() netip.Addr {
+	if p.IPv4 == nil {
+		return netip.Addr{}
+	}
+	return p.IPv4.DstIP
+}
+
+// SrcPort returns the transport source port, or 0 when not TCP/UDP.
+func (p *Packet) SrcPort() uint16 {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.SrcPort
+	case p.UDP != nil:
+		return p.UDP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the transport destination port, or 0 when not TCP/UDP.
+func (p *Packet) DstPort() uint16 {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.DstPort
+	case p.UDP != nil:
+		return p.UDP.DstPort
+	}
+	return 0
+}
+
+// Protocol returns the IP protocol number, or 0 when not IP.
+func (p *Packet) Protocol() uint8 {
+	if p.IPv4 == nil {
+		return 0
+	}
+	return p.IPv4.Protocol
+}
+
+// String summarizes the frame for logs and tests.
+func (p *Packet) String() string {
+	switch {
+	case p.ARP != nil:
+		op := "request"
+		if p.ARP.Op == ARPReply {
+			op = "reply"
+		}
+		return fmt.Sprintf("arp %s %v->%v who-has %v tell %v",
+			op, p.Eth.SrcMAC, p.Eth.DstMAC, p.ARP.TargetIP, p.ARP.SenderIP)
+	case p.TCP != nil:
+		return fmt.Sprintf("tcp %v:%d->%v:%d", p.SrcIP(), p.TCP.SrcPort, p.DstIP(), p.TCP.DstPort)
+	case p.UDP != nil:
+		return fmt.Sprintf("udp %v:%d->%v:%d", p.SrcIP(), p.UDP.SrcPort, p.DstIP(), p.UDP.DstPort)
+	case p.IPv4 != nil:
+		return fmt.Sprintf("ip proto=%d %v->%v", p.IPv4.Protocol, p.SrcIP(), p.DstIP())
+	default:
+		return fmt.Sprintf("eth %v->%v type=%#04x", p.Eth.SrcMAC, p.Eth.DstMAC, p.Eth.EtherType)
+	}
+}
+
+// NewUDP builds a complete UDP-in-IPv4-in-Ethernet packet, the workhorse of
+// the deployment experiments (the paper's client sends 1 Mbps UDP flows).
+func NewUDP(srcMAC, dstMAC netutil.MAC, srcIP, dstIP netip.Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	return &Packet{
+		Eth:     Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EtherType: EtherTypeIPv4},
+		IPv4:    &IPv4{TTL: 64, Protocol: ProtoUDP, SrcIP: srcIP, DstIP: dstIP},
+		UDP:     &UDP{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+}
+
+// NewTCP builds a complete TCP-in-IPv4-in-Ethernet packet.
+func NewTCP(srcMAC, dstMAC netutil.MAC, srcIP, dstIP netip.Addr, srcPort, dstPort uint16, flags uint8, payload []byte) *Packet {
+	return &Packet{
+		Eth:     Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EtherType: EtherTypeIPv4},
+		IPv4:    &IPv4{TTL: 64, Protocol: ProtoTCP, SrcIP: srcIP, DstIP: dstIP},
+		TCP:     &TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags},
+		Payload: payload,
+	}
+}
+
+// NewARPRequest builds a who-has query for target, sent from (mac, ip).
+func NewARPRequest(mac netutil.MAC, ip, target netip.Addr) *Packet {
+	return &Packet{
+		Eth: Ethernet{SrcMAC: mac, DstMAC: netutil.BroadcastMAC, EtherType: EtherTypeARP},
+		ARP: &ARP{Op: ARPRequest, SenderMAC: mac, SenderIP: ip, TargetIP: target},
+	}
+}
+
+// NewARPReply builds the unicast answer to req claiming that ip is at mac.
+func NewARPReply(req *ARP, mac netutil.MAC, ip netip.Addr) *Packet {
+	return &Packet{
+		Eth: Ethernet{SrcMAC: mac, DstMAC: req.SenderMAC, EtherType: EtherTypeARP},
+		ARP: &ARP{
+			Op:        ARPReply,
+			SenderMAC: mac,
+			SenderIP:  ip,
+			TargetMAC: req.SenderMAC,
+			TargetIP:  req.SenderIP,
+		},
+	}
+}

@@ -1,0 +1,238 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"sdx/internal/netutil"
+)
+
+var (
+	macA = netutil.MustParseMAC("02:00:00:00:00:0a")
+	macB = netutil.MustParseMAC("02:00:00:00:00:0b")
+	ipA  = netip.MustParseAddr("10.0.0.1")
+	ipB  = netip.MustParseAddr("10.0.0.2")
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	orig := NewUDP(macA, macB, ipA, ipB, 4000, 80, []byte("hello sdx"))
+	wire := orig.Serialize()
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Eth.SrcMAC != macA || got.Eth.DstMAC != macB {
+		t.Errorf("eth = %v->%v", got.Eth.SrcMAC, got.Eth.DstMAC)
+	}
+	if got.SrcIP() != ipA || got.DstIP() != ipB {
+		t.Errorf("ip = %v->%v", got.SrcIP(), got.DstIP())
+	}
+	if got.UDP == nil || got.SrcPort() != 4000 || got.DstPort() != 80 {
+		t.Errorf("udp ports = %d->%d", got.SrcPort(), got.DstPort())
+	}
+	if !bytes.Equal(got.Payload, []byte("hello sdx")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	if got.Protocol() != ProtoUDP {
+		t.Errorf("proto = %d", got.Protocol())
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	orig := NewTCP(macA, macB, ipA, ipB, 31337, 443, TCPSyn|TCPAck, []byte("x"))
+	got, err := Decode(orig.Serialize())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.TCP == nil || got.TCP.Flags != TCPSyn|TCPAck {
+		t.Fatalf("tcp = %+v", got.TCP)
+	}
+	if got.SrcPort() != 31337 || got.DstPort() != 443 {
+		t.Errorf("ports = %d->%d", got.SrcPort(), got.DstPort())
+	}
+	if !bytes.Equal(got.Payload, []byte("x")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	req := NewARPRequest(macA, ipA, ipB)
+	got, err := Decode(req.Serialize())
+	if err != nil {
+		t.Fatalf("Decode request: %v", err)
+	}
+	if got.ARP == nil || got.ARP.Op != ARPRequest || got.ARP.TargetIP != ipB {
+		t.Fatalf("arp request = %+v", got.ARP)
+	}
+	if !got.Eth.DstMAC.IsBroadcast() {
+		t.Error("arp request should be broadcast")
+	}
+
+	rep := NewARPReply(got.ARP, macB, ipB)
+	back, err := Decode(rep.Serialize())
+	if err != nil {
+		t.Fatalf("Decode reply: %v", err)
+	}
+	if back.ARP.Op != ARPReply || back.ARP.SenderMAC != macB ||
+		back.ARP.SenderIP != ipB || back.ARP.TargetMAC != macA {
+		t.Errorf("arp reply = %+v", back.ARP)
+	}
+	if back.Eth.DstMAC != macA {
+		t.Errorf("reply should be unicast to requester, got %v", back.Eth.DstMAC)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	wire := NewUDP(macA, macB, ipA, ipB, 1, 2, nil).Serialize()
+	// RFC 1071: the checksum of a header including its checksum field is 0
+	// (i.e. Checksum over it returns 0xffff complemented -> 0).
+	if got := Checksum(wire[14:34]); got != 0 {
+		t.Errorf("header checksum over header+cksum = %#04x, want 0", got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := NewUDP(macA, macB, ipA, ipB, 5, 6, []byte("payload")).Serialize()
+	for _, n := range []int{0, 5, 13, 14, 20, 33, 35, 41} {
+		if n >= len(full) {
+			continue
+		}
+		if _, err := Decode(full[:n]); err == nil {
+			t.Errorf("Decode of %d-byte truncation should fail", n)
+		}
+	}
+}
+
+func TestDecodeUnknownEtherType(t *testing.T) {
+	e := Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: 0x88cc} // LLDP
+	wire := e.SerializeTo(nil)
+	wire = append(wire, 0xde, 0xad)
+	p, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("unknown ethertype should not error: %v", err)
+	}
+	if p.IPv4 != nil || p.ARP != nil {
+		t.Error("no upper layers should be decoded")
+	}
+	if !bytes.Equal(p.Payload, []byte{0xde, 0xad}) {
+		t.Errorf("payload = %x", p.Payload)
+	}
+}
+
+func TestDecodeUnknownIPProtocol(t *testing.T) {
+	p := &Packet{
+		Eth:     Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeIPv4},
+		IPv4:    &IPv4{TTL: 64, Protocol: 89 /* OSPF */, SrcIP: ipA, DstIP: ipB},
+		Payload: []byte("ospf-ish"),
+	}
+	got, err := Decode(p.Serialize())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.TCP != nil || got.UDP != nil {
+		t.Error("no transport layer should be decoded for proto 89")
+	}
+	if !bytes.Equal(got.Payload, []byte("ospf-ish")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	if got.SrcPort() != 0 || got.DstPort() != 0 {
+		t.Error("ports should be 0 for non-TCP/UDP")
+	}
+}
+
+func TestDecodeBadIPVersion(t *testing.T) {
+	wire := NewUDP(macA, macB, ipA, ipB, 1, 2, nil).Serialize()
+	wire[14] = 0x65 // version 6
+	if _, err := Decode(wire); err == nil {
+		t.Error("version 6 in an 0x0800 frame should fail to decode")
+	}
+}
+
+func TestDecodeBadIHL(t *testing.T) {
+	wire := NewUDP(macA, macB, ipA, ipB, 1, 2, nil).Serialize()
+	wire[14] = 0x44 // IHL 4 -> 16 bytes < 20
+	if _, err := Decode(wire); err == nil {
+		t.Error("IHL < 5 should fail")
+	}
+}
+
+func TestDecodeIPLengthOverrun(t *testing.T) {
+	wire := NewUDP(macA, macB, ipA, ipB, 1, 2, nil).Serialize()
+	wire[16], wire[17] = 0xff, 0xff // total length way beyond capture
+	if _, err := Decode(wire); err == nil {
+		t.Error("total length beyond frame should fail")
+	}
+}
+
+func TestUDPLengthTrimsPadding(t *testing.T) {
+	// Ethernet frames may carry padding past the IP length; the decoder must
+	// not hand padding to the application.
+	p := NewUDP(macA, macB, ipA, ipB, 7, 8, []byte("data"))
+	wire := p.Serialize()
+	padded := append(wire, 0, 0, 0, 0, 0, 0)
+	got, err := Decode(padded)
+	if err != nil {
+		t.Fatalf("Decode padded: %v", err)
+	}
+	if !bytes.Equal(got.Payload, []byte("data")) {
+		t.Errorf("payload with padding = %q", got.Payload)
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Appending the complement of the sum yields a region that sums to zero.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		ck := Checksum(data)
+		withCk := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(withCk) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeDecodeQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, payload []byte) bool {
+		p := NewUDP(macA, macB, netip.AddrFrom4(src), netip.AddrFrom4(dst), sp, dp, payload)
+		got, err := Decode(p.Serialize())
+		if err != nil {
+			return false
+		}
+		return got.SrcIP() == netip.AddrFrom4(src) &&
+			got.DstIP() == netip.AddrFrom4(dst) &&
+			got.SrcPort() == sp && got.DstPort() == dp &&
+			bytes.Equal(got.Payload, payload)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	cases := []struct {
+		p    *Packet
+		want string
+	}{
+		{NewUDP(macA, macB, ipA, ipB, 1, 2, nil), "udp 10.0.0.1:1->10.0.0.2:2"},
+		{NewTCP(macA, macB, ipA, ipB, 3, 4, 0, nil), "tcp 10.0.0.1:3->10.0.0.2:4"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDecodeARPBadHType(t *testing.T) {
+	req := NewARPRequest(macA, ipA, ipB).Serialize()
+	req[14] = 0xff // hardware type high byte
+	if _, err := Decode(req); err == nil {
+		t.Error("bad ARP hardware type should fail")
+	}
+}

@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFallbackBasic(t *testing.T) {
+	primary := SeqOf(MatchPolicy(MatchAll.DstPort(80)), Fwd(2))
+	def := Fwd(9)
+	pol := WithDefault(primary, def)
+	cl := Compile(pol)
+
+	if out := cl.Eval(pktWith(1, "10.0.0.1", 80)); len(out) != 1 || out[0].Port != 2 {
+		t.Errorf("matched traffic -> %+v, want port 2", out)
+	}
+	if out := cl.Eval(pktWith(1, "10.0.0.1", 22)); len(out) != 1 || out[0].Port != 9 {
+		t.Errorf("unmatched traffic -> %+v, want default port 9", out)
+	}
+}
+
+func TestFallbackPreservesExplicitRegions(t *testing.T) {
+	// Primary matches two regions to different ports; both must survive.
+	primary := Par(
+		SeqOf(MatchPolicy(MatchAll.DstPort(80)), Fwd(2)),
+		SeqOf(MatchPolicy(MatchAll.DstPort(443)), Fwd(3)),
+	)
+	cl := Compile(WithDefault(primary, Fwd(9)))
+	cases := []struct {
+		dstPort uint16
+		want    uint16
+	}{{80, 2}, {443, 3}, {22, 9}}
+	for _, c := range cases {
+		out := cl.Eval(pktWith(1, "10.0.0.1", c.dstPort))
+		if len(out) != 1 || out[0].Port != c.want {
+			t.Errorf("dstport %d -> %+v, want port %d", c.dstPort, out, c.want)
+		}
+	}
+}
+
+func TestFallbackAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 150; trial++ {
+		pol := WithDefault(randPolicy(rng, 2), randPolicy(rng, 2))
+		cl := Compile(pol)
+		for probe := 0; probe < 40; probe++ {
+			pkt := randPacket(rng)
+			if !packetsEqual(cl.Eval(pkt), pol.Eval(pkt)) {
+				t.Fatalf("trial %d: fallback compile disagrees with eval\npolicy %s\npkt %+v",
+					trial, pol, pkt)
+			}
+		}
+	}
+}
+
+func TestFallbackNested(t *testing.T) {
+	inner := WithDefault(SeqOf(MatchPolicy(MatchAll.DstPort(80)), Fwd(2)), Drop{})
+	outer := WithDefault(inner, Fwd(9))
+	cl := Compile(outer)
+	// Inner explicitly drops unmatched traffic, so the outer default must
+	// NOT rescue it: Fallback applies to what its primary drops, and the
+	// inner policy's explicit drop region is part of its behaviour...
+	// except an explicit Drop produces no packets, which is exactly the
+	// fallback condition. Verify compile agrees with Eval semantics.
+	for _, dstPort := range []uint16{80, 22} {
+		pkt := pktWith(1, "10.0.0.1", dstPort)
+		if !packetsEqual(cl.Eval(pkt), outer.Eval(pkt)) {
+			t.Errorf("nested fallback disagrees with eval for dstport %d", dstPort)
+		}
+	}
+}
+
+func TestFallbackInsideComposition(t *testing.T) {
+	// The SDX shape: (P_A with default) >> (P_B with default).
+	const a1, vB, vC, b1 = 1, 100, 101, 10
+	outA := WithDefault(
+		SeqOf(MatchPolicy(MatchAll.Port(a1).DstPort(80)), Fwd(vB)),
+		SeqOf(MatchPolicy(MatchAll.Port(a1)), Fwd(vC)), // default: via C
+	)
+	inB := WithDefault(
+		SeqOf(MatchPolicy(MatchAll.Port(vB)), Fwd(b1)),
+		MatchPolicy(MatchAll.Port(vC)), // pass through C's virtual port
+	)
+	cl := Compile(SeqOf(outA, inB))
+
+	web := cl.Eval(pktWith(a1, "10.0.0.1", 80))
+	if len(web) != 1 || web[0].Port != b1 {
+		t.Errorf("web -> %+v, want port %d", web, b1)
+	}
+	ssh := cl.Eval(pktWith(a1, "10.0.0.1", 22))
+	if len(ssh) != 1 || ssh[0].Port != vC {
+		t.Errorf("ssh -> %+v, want default port %d", ssh, vC)
+	}
+}

@@ -1,0 +1,82 @@
+package routeserver
+
+import "sdx/internal/bgp"
+
+// RouteExportFilter decides whether advertiser's concrete route may be
+// exported to receiver (whose AS number is supplied, since community
+// conventions name peers by AS). Unlike ExportFilter it sees the whole
+// route. The filter is called with the Server's lock held: it must not call
+// back into the Server.
+type RouteExportFilter func(advertiser, receiver ID, receiverAS uint16, route bgp.Route) bool
+
+// SetRouteExportPolicy installs a route-level export filter, evaluated in
+// addition to any prefix-level ExportFilter. It affects best-route
+// computation, ReachableVia (and therefore the SDX policy reach filters),
+// and re-advertisement.
+//
+// Caveat: the equivalence-class default next hops (BestTwo) remain computed
+// from the unfiltered candidate set; deployments mixing per-pair route
+// hiding with SDX default forwarding should hide routes symmetrically or
+// accept that a hidden best route still attracts default traffic, as at any
+// route-server IXP where participants also keep direct sessions.
+func (s *Server) SetRouteExportPolicy(f RouteExportFilter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routeExport = f
+}
+
+// CommunityExportPolicy returns the conventional RFC 1997 route-server
+// export controls, as deployed at large IXPs, for a route server with the
+// given AS:
+//
+//	(0, 0)           do not announce to anyone
+//	(0, peerAS)      do not announce to the peer with that AS
+//	(rsAS, peerAS)   announce ONLY to peers named this way (whitelist:
+//	                 the presence of any such community hides the route
+//	                 from everyone else)
+func CommunityExportPolicy(rsAS uint16) RouteExportFilter {
+	return func(adv, recv ID, recvAS uint16, route bgp.Route) bool {
+		whitelisted := false
+		allowed := false
+		for _, c := range route.Attrs.Communities {
+			upper := uint16(c >> 16)
+			lower := uint16(c)
+			switch upper {
+			case 0:
+				if lower == 0 {
+					return false // announce to no one
+				}
+				if lower == recvAS {
+					return false // explicit per-peer block
+				}
+			case rsAS:
+				whitelisted = true
+				if lower == recvAS {
+					allowed = true
+				}
+			}
+		}
+		if whitelisted {
+			return allowed
+		}
+		return true
+	}
+}
+
+// Community builds the 32-bit community value (upper:lower).
+func Community(upper, lower uint16) uint32 {
+	return uint32(upper)<<16 | uint32(lower)
+}
+
+// routeExportAllows applies the optional route-level filter. Called with
+// s.mu held (read or write); resolves the receiver's AS directly.
+func (s *Server) routeExportAllows(adv, recv ID, route bgp.Route) bool {
+	if s.routeExport == nil {
+		return true
+	}
+	p, ok := s.participants[recv]
+	if !ok {
+		return false
+	}
+	return s.routeExport(adv, recv, p.as, route)
+}

@@ -1,0 +1,292 @@
+package routeserver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"sdx/internal/bgp"
+)
+
+// NextHopResolver maps a best route to the next-hop address the route
+// server should advertise to a receiving participant. The SDX controller
+// supplies one that returns virtual next hops (VNHs); nil keeps the
+// original next hop, which is plain route-server behaviour.
+type NextHopResolver func(receiver ID, prefix netip.Prefix, route bgp.Route) netip.Addr
+
+// OwnershipChecker verifies that a participant owns a prefix before the SDX
+// originates it (the paper's RPKI check for the load-balancing application).
+type OwnershipChecker func(participant ID, prefix netip.Prefix) bool
+
+// Frontend glues a Server to live BGP sessions: it maps peers to
+// participants, feeds their UPDATEs into the engine, and re-advertises
+// best-route changes with rewritten next hops.
+type Frontend struct {
+	Server  *Server
+	Speaker *bgp.Speaker
+
+	// NextHop, when set, rewrites advertised next hops (VNH installation).
+	NextHop NextHopResolver
+	// OnChange, when set, is invoked with each batch of best-route changes
+	// after they have been re-advertised; the SDX controller recompiles
+	// policies from here.
+	OnChange func([]BestChange)
+	// Ownership gates Originate; nil allows everything (test/demo mode).
+	Ownership OwnershipChecker
+
+	mu      sync.Mutex
+	byBGPID map[netip.Addr]ID
+	peers   map[ID]*bgp.Peer
+	// adjOut tracks what has been advertised to each participant, so
+	// withdrawals are only sent for routes the peer actually holds.
+	adjOut map[ID]map[netip.Prefix]bool
+
+	// procMu serializes the decision-and-readvertisement path across
+	// sessions: without it, two peers' updates could interleave so that a
+	// stale best route is re-advertised after a fresher one. A conventional
+	// route server (the paper used ExaBGP) processes updates sequentially
+	// for the same reason.
+	procMu sync.Mutex
+}
+
+// NewFrontend wires a Server to a Speaker. The Speaker's callbacks are
+// installed here, so create the Frontend before any session is accepted.
+func NewFrontend(server *Server, speaker *bgp.Speaker) *Frontend {
+	f := &Frontend{
+		Server:  server,
+		Speaker: speaker,
+		byBGPID: make(map[netip.Addr]ID),
+		peers:   make(map[ID]*bgp.Peer),
+		adjOut:  make(map[ID]map[netip.Prefix]bool),
+	}
+	speaker.OnEstablished = f.onEstablished
+	speaker.OnUpdate = f.onUpdate
+	speaker.OnDown = f.onDown
+	return f
+}
+
+// RegisterPeer associates a router's BGP identifier with a participant, so
+// that sessions from that router feed the participant's Adj-RIB-In. The
+// participant must already exist in the Server.
+func (f *Frontend) RegisterPeer(bgpID netip.Addr, participant ID) error {
+	if _, ok := f.Server.AS(participant); !ok {
+		return fmt.Errorf("routeserver: participant %q not registered with the server", participant)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.byBGPID[bgpID] = participant
+	return nil
+}
+
+func (f *Frontend) participantFor(p *bgp.Peer) (ID, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id, ok := f.byBGPID[p.Session.PeerID()]
+	return id, ok
+}
+
+func (f *Frontend) onEstablished(p *bgp.Peer) {
+	id, ok := f.participantFor(p)
+	if !ok {
+		p.Session.Close() // unknown router; an IXP would alarm here
+		return
+	}
+	f.mu.Lock()
+	f.peers[id] = p
+	f.mu.Unlock()
+
+	// Late joiner: advertise the current best route for every prefix,
+	// serialized against in-flight updates so the snapshot is consistent.
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	var updates []*bgp.Update
+	for _, prefix := range f.Server.Prefixes() {
+		if best, ok := f.Server.BestFor(id, prefix); ok {
+			updates = append(updates, f.buildUpdate(id, prefix, best))
+		}
+	}
+	for _, u := range updates {
+		p.Send(u)
+		for _, prefix := range u.NLRI {
+			f.recordSent(id, prefix, true)
+		}
+	}
+}
+
+// recordSent updates the Adj-RIB-Out bookkeeping for one peer.
+func (f *Frontend) recordSent(id ID, prefix netip.Prefix, present bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.adjOut[id]
+	if m == nil {
+		m = make(map[netip.Prefix]bool)
+		f.adjOut[id] = m
+	}
+	if present {
+		m[prefix] = true
+	} else {
+		delete(m, prefix)
+	}
+}
+
+// hasSent reports whether the peer currently holds an advertisement.
+func (f *Frontend) hasSent(id ID, prefix netip.Prefix) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.adjOut[id][prefix]
+}
+
+func (f *Frontend) onDown(p *bgp.Peer, _ error) {
+	id, ok := f.participantFor(p)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	if f.peers[id] == p {
+		delete(f.peers, id)
+	}
+	f.mu.Unlock()
+}
+
+func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
+	id, ok := f.participantFor(p)
+	if !ok {
+		return
+	}
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	var changes []BestChange
+	for _, w := range u.Withdrawn {
+		ch, err := f.Server.Withdraw(id, w)
+		if err == nil {
+			changes = append(changes, ch...)
+		}
+	}
+	for _, nlri := range u.NLRI {
+		ch, err := f.Server.Advertise(id, bgp.Route{
+			Prefix: nlri,
+			Attrs:  u.Attrs,
+			PeerAS: p.Session.PeerAS(),
+			PeerID: p.Session.PeerID(),
+		})
+		if err == nil {
+			changes = append(changes, ch...)
+		}
+	}
+	f.propagate(changes)
+}
+
+// Originate injects a route on behalf of a participant that may have no
+// physical router at the exchange — the paper's remote wide-area
+// load-balancing participant. The ownership check gates it.
+func (f *Frontend) Originate(participant ID, prefix netip.Prefix, nextHop netip.Addr) error {
+	if f.Ownership != nil && !f.Ownership(participant, prefix) {
+		return fmt.Errorf("routeserver: %q does not own %v", participant, prefix)
+	}
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	as, ok := f.Server.AS(participant)
+	if !ok {
+		return fmt.Errorf("routeserver: unknown participant %q", participant)
+	}
+	changes, err := f.Server.Advertise(participant, bgp.Route{
+		Prefix: prefix,
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{as}}},
+			NextHop: nextHop,
+		},
+		PeerAS: as,
+	})
+	if err != nil {
+		return err
+	}
+	f.propagate(changes)
+	return nil
+}
+
+// WithdrawOrigin retracts a route previously injected with Originate.
+func (f *Frontend) WithdrawOrigin(participant ID, prefix netip.Prefix) error {
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	changes, err := f.Server.Withdraw(participant, prefix)
+	if err != nil {
+		return err
+	}
+	f.propagate(changes)
+	return nil
+}
+
+// propagate hands best-route changes to the controller FIRST — the paper's
+// §5.1 ordering: the policy compiler computes fresh virtual next hops and
+// forwarding rules, "then sends the updated next-hop information to the
+// route server, which marshals the corresponding BGP updates" — and then
+// re-advertises to the affected participants through the NextHop resolver.
+func (f *Frontend) propagate(changes []BestChange) {
+	if f.OnChange != nil && len(changes) > 0 {
+		f.OnChange(changes)
+	}
+	// A change to a prefix's candidate routes can move its VIRTUAL next hop
+	// for every participant, not only those whose best path flipped: the
+	// fast path mints a fresh VNH for the prefix, and a next-hop change is
+	// a BGP UPDATE even when the AS path is unchanged. So each affected
+	// prefix is re-advertised to every connected participant.
+	f.mu.Lock()
+	peers := make(map[ID]*bgp.Peer, len(f.peers))
+	for id, p := range f.peers {
+		peers[id] = p
+	}
+	f.mu.Unlock()
+
+	seen := make(map[netip.Prefix]bool, len(changes))
+	for _, ch := range changes {
+		if seen[ch.Prefix] {
+			continue
+		}
+		seen[ch.Prefix] = true
+		for id, peer := range peers {
+			if best, ok := f.Server.BestFor(id, ch.Prefix); ok {
+				peer.Send(f.buildUpdate(id, ch.Prefix, best))
+				f.recordSent(id, ch.Prefix, true)
+			} else if f.hasSent(id, ch.Prefix) {
+				peer.Send(&bgp.Update{Withdrawn: []netip.Prefix{ch.Prefix}})
+				f.recordSent(id, ch.Prefix, false)
+			}
+		}
+	}
+}
+
+func (f *Frontend) buildUpdate(receiver ID, prefix netip.Prefix, best bgp.Route) *bgp.Update {
+	attrs := best.Attrs
+	if f.NextHop != nil {
+		if nh := f.NextHop(receiver, prefix, best); nh.IsValid() {
+			attrs = attrs.WithNextHop(nh)
+		}
+	}
+	return &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{prefix}}
+}
+
+// ReadvertiseAll re-sends the current best route for every prefix to every
+// connected participant, applying the NextHop resolver afresh. The SDX
+// controller calls this after a background recompilation so participants
+// whose virtual next hops moved pick up the new mapping; participants whose
+// routes are byte-identical simply refresh their RIBs (BGP updates are
+// idempotent).
+func (f *Frontend) ReadvertiseAll() {
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	f.mu.Lock()
+	peers := make(map[ID]*bgp.Peer, len(f.peers))
+	for id, p := range f.peers {
+		peers[id] = p
+	}
+	f.mu.Unlock()
+	for _, prefix := range f.Server.Prefixes() {
+		for id, peer := range peers {
+			if best, ok := f.Server.BestFor(id, prefix); ok {
+				peer.Send(f.buildUpdate(id, prefix, best))
+				f.recordSent(id, prefix, true)
+			}
+		}
+	}
+}

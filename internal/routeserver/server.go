@@ -1,0 +1,408 @@
+// Package routeserver implements the SDX route server (§3.2, §5.1 of the
+// paper): it collects the routes advertised by each participant, computes
+// one best route per prefix on behalf of every other participant, applies
+// per-pair export policies, rewrites next hops to controller-supplied
+// virtual next hops, and re-advertises the result over BGP.
+//
+// The Server type is the pure routing engine (no sockets), which the
+// benchmarks drive directly; Frontend glues a Server to a bgp.Speaker for
+// live deployments.
+package routeserver
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+	"sort"
+	"sync"
+
+	"sdx/internal/bgp"
+	"sdx/internal/netutil"
+)
+
+// ID names a participant. The SDX uses short names ("A", "B", "AS65001").
+type ID string
+
+// ExportFilter decides whether advertiser's route for prefix may be
+// exported to the given receiver. A nil filter exports everything, the
+// route-server default.
+type ExportFilter func(advertiser, receiver ID, prefix netip.Prefix) bool
+
+// BestChange records that a participant's best route for a prefix changed.
+// Old or New is nil when the route appeared or disappeared.
+type BestChange struct {
+	Participant ID
+	Prefix      netip.Prefix
+	Old         *bgp.Route
+	New         *bgp.Route
+}
+
+type participant struct {
+	id ID
+	as uint16
+	// advertised is this participant's Adj-RIB-In at the route server.
+	advertised *bgp.RIB
+}
+
+// Server is the route-server engine.
+type Server struct {
+	mu           sync.RWMutex
+	participants map[ID]*participant
+	// candidates holds, per prefix, each advertiser's current route.
+	candidates map[netip.Prefix]map[ID]bgp.Route
+	export     ExportFilter
+	// routeExport is the optional route-level export filter
+	// (SetRouteExportPolicy); it sees communities and other attributes.
+	routeExport RouteExportFilter
+}
+
+// New returns an empty Server with the given export policy (nil = export
+// everything).
+func New(export ExportFilter) *Server {
+	return &Server{
+		participants: make(map[ID]*participant),
+		candidates:   make(map[netip.Prefix]map[ID]bgp.Route),
+		export:       export,
+	}
+}
+
+// AddParticipant registers a participant AS. Adding an existing ID is an
+// error: participant identity is structural for the SDX controller.
+func (s *Server) AddParticipant(id ID, as uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.participants[id]; dup {
+		return fmt.Errorf("routeserver: participant %q already registered", id)
+	}
+	s.participants[id] = &participant{id: id, as: as, advertised: bgp.NewRIB()}
+	return nil
+}
+
+// RemoveParticipant withdraws everything the participant advertised and
+// unregisters it, returning the resulting best-route changes.
+func (s *Server) RemoveParticipant(id ID) []BestChange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return nil
+	}
+	var changes []BestChange
+	for _, prefix := range p.advertised.Prefixes() {
+		changes = append(changes, s.withdrawLocked(id, prefix)...)
+	}
+	delete(s.participants, id)
+	return changes
+}
+
+// Participants returns the registered IDs in sorted order.
+func (s *Server) Participants() []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ID, 0, len(s.participants))
+	for id := range s.participants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AS returns the participant's AS number.
+func (s *Server) AS(id ID) (uint16, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return 0, false
+	}
+	return p.as, true
+}
+
+// Advertise installs or replaces from's route and returns the best-route
+// changes it caused across participants.
+func (s *Server) Advertise(from ID, route bgp.Route) ([]BestChange, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.participants[from]
+	if !ok {
+		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
+	}
+	route.Prefix = route.Prefix.Masked()
+
+	before := s.bestAllLocked(route.Prefix)
+	p.advertised.Set(route)
+	cands := s.candidates[route.Prefix]
+	if cands == nil {
+		cands = make(map[ID]bgp.Route)
+		s.candidates[route.Prefix] = cands
+	}
+	cands[from] = route
+	return s.diffLocked(route.Prefix, before), nil
+}
+
+// Load installs a route without computing best-route changes: the bulk
+// path for initial table transfer, where the caller compiles once afterward
+// anyway. Per-update change tracking (Advertise) costs O(participants) per
+// route, which matters when loading hundreds of thousands of routes.
+func (s *Server) Load(from ID, route bgp.Route) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.participants[from]
+	if !ok {
+		return fmt.Errorf("routeserver: unknown participant %q", from)
+	}
+	route.Prefix = route.Prefix.Masked()
+	p.advertised.Set(route)
+	cands := s.candidates[route.Prefix]
+	if cands == nil {
+		cands = make(map[ID]bgp.Route)
+		s.candidates[route.Prefix] = cands
+	}
+	cands[from] = route
+	return nil
+}
+
+// Withdraw removes from's route for prefix and returns the resulting
+// best-route changes.
+func (s *Server) Withdraw(from ID, prefix netip.Prefix) ([]BestChange, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.participants[from]; !ok {
+		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
+	}
+	return s.withdrawLocked(from, prefix), nil
+}
+
+func (s *Server) withdrawLocked(from ID, prefix netip.Prefix) []BestChange {
+	prefix = prefix.Masked()
+	p := s.participants[from]
+	before := s.bestAllLocked(prefix)
+	p.advertised.Remove(prefix)
+	if cands := s.candidates[prefix]; cands != nil {
+		delete(cands, from)
+		if len(cands) == 0 {
+			delete(s.candidates, prefix)
+		}
+	}
+	return s.diffLocked(prefix, before)
+}
+
+// bestAllLocked snapshots every participant's best route for prefix.
+func (s *Server) bestAllLocked(prefix netip.Prefix) map[ID]*bgp.Route {
+	out := make(map[ID]*bgp.Route, len(s.participants))
+	for id := range s.participants {
+		if r, ok := s.bestForLocked(id, prefix); ok {
+			rc := r
+			out[id] = &rc
+		} else {
+			out[id] = nil
+		}
+	}
+	return out
+}
+
+func (s *Server) diffLocked(prefix netip.Prefix, before map[ID]*bgp.Route) []BestChange {
+	var changes []BestChange
+	ids := make([]ID, 0, len(before))
+	for id := range before {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		old := before[id]
+		var cur *bgp.Route
+		if r, ok := s.bestForLocked(id, prefix); ok {
+			rc := r
+			cur = &rc
+		}
+		if !routePtrEqual(old, cur) {
+			changes = append(changes, BestChange{Participant: id, Prefix: prefix, Old: old, New: cur})
+		}
+	}
+	return changes
+}
+
+func routePtrEqual(a, b *bgp.Route) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Prefix == b.Prefix && a.PeerID == b.PeerID && a.PeerAS == b.PeerAS &&
+		a.Attrs.NextHop == b.Attrs.NextHop && a.Attrs.ASPathString() == b.Attrs.ASPathString() &&
+		a.Attrs.LocalPref == b.Attrs.LocalPref && a.Attrs.HasLocalPref == b.Attrs.HasLocalPref &&
+		a.Attrs.MED == b.Attrs.MED && a.Attrs.HasMED == b.Attrs.HasMED
+}
+
+// BestFor returns participant id's best route for prefix: the decision
+// process over every other participant's advertised route that the export
+// policy lets id see.
+func (s *Server) BestFor(id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bestForLocked(id, prefix.Masked())
+}
+
+func (s *Server) bestForLocked(id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	cands := s.candidates[prefix]
+	if len(cands) == 0 {
+		return bgp.Route{}, false
+	}
+	var eligible []bgp.Route
+	for adv, r := range cands {
+		if adv == id {
+			continue // a participant never learns its own route back
+		}
+		if s.export != nil && !s.export(adv, id, prefix) {
+			continue
+		}
+		if !s.routeExportAllows(adv, id, r) {
+			continue
+		}
+		eligible = append(eligible, r)
+	}
+	return bgp.SelectBest(eligible)
+}
+
+// BestNextHopParticipant returns the participant whose route is id's best
+// for prefix — the default forwarding neighbor the SDX falls back to.
+func (s *Server) BestNextHopParticipant(id ID, prefix netip.Prefix) (ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best, ok := s.bestForLocked(id, prefix.Masked())
+	if !ok {
+		return "", false
+	}
+	for adv, r := range s.candidates[prefix.Masked()] {
+		if r.PeerID == best.PeerID && r.Attrs.NextHop == best.Attrs.NextHop && adv != id {
+			return adv, true
+		}
+	}
+	return "", false
+}
+
+// HasExportPolicy reports whether per-pair export filtering is configured.
+// Without one, the prefixes reachable via a hop are the same for every
+// receiver, which lets the SDX compiler share one BGP filter per hop across
+// all participants' policies (the §4.3.1 idiom-reuse optimization).
+func (s *Server) HasExportPolicy() bool { return s.export != nil || s.routeExport != nil }
+
+// BestTwo returns the advertisers of the globally best and second-best
+// routes for prefix, ignoring receiver-side exclusions. Every participant's
+// default next hop is derivable from the pair: the best advertiser, unless
+// that is the participant itself, in which case the second. The SDX FEC
+// computation keys on this pair. Empty IDs mean "no such route".
+func (s *Server) BestTwo(prefix netip.Prefix) (first, second ID) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cands := s.candidates[prefix.Masked()]
+	if len(cands) == 0 {
+		return "", ""
+	}
+	// Deterministic scan order so equal routes resolve identically run to run.
+	advs := make([]ID, 0, len(cands))
+	for adv := range cands {
+		advs = append(advs, adv)
+	}
+	sort.Slice(advs, func(i, j int) bool { return advs[i] < advs[j] })
+	for _, adv := range advs {
+		r := cands[adv]
+		if first == "" || r.Better(cands[first]) {
+			first = adv
+		}
+	}
+	for _, adv := range advs {
+		if adv == first {
+			continue
+		}
+		r := cands[adv]
+		if second == "" || r.Better(cands[second]) {
+			second = adv
+		}
+	}
+	return first, second
+}
+
+// ReachableVia returns the prefixes that hop exported to id: the set the
+// SDX restricts id's fwd(hop) policies to (§4.1 "enforcing consistency with
+// BGP advertisements"). The result is a fresh set the caller may retain.
+func (s *Server) ReachableVia(id, hop ID) *netutil.PrefixSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := netutil.NewPrefixSet()
+	if id == hop {
+		return out
+	}
+	p, ok := s.participants[hop]
+	if !ok {
+		return out
+	}
+	p.advertised.Walk(func(r bgp.Route) bool {
+		if (s.export == nil || s.export(hop, id, r.Prefix)) &&
+			s.routeExportAllows(hop, id, r) {
+			out.Add(r.Prefix)
+		}
+		return true
+	})
+	return out
+}
+
+// Advertised returns the prefixes a participant currently advertises.
+func (s *Server) Advertised(id ID) []netip.Prefix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return nil
+	}
+	ps := p.advertised.Prefixes()
+	netutil.SortPrefixes(ps)
+	return ps
+}
+
+// AdvertisedRoute returns id's advertised route for prefix.
+func (s *Server) AdvertisedRoute(id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return bgp.Route{}, false
+	}
+	return p.advertised.Get(prefix)
+}
+
+// Prefixes returns every prefix with at least one candidate route, sorted.
+func (s *Server) Prefixes() []netip.Prefix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(s.candidates))
+	for p := range s.candidates {
+		out = append(out, p)
+	}
+	netutil.SortPrefixes(out)
+	return out
+}
+
+// FilterASPath returns the prefixes with at least one candidate route whose
+// AS path matches the regular expression — the paper's RIB.filter idiom,
+// used by the middlebox application to group YouTube-originated traffic.
+func (s *Server) FilterASPath(expr string) ([]netip.Prefix, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("routeserver: bad as-path filter: %w", err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []netip.Prefix
+	for prefix, cands := range s.candidates {
+		for _, r := range cands {
+			if re.MatchString(r.Attrs.ASPathString()) {
+				out = append(out, prefix)
+				break
+			}
+		}
+	}
+	netutil.SortPrefixes(out)
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/netutil"
+	"sdx/internal/routeserver"
+)
+
+// Class is the §6.1 participant taxonomy.
+type Class uint8
+
+// Participant classes.
+const (
+	Eyeball Class = iota
+	Transit
+	Content
+)
+
+func (c Class) String() string {
+	switch c {
+	case Eyeball:
+		return "eyeball"
+	case Transit:
+		return "transit"
+	case Content:
+		return "content"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Member is one synthetic IXP participant.
+type Member struct {
+	ID        core.ID
+	AS        uint16
+	Class     Class
+	Ports     []core.Port
+	Announced []netip.Prefix
+}
+
+// Exchange is a synthetic IXP population: members with announcement sets
+// skewed like AMS-IX's (≈1% of ASes originate >50% of the prefixes, the
+// bottom 90% under 1% combined) and each prefix multi-homed to 1-3 members
+// so that failover and equivalence classes are meaningful.
+type Exchange struct {
+	Members  []Member
+	Prefixes []netip.Prefix
+	// AnnouncersOf maps each prefix to the members advertising it,
+	// primary (best-path) first.
+	AnnouncersOf map[netip.Prefix][]int
+}
+
+// GenerateExchange builds a population of nParticipants members announcing
+// nPrefixes prefixes. Deterministic for a given rng state.
+func GenerateExchange(rng *rand.Rand, nParticipants, nPrefixes int) *Exchange {
+	if nParticipants < 2 {
+		panic("workload: need at least two participants")
+	}
+	if nParticipants > 2000 {
+		panic("workload: participant count exceeds the port space the generator uses")
+	}
+	ex := &Exchange{AnnouncersOf: make(map[netip.Prefix][]int)}
+
+	// Prefix universe: /24s under 10.0.0.0/8 then 20.0.0.0/8 etc.
+	for i := 0; i < nPrefixes; i++ {
+		a := byte(10 + i>>16)
+		b := byte(i >> 8)
+		cb := byte(i)
+		ex.Prefixes = append(ex.Prefixes,
+			netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, cb, 0}), 24))
+	}
+
+	// Members, each with one port (two for the top 5%, matching the
+	// multi-port fraction at large IXPs).
+	nextPort := uint16(1)
+	for i := 0; i < nParticipants; i++ {
+		m := Member{
+			ID:    core.ID(fmt.Sprintf("AS%d", 65000-i)),
+			AS:    uint16(64000 - i),
+			Class: classOf(rng, i, nParticipants),
+		}
+		ports := 1
+		if i < nParticipants/20 {
+			ports = 2
+		}
+		for p := 0; p < ports; p++ {
+			m.Ports = append(m.Ports, core.Port{
+				Number:   nextPort,
+				MAC:      memberMAC(i, p),
+				RouterIP: netip.AddrFrom4([4]byte{172, 30, byte(i >> 8), byte(i)}),
+			})
+			nextPort++
+		}
+		ex.Members = append(ex.Members, m)
+	}
+
+	// Zipf-weighted announcement volume over member rank.
+	weights := make([]float64, nParticipants)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1.0 / math.Pow(float64(i+1), 1.4)
+		total += weights[i]
+	}
+	counts := make([]int, nParticipants)
+	assigned := 0
+	for i := range counts {
+		counts[i] = int(float64(nPrefixes) * weights[i] / total)
+		assigned += counts[i]
+	}
+	for i := 0; assigned < nPrefixes; i++ {
+		counts[i%nParticipants]++
+		assigned++
+	}
+
+	// Deal prefixes: primary announcer by the skewed counts, then 0-2
+	// secondary announcers drawn uniformly.
+	perm := rng.Perm(nPrefixes)
+	idx := 0
+	for member, n := range counts {
+		for k := 0; k < n && idx < nPrefixes; k++ {
+			p := ex.Prefixes[perm[idx]]
+			idx++
+			ex.Members[member].Announced = append(ex.Members[member].Announced, p)
+			ex.AnnouncersOf[p] = append(ex.AnnouncersOf[p], member)
+		}
+	}
+	// Secondary announcers come from each member's fixed set of transit
+	// partners, not uniformly at random: an AS's prefixes are re-advertised
+	// by the same few upstreams, which is what keeps the number of distinct
+	// announcer sets — and hence prefix groups (Figure 6) — far below the
+	// number of prefixes.
+	partners := make([][]int, nParticipants)
+	for i := range partners {
+		k := rng.Intn(3) + 1
+		for j := 0; j < k; j++ {
+			p := rng.Intn(nParticipants)
+			if p != i && !containsInt(partners[i], p) {
+				partners[i] = append(partners[i], p)
+			}
+		}
+	}
+	for _, p := range ex.Prefixes {
+		primary := ex.AnnouncersOf[p][0]
+		for _, partner := range partners[primary] {
+			if rng.Float64() < 0.5 && !containsInt(ex.AnnouncersOf[p], partner) {
+				ex.Members[partner].Announced = append(ex.Members[partner].Announced, p)
+				ex.AnnouncersOf[p] = append(ex.AnnouncersOf[p], partner)
+			}
+		}
+	}
+	for i := range ex.Members {
+		netutil.SortPrefixes(ex.Members[i].Announced)
+	}
+	return ex
+}
+
+func classOf(rng *rand.Rand, i, n int) Class {
+	// Roughly: 15% content, 25% transit, 60% eyeball, mixed across ranks.
+	switch r := rng.Float64(); {
+	case r < 0.15:
+		return Content
+	case r < 0.40:
+		return Transit
+	default:
+		return Eyeball
+	}
+}
+
+func memberMAC(member, port int) netutil.MAC {
+	return netutil.MAC{0x02, 0x10, byte(member >> 8), byte(member), 0x00, byte(port + 1)}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ByClassDescending returns member indices of the given class, largest
+// announcement set first — the paper's "sort the ASes in each category by
+// the number of prefixes they advertise".
+func (ex *Exchange) ByClassDescending(c Class) []int {
+	var out []int
+	for i, m := range ex.Members {
+		if m.Class == c {
+			out = append(out, i)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return len(ex.Members[out[a]].Announced) > len(ex.Members[out[b]].Announced)
+	})
+	return out
+}
+
+// Populate registers every member with the controller and advertises its
+// routes to the route server, with AS-path lengths arranged so that the
+// primary announcer of each prefix wins the decision process.
+func (ex *Exchange) Populate(c *core.Controller) error {
+	for _, m := range ex.Members {
+		if err := c.AddParticipant(core.Participant{ID: m.ID, AS: m.AS, Ports: m.Ports}); err != nil {
+			return err
+		}
+	}
+	rs := c.RouteServer()
+	for _, p := range ex.Prefixes {
+		for rank, mi := range ex.AnnouncersOf[p] {
+			m := ex.Members[mi]
+			if err := rs.Load(m.ID, ex.RouteFor(mi, p, rank)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RouteFor builds member mi's route for prefix with an AS path of rank+1
+// hops, so lower ranks are preferred.
+func (ex *Exchange) RouteFor(mi int, prefix netip.Prefix, rank int) bgp.Route {
+	m := ex.Members[mi]
+	asns := make([]uint16, rank+1)
+	asns[0] = m.AS
+	for i := 1; i <= rank; i++ {
+		asns[i] = m.AS - uint16(1000*i)
+	}
+	return bgp.Route{
+		Prefix: prefix,
+		Attrs: bgp.PathAttrs{
+			NextHop: m.Ports[0].RouterIP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
+		},
+		PeerAS: m.AS,
+		PeerID: m.Ports[0].RouterIP,
+	}
+}
+
+// ID returns the routeserver ID of member index mi.
+func (ex *Exchange) ID(mi int) routeserver.ID { return ex.Members[mi].ID }

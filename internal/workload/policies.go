@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"sdx/internal/core"
+	"sdx/internal/policy"
+)
+
+// PolicyMixOptions scales the §6.1 policy assignment.
+type PolicyMixOptions struct {
+	// TopEyeballFrac, TopTransitFrac, ContentFrac are the fractions of each
+	// class that install custom policies (paper: 15%, 5%, 5%).
+	TopEyeballFrac float64
+	TopTransitFrac float64
+	ContentFrac    float64
+	// PolicyPrefixes restricts outbound prefix-group matches to this many
+	// prefixes, mirroring the paper's |p_x| = x parameter. 0 means no
+	// explicit dstip matches.
+	PolicyPrefixes int
+	// Multiplier scales all three fractions, clamped to 1.0. The Figure 7/8
+	// sweeps use it to move the resulting prefix-group count across the
+	// paper's 200-1000 range.
+	Multiplier float64
+	// BroadTargets samples outbound forwarding targets from every eyeball
+	// network instead of only the top ones. More distinct targets mean more
+	// reach sets feeding the equivalence-class computation, which moves the
+	// prefix-group count without changing policy density — the independent
+	// variable of the Figure 7/8 sweeps.
+	BroadTargets bool
+}
+
+func (o PolicyMixOptions) frac(base float64) float64 {
+	m := o.Multiplier
+	if m <= 0 {
+		m = 1
+	}
+	f := base * m
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// DefaultPolicyMix returns the paper's §6.1 assignment fractions.
+func DefaultPolicyMix() PolicyMixOptions {
+	return PolicyMixOptions{TopEyeballFrac: 0.15, TopTransitFrac: 0.05, ContentFrac: 0.05}
+}
+
+// appPorts are the application classes policies select on.
+var appPorts = []uint16{80, 443, 8080, 1935, 554}
+
+// InstallPolicies applies the §6.1 policy mix to a populated controller:
+// content providers tune outbound traffic toward top eyeballs plus one
+// inbound redirection, eyeballs steer inbound traffic from content
+// providers, and transit networks mix both. It returns the number of
+// participants that received policies.
+func InstallPolicies(rng *rand.Rand, ex *Exchange, c *core.Controller, opts PolicyMixOptions) (int, error) {
+	eyeballs := ex.ByClassDescending(Eyeball)
+	transits := ex.ByClassDescending(Transit)
+	contents := ex.ByClassDescending(Content)
+
+	topEyeballs := headFrac(eyeballs, opts.frac(opts.TopEyeballFrac))
+	topTransits := headFrac(transits, opts.frac(opts.TopTransitFrac))
+	// "a random set of 5% of content ASes"
+	policyContents := sampleFrac(rng, contents, opts.frac(opts.ContentFrac))
+	if len(topEyeballs) == 0 || len(policyContents) == 0 {
+		return 0, fmt.Errorf("workload: population too small for the policy mix")
+	}
+
+	installed := 0
+	outTargets := topEyeballs
+	if opts.BroadTargets {
+		outTargets = eyeballs
+	}
+
+	// Content providers: outbound policies for three random top eyeballs,
+	// plus one single-field inbound policy.
+	for _, ci := range policyContents {
+		m := ex.Members[ci]
+		var branches []policy.Policy
+		for _, ei := range pickN(rng, outTargets, 3) {
+			branches = append(branches, policy.SeqOf(
+				policy.MatchPolicy(policy.MatchAll.DstPort(appPorts[rng.Intn(len(appPorts))])),
+				c.FwdTo(ex.Members[ei].ID),
+			))
+		}
+		inbound := policy.SeqOf(
+			policy.MatchPolicy(randomFieldMatch(rng)),
+			c.Deliver(m.Ports[len(m.Ports)-1].Number),
+		)
+		if err := c.SetPolicies(m.ID, inbound, policy.Par(branches...)); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+
+	// Eyeballs: inbound policies for half of the policy-bearing content
+	// providers, single random header field each; no outbound policies.
+	for _, ei := range topEyeballs {
+		m := ex.Members[ei]
+		var branches []policy.Policy
+		for k, ci := range policyContents {
+			if k%2 == 1 {
+				continue
+			}
+			_ = ci // the content provider motivates the rule; the match is by field
+			branches = append(branches, policy.SeqOf(
+				policy.MatchPolicy(randomFieldMatch(rng)),
+				c.Deliver(m.Ports[rng.Intn(len(m.Ports))].Number),
+			))
+		}
+		if len(branches) == 0 {
+			continue
+		}
+		if err := c.SetPolicies(m.ID, policy.Par(branches...), nil); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+
+	// Transit providers: outbound for one prefix group toward half of the
+	// top eyeballs (destination prefix plus one header field), plus inbound
+	// policies proportional to the content providers.
+	for _, ti := range topTransits {
+		m := ex.Members[ti]
+		var out []policy.Policy
+		transitTargets := topEyeballs
+		if opts.BroadTargets {
+			transitTargets = pickN(rng, outTargets, len(topEyeballs))
+		}
+		for k, ei := range transitTargets {
+			if k%2 == 1 {
+				continue
+			}
+			target := ex.Members[ei]
+			match := policy.MatchAll.DstPort(appPorts[rng.Intn(len(appPorts))])
+			if opts.PolicyPrefixes > 0 && len(target.Announced) > 0 {
+				match = match.DstIP(target.Announced[rng.Intn(len(target.Announced))])
+			}
+			out = append(out, policy.SeqOf(policy.MatchPolicy(match), c.FwdTo(target.ID)))
+		}
+		var in []policy.Policy
+		for range policyContents {
+			in = append(in, policy.SeqOf(
+				policy.MatchPolicy(randomFieldMatch(rng)),
+				c.Deliver(m.Ports[rng.Intn(len(m.Ports))].Number),
+			))
+		}
+		var inPol, outPol policy.Policy
+		if len(in) > 0 {
+			inPol = policy.Par(in...)
+		}
+		if len(out) > 0 {
+			outPol = policy.Par(out...)
+		}
+		if inPol == nil && outPol == nil {
+			continue
+		}
+		if err := c.SetPolicies(m.ID, inPol, outPol); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+	return installed, nil
+}
+
+// randomFieldMatch constrains exactly one random header field, the paper's
+// "match on one header field that we select at random".
+func randomFieldMatch(rng *rand.Rand) policy.Match {
+	switch rng.Intn(4) {
+	case 0:
+		half := netip.MustParsePrefix("0.0.0.0/1")
+		if rng.Intn(2) == 1 {
+			half = netip.MustParsePrefix("128.0.0.0/1")
+		}
+		return policy.MatchAll.SrcIP(half)
+	case 1:
+		return policy.MatchAll.SrcPort(uint16(1024 + rng.Intn(60000)))
+	case 2:
+		return policy.MatchAll.DstPort(appPorts[rng.Intn(len(appPorts))])
+	default:
+		return policy.MatchAll.Proto([]uint8{6, 17}[rng.Intn(2)])
+	}
+}
+
+func headFrac(xs []int, frac float64) []int {
+	n := int(float64(len(xs)) * frac)
+	if n == 0 && len(xs) > 0 && frac > 0 {
+		n = 1
+	}
+	return xs[:n]
+}
+
+func sampleFrac(rng *rand.Rand, xs []int, frac float64) []int {
+	n := int(float64(len(xs)) * frac)
+	if n == 0 && len(xs) > 0 && frac > 0 {
+		n = 1
+	}
+	perm := rng.Perm(len(xs))
+	out := make([]int, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+func pickN(rng *rand.Rand, xs []int, n int) []int {
+	if n > len(xs) {
+		n = len(xs)
+	}
+	perm := rng.Perm(len(xs))
+	out := make([]int, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, xs[i])
+	}
+	return out
+}

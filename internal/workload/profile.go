@@ -1,0 +1,41 @@
+// Package workload synthesizes the evaluation inputs of the paper's
+// Section 6: IXP-scale participant populations with realistic announcement
+// skew, the §6.1 policy mix across content/eyeball/transit networks, and
+// BGP update traces with the burst structure measured in Table 1. The
+// published aggregate statistics calibrate the generators; the raw RIPE RIS
+// feeds themselves are not redistributable, which is the substitution
+// DESIGN.md documents.
+package workload
+
+// Profile summarizes one IXP dataset from Table 1 of the paper.
+type Profile struct {
+	Name string
+	// CollectorPeers / TotalPeers are the route-collector coverage row.
+	CollectorPeers int
+	TotalPeers     int
+	// Prefixes is the advertised-prefix count.
+	Prefixes int
+	// UpdatesPerWeek is the BGP update volume over the 6-day window.
+	UpdatesPerWeek int
+	// FracPrefixesUpdated is the fraction of prefixes that saw any update.
+	FracPrefixesUpdated float64
+}
+
+// The three largest IXPs as measured in Table 1 (RIPE RIS, Jan 1-6 2014).
+var (
+	AMSIX = Profile{
+		Name: "AMS-IX", CollectorPeers: 116, TotalPeers: 639,
+		Prefixes: 518082, UpdatesPerWeek: 11161624, FracPrefixesUpdated: 0.0988,
+	}
+	DECIX = Profile{
+		Name: "DE-CIX", CollectorPeers: 92, TotalPeers: 580,
+		Prefixes: 518391, UpdatesPerWeek: 30934525, FracPrefixesUpdated: 0.1364,
+	}
+	LINX = Profile{
+		Name: "LINX", CollectorPeers: 71, TotalPeers: 496,
+		Prefixes: 503392, UpdatesPerWeek: 16658819, FracPrefixesUpdated: 0.1267,
+	}
+)
+
+// Profiles lists the Table 1 datasets in the paper's column order.
+func Profiles() []Profile { return []Profile{AMSIX, DECIX, LINX} }

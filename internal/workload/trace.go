@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// UpdateEvent is one BGP event in a synthetic trace.
+type UpdateEvent struct {
+	Prefix   netip.Prefix
+	Member   int // index into Exchange.Members
+	Withdraw bool
+}
+
+// Burst is a group of updates arriving close together — the unit the
+// two-stage compiler reacts to (§4.3.2).
+type Burst struct {
+	At      time.Duration
+	Updates []UpdateEvent
+}
+
+// TraceOptions calibrates the generator to the Table 1 measurements.
+type TraceOptions struct {
+	// Duration is the simulated capture window (the paper used 6 days).
+	Duration time.Duration
+	// FracPrefixesUpdated bounds the fraction of prefixes that may appear
+	// in the trace (Table 1: 10-14%).
+	FracPrefixesUpdated float64
+	// MeanInterArrival controls burst spacing. The generator draws
+	// log-normal gaps whose quartiles land near the paper's measurements
+	// (25th percentile ≥ 10 s, median over a minute).
+	MeanInterArrival time.Duration
+}
+
+// DefaultTraceOptions matches the AMS-IX-like measurements.
+func DefaultTraceOptions() TraceOptions {
+	return TraceOptions{
+		Duration:            6 * 24 * time.Hour,
+		FracPrefixesUpdated: AMSIX.FracPrefixesUpdated,
+		MeanInterArrival:    90 * time.Second,
+	}
+}
+
+// GenerateTrace synthesizes a burst trace over the exchange's prefixes.
+// Burst sizes follow the measured distribution: 75% of bursts touch at
+// most three prefixes, with a heavy tail reaching the occasional
+// thousand-prefix event (a session reset).
+func GenerateTrace(rng *rand.Rand, ex *Exchange, opts TraceOptions) []Burst {
+	if opts.Duration == 0 {
+		opts = DefaultTraceOptions()
+	}
+	// The updatable subset: stable prefixes (the ones carrying traffic and
+	// policies) never appear, mirroring "prefixes that are likely to appear
+	// in SDX policies tend to be stable".
+	nUpdatable := int(float64(len(ex.Prefixes)) * opts.FracPrefixesUpdated)
+	if nUpdatable == 0 {
+		nUpdatable = 1
+	}
+	perm := rng.Perm(len(ex.Prefixes))
+	updatable := make([]netip.Prefix, 0, nUpdatable)
+	for _, i := range perm[:nUpdatable] {
+		updatable = append(updatable, ex.Prefixes[i])
+	}
+
+	var bursts []Burst
+	at := time.Duration(0)
+	for {
+		// Log-normal inter-arrival: mu/sigma chosen so that the 25th
+		// percentile sits near 10 s and the median near a minute when
+		// MeanInterArrival is ~90 s.
+		mu := math.Log(opts.MeanInterArrival.Seconds() * 0.66)
+		gap := time.Duration(math.Exp(mu+1.1*rng.NormFloat64()) * float64(time.Second))
+		if gap < time.Second {
+			gap = time.Second
+		}
+		at += gap
+		if at > opts.Duration {
+			break
+		}
+		size := burstSize(rng)
+		if size > len(updatable) {
+			size = len(updatable)
+		}
+		b := Burst{At: at}
+		seen := map[int]bool{}
+		for len(b.Updates) < size {
+			pi := rng.Intn(len(updatable))
+			if seen[pi] {
+				continue
+			}
+			seen[pi] = true
+			prefix := updatable[pi]
+			anns := ex.AnnouncersOf[prefix]
+			if len(anns) == 0 {
+				continue
+			}
+			b.Updates = append(b.Updates, UpdateEvent{
+				Prefix:   prefix,
+				Member:   anns[rng.Intn(len(anns))],
+				Withdraw: rng.Float64() < 0.4,
+			})
+		}
+		bursts = append(bursts, b)
+	}
+	return bursts
+}
+
+// burstSize draws from the measured distribution: P(≤3) ≈ 0.75 with a
+// geometric body and a rare heavy-tail event.
+func burstSize(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.47:
+		return 1
+	case r < 0.65:
+		return 2
+	case r < 0.78:
+		return 3
+	case r < 0.9995:
+		// Geometric tail from 4 up.
+		n := 4
+		for rng.Float64() < 0.55 && n < 100 {
+			n++
+		}
+		return n
+	default:
+		// The once-a-week full-feed churn event.
+		return 1000 + rng.Intn(500)
+	}
+}
+
+// TraceStats aggregates a trace the way Table 1 reports its datasets.
+type TraceStats struct {
+	Bursts              int
+	Updates             int
+	DistinctPrefixes    int
+	FracPrefixesUpdated float64
+	// BurstSizeP50/P75/Max describe the burst-size distribution; the paper
+	// reports "in 75% of the cases, bursts affected no more than three
+	// prefixes".
+	BurstSizeP50 int
+	BurstSizeP75 int
+	BurstSizeMax int
+	// InterArrivalP25/P50 describe burst spacing; the paper reports a 25th
+	// percentile of at least 10 s and a median over a minute.
+	InterArrivalP25 time.Duration
+	InterArrivalP50 time.Duration
+}
+
+// ComputeTraceStats summarizes bursts for comparison with Table 1.
+func ComputeTraceStats(bursts []Burst, totalPrefixes int) TraceStats {
+	st := TraceStats{Bursts: len(bursts)}
+	prefixes := map[netip.Prefix]bool{}
+	sizes := make([]int, 0, len(bursts))
+	var gaps []time.Duration
+	for i, b := range bursts {
+		st.Updates += len(b.Updates)
+		sizes = append(sizes, len(b.Updates))
+		for _, u := range b.Updates {
+			prefixes[u.Prefix] = true
+		}
+		if i > 0 {
+			gaps = append(gaps, b.At-bursts[i-1].At)
+		}
+	}
+	st.DistinctPrefixes = len(prefixes)
+	if totalPrefixes > 0 {
+		st.FracPrefixesUpdated = float64(len(prefixes)) / float64(totalPrefixes)
+	}
+	if len(sizes) > 0 {
+		sort.Ints(sizes)
+		st.BurstSizeP50 = sizes[len(sizes)/2]
+		st.BurstSizeP75 = sizes[len(sizes)*3/4]
+		st.BurstSizeMax = sizes[len(sizes)-1]
+	}
+	if len(gaps) > 0 {
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		st.InterArrivalP25 = gaps[len(gaps)/4]
+		st.InterArrivalP50 = gaps[len(gaps)/2]
+	}
+	return st
+}
