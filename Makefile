@@ -1,0 +1,26 @@
+# Tier-1 (the seed gate) and tier-1b (the concurrency gate) targets.
+# `make check` is what CI runs; see .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1b: the whole suite under the race detector, including the
+# concurrency stress tests in internal/core (TestCompileRouteChangeRace,
+# TestParallelCompileStress).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+check: vet test race

@@ -76,7 +76,7 @@ func main() {
 	speaker := bgp.NewSpeaker(bgp.SessionConfig{
 		LocalAS:  uint16(*asn),
 		LocalID:  id,
-		HoldTime: 90 * time.Second,
+		HoldTime: bgp.DefaultHoldTime,
 	})
 	speaker.OnUpdate = func(p *bgp.Peer, u *bgp.Update) {
 		for _, w := range u.Withdrawn {

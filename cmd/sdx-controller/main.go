@@ -35,6 +35,8 @@ func main() {
 		ofListen   = flag.String("of-listen", "127.0.0.1:6633", "OpenFlow listen address")
 		reoptAfter = flag.Duration("reoptimize-after", 2*time.Second,
 			"background recompilation delay after the last BGP change (burst detection)")
+		parallelism = flag.Int("parallelism", 0,
+			"policy-compilation workers: 1 sequential, N>1 workers, <0 one per CPU (overrides config)")
 	)
 	flag.Parse()
 
@@ -43,8 +45,13 @@ func main() {
 		log.Fatalf("loading config: %v", err)
 	}
 
+	opts := cfg.ControllerOptions()
+	if *parallelism != 0 {
+		opts.Compile.Parallelism = *parallelism
+	}
+
 	rs := routeserver.New(nil)
-	ctrl := core.NewController(rs, core.DefaultOptions())
+	ctrl := core.NewController(rs, opts)
 	if err := cfg.Apply(ctrl); err != nil {
 		log.Fatalf("applying config: %v", err)
 	}
@@ -60,8 +67,9 @@ func main() {
 		localID = netip.MustParseAddr(cfg.RouterID)
 	}
 	speaker := bgp.NewSpeaker(bgp.SessionConfig{
-		LocalAS: cfg.LocalAS,
-		LocalID: localID,
+		LocalAS:  cfg.LocalAS,
+		LocalID:  localID,
+		HoldTime: bgp.DefaultHoldTime,
 	})
 	fe := routeserver.NewFrontend(rs, speaker)
 	fe.NextHop = ctrl.NextHopFor

@@ -43,11 +43,20 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", uint32(s))
 }
 
+// DefaultHoldTime is the conventional hold time proposed by the daemons
+// (RFC 4271 suggests 90 seconds). SessionConfig does not apply it
+// implicitly: a zero HoldTime means a zero hold time on the wire.
+const DefaultHoldTime = 90 * time.Second
+
 // SessionConfig parameterizes one side of a BGP session.
 type SessionConfig struct {
-	LocalAS  uint16
-	LocalID  netip.Addr
-	HoldTime time.Duration // 0 disables keepalives and the hold timer
+	LocalAS uint16
+	LocalID netip.Addr
+	// HoldTime is the hold time proposed in our OPEN. Zero disables
+	// keepalives and the hold timer, as RFC 4271 §4.2 permits — liveness
+	// then rests on the transport alone. Callers wanting the conventional
+	// timer must say so explicitly, e.g. with DefaultHoldTime.
+	HoldTime time.Duration
 	// PeerAS, when nonzero, is enforced against the peer's OPEN.
 	PeerAS uint16
 }
@@ -73,10 +82,11 @@ type Session struct {
 }
 
 // NewSession wraps an established transport connection. The session starts
-// in Idle; call Handshake to reach Established.
+// in Idle; call Handshake to reach Established. A zero cfg.HoldTime is
+// honored as written: no keepalives, no hold timer.
 func NewSession(conn net.Conn, cfg SessionConfig) *Session {
-	if cfg.HoldTime == 0 {
-		cfg.HoldTime = 90 * time.Second
+	if cfg.HoldTime < 0 {
+		cfg.HoldTime = 0
 	}
 	return &Session{conn: conn, cfg: cfg, done: make(chan struct{})}
 }
@@ -93,7 +103,8 @@ func (s *Session) PeerAS() uint16 { return s.peerOpen.AS }
 // PeerID returns the peer's BGP identifier; valid once Established.
 func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
 
-// HoldTime returns the negotiated hold time (the minimum of both OPENs).
+// HoldTime returns the negotiated hold time (the minimum of both OPENs);
+// zero means keepalives and the hold timer are disabled.
 func (s *Session) HoldTime() time.Duration { return s.holdTime }
 
 // Handshake sends our OPEN, validates the peer's, and exchanges the
@@ -125,8 +136,11 @@ func (s *Session) Handshake() error {
 		return fmt.Errorf("bgp: unacceptable hold time %d", peerOpen.HoldTime)
 	}
 	s.peerOpen = *peerOpen
+	// RFC 4271 §4.2: the session's hold time is the minimum of the two
+	// OPENs, and zero participates in the minimum — either side offering
+	// zero turns keepalives off for both.
 	s.holdTime = s.cfg.HoldTime
-	if d := time.Duration(peerOpen.HoldTime) * time.Second; d != 0 && d < s.holdTime {
+	if d := time.Duration(peerOpen.HoldTime) * time.Second; d < s.holdTime {
 		s.holdTime = d
 	}
 	s.state.Store(uint32(StateOpenConfirm))

@@ -78,6 +78,42 @@ func TestSessionHandshake(t *testing.T) {
 	sb.Close()
 }
 
+// TestSessionZeroHoldTime pins the documented SessionConfig contract: a
+// zero HoldTime means a zero hold time on the wire (no keepalives, no hold
+// timer), not an implicit 90-second default. The pre-fix code rewrote 0 to
+// 90s inside NewSession, so this test fails against it.
+func TestSessionZeroHoldTime(t *testing.T) {
+	sa, sb := handshakePair(t,
+		SessionConfig{LocalAS: 65001, LocalID: ma("10.0.0.1")},
+		SessionConfig{LocalAS: 65002, LocalID: ma("10.0.0.2")},
+	)
+	if sa.PeerOpen().HoldTime != 0 || sb.PeerOpen().HoldTime != 0 {
+		t.Errorf("OPEN hold times = %d, %d, want 0 on the wire",
+			sb.PeerOpen().HoldTime, sa.PeerOpen().HoldTime)
+	}
+	if sa.HoldTime() != 0 || sb.HoldTime() != 0 {
+		t.Errorf("negotiated hold times = %v, %v, want 0 (timer disabled)",
+			sa.HoldTime(), sb.HoldTime())
+	}
+	sa.Close()
+	sb.Close()
+}
+
+// TestSessionZeroHoldTimeWins checks RFC 4271 §4.2 negotiation: the session
+// hold time is the minimum of both OPENs and zero participates in that
+// minimum, so one side offering zero disables the timer for both.
+func TestSessionZeroHoldTimeWins(t *testing.T) {
+	sa, sb := handshakePair(t,
+		SessionConfig{LocalAS: 65001, LocalID: ma("10.0.0.1"), HoldTime: 30 * time.Second},
+		SessionConfig{LocalAS: 65002, LocalID: ma("10.0.0.2")},
+	)
+	if sa.HoldTime() != 0 || sb.HoldTime() != 0 {
+		t.Errorf("negotiated hold times = %v, %v, want 0", sa.HoldTime(), sb.HoldTime())
+	}
+	sa.Close()
+	sb.Close()
+}
+
 func TestSessionPeerASEnforcement(t *testing.T) {
 	ca, cb := pipePair(t)
 	sa := NewSession(ca, SessionConfig{LocalAS: 65001, LocalID: ma("10.0.0.1"), PeerAS: 64999})

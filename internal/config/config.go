@@ -20,6 +20,11 @@ type File struct {
 	// VNHPool is the virtual next-hop allocation prefix (default
 	// 172.16.0.0/12).
 	VNHPool string `json:"vnhPool,omitempty"`
+	// Parallelism bounds the worker pool the policy compiler fans out
+	// across: 0 or 1 compiles sequentially, N > 1 uses N workers, and any
+	// negative value uses one worker per available CPU. The compiled
+	// classifier is byte-identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 	// LocalAS and RouterID identify the route server's BGP speaker.
 	LocalAS  uint16 `json:"localAS"`
 	RouterID string `json:"routerID"`
@@ -239,6 +244,17 @@ func (m ModConfig) toMods() (policy.Mods, error) {
 		out = out.SetDstPort(m.DstPort)
 	}
 	return out, nil
+}
+
+// ControllerOptions translates the file's controller-level settings into
+// core.Options, starting from the paper's defaults.
+func (f *File) ControllerOptions() core.Options {
+	opts := core.DefaultOptions()
+	if f.VNHPool != "" {
+		opts.VNHPool = netip.MustParsePrefix(f.VNHPool) // validated by Parse
+	}
+	opts.Compile.Parallelism = f.Parallelism
+	return opts
 }
 
 // Apply registers every participant with the controller and installs the

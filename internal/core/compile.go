@@ -42,59 +42,70 @@ type CompileResult struct {
 // Compile runs the full §4.1 pipeline: compute equivalence classes, rewrite
 // each participant's policies (isolation, BGP consistency, tag matching),
 // attach default forwarding, compose globally, and flatten to installable
-// rules. It replaces the controller's FEC table, so route-server
+// rules. On success it replaces the controller's FEC table, so route-server
 // re-advertisements pick up the new virtual next hops.
+//
+// Compile snapshots its inputs under a brief read lock, computes without
+// holding any controller lock, and commits the new equivalence classes
+// under the write lock, so concurrent fast-path reactions and readers are
+// never blocked behind a full compilation. Overlapping Compile calls are
+// serialized by compileMu so a slower, staler compilation can never commit
+// over a fresher one.
 func (c *Controller) Compile() (*CompileResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.compileLocked()
+	c.compileMu.Lock()
+	defer c.compileMu.Unlock()
+	snap := c.snapshot()
+	res, fecs, fresh, err := snap.run()
+	if err != nil {
+		// Nothing was committed; return the VNHs this attempt minted.
+		for _, a := range fresh {
+			c.pool.Release(a)
+		}
+		return nil, err
+	}
+	if snap.opts.VNHEncoding {
+		c.commit(fecs)
+	}
+	return res, nil
 }
 
-func (c *Controller) compileLocked() (*CompileResult, error) {
+// run executes the compilation pipeline against the snapshot. It returns
+// the result, the new class list to commit, and the VNHs freshly allocated
+// for classes that could not reuse an existing tag (so the caller can
+// release them if the compilation is abandoned).
+func (p *pipeline) run() (*CompileResult, []*FEC, []netip.Addr, error) {
 	res := &CompileResult{}
-	res.Stats.Participants = len(c.order)
+	res.Stats.Participants = len(p.parts)
 
 	vnhStart := time.Now()
-	sets := c.collectReachSets()
+	sets := p.collectReachSets()
 	var fecs []*FEC
-	if c.opts.VNHEncoding {
+	var fresh []netip.Addr
+	if p.opts.VNHEncoding {
 		var err error
-		fecs, err = c.computeFECs(sets)
+		fecs, fresh, err = p.computeFECs(sets)
 		if err != nil {
-			return nil, err
+			return nil, nil, fresh, err
 		}
-		old := c.fecs.All()
-		c.fecs.replace(fecs)
-		// Return to the pool only the VNHs that were NOT carried over.
-		reused := make(map[netip.Addr]bool, len(fecs))
-		for _, f := range fecs {
-			reused[f.VNH] = true
-		}
-		for _, f := range old {
-			if !reused[f.VNH] {
-				c.pool.Release(f.VNH)
-			}
-		}
-		c.fastPath.reset()
 	}
 	res.Stats.VNHTime = time.Since(vnhStart)
 	res.Stats.PrefixGroups = len(fecs)
 
 	polStart := time.Now()
-	global, err := c.buildGlobalPolicy(sets, fecs)
+	global, err := p.buildGlobalPolicy(sets, fecs)
 	if err != nil {
-		return nil, err
+		return nil, nil, fresh, err
 	}
-	classifier, stats := policy.CompileWithOptions(global, c.opts.Compile)
-	if c.opts.Optimize {
+	classifier, stats := policy.CompileWithOptions(global, p.opts.Compile)
+	if p.opts.Optimize {
 		classifier = classifier.Optimize()
 	}
 	res.Stats.CompileStats = stats
 	res.Classifier = classifier
 
-	rules, err := c.flatten(classifier)
+	rules, err := p.flatten(classifier)
 	if err != nil {
-		return nil, err
+		return nil, nil, fresh, err
 	}
 	res.Rules = rules
 	res.Stats.PolicyTime = time.Since(polStart)
@@ -102,7 +113,7 @@ func (c *Controller) compileLocked() (*CompileResult, error) {
 	for _, f := range fecs {
 		res.FECs = append(res.FECs, *f)
 	}
-	return res, nil
+	return res, fecs, fresh, nil
 }
 
 // buildGlobalPolicy assembles SDX = (Σ outbound policies, else shared
@@ -114,76 +125,133 @@ func (c *Controller) compileLocked() (*CompileResult, error) {
 // where a participant's own default next hop differs (it is the best
 // advertiser itself). Sharing is what keeps the rule count near the number
 // of prefix groups rather than groups × participants (Figure 7).
-func (c *Controller) buildGlobalPolicy(sets []reachSet, fecs []*FEC) (policy.Policy, error) {
+//
+// The per-participant rewrites are independent of each other and fan out
+// across the snapshot's worker pool; results are assembled in registration
+// order, so the composed policy is identical to the sequential build.
+func (p *pipeline) buildGlobalPolicy(sets []reachSet, fecs []*FEC) (policy.Policy, error) {
 	// One BGP filter per next hop, shared across every policy that forwards
 	// there: the reused subtree is what the policy compiler's memo table
 	// (§4.3.1 "many policy idioms appear more than once") capitalizes on.
 	// Per-pair export policies make reach sets receiver-specific, which
-	// disables sharing.
+	// disables sharing. The cache is built up front — before the rewrites
+	// fan out — so the parallel workers share identical filter subtrees
+	// without synchronizing on the map.
 	var filterCache map[ID]policy.Policy
-	if !c.rs.HasExportPolicy() {
+	if !p.rs.HasExportPolicy() {
 		filterCache = make(map[ID]policy.Policy)
-	}
-	var pols1, pols2 []policy.Policy
-	for _, p := range c.participantsInOrder() {
-		if p.Outbound != nil && len(p.Ports) > 0 {
-			rewritten, err := c.rewritePolicy(p.Outbound, p.ID, sets, fecs, filterCache)
-			if err != nil {
-				return nil, fmt.Errorf("core: outbound policy of %q: %w", p.ID, err)
+		var hops []ID
+		var hopSets []*netutil.PrefixSet
+		for _, rs := range sets {
+			if rs.set == nil || rs.set.Len() == 0 {
+				continue
 			}
-			pols1 = append(pols1, policy.SeqOf(ingressFilter(p), rewritten))
-		}
-		if p.Inbound != nil {
-			rewritten, err := c.rewritePolicy(p.Inbound, p.ID, nil, nil, nil)
-			if err != nil {
-				return nil, fmt.Errorf("core: inbound policy of %q: %w", p.ID, err)
+			if _, done := filterCache[rs.hop]; done {
+				continue
 			}
-			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID]))
-			pols2 = append(pols2, policy.SeqOf(atVirtual, rewritten))
+			filterCache[rs.hop] = nil // reserve in first-appearance order
+			hops = append(hops, rs.hop)
+			hopSets = append(hopSets, rs.set)
+		}
+		filters := make([]policy.Policy, len(hops))
+		fanOut(p.workers, len(hops), func(i int) {
+			filters[i] = p.reachFilter(hopSets[i], fecs)
+		})
+		for i, hop := range hops {
+			filterCache[hop] = filters[i]
 		}
 	}
-	pass1 := policy.WithDefault(policy.Par(pols1...), c.sharedDefaultOut(fecs))
+
+	pols1 := make([]policy.Policy, len(p.parts))
+	pols2 := make([]policy.Policy, len(p.parts))
+	errs := make([]error, len(p.parts))
+	fanOut(p.workers, len(p.parts), func(i int) {
+		part := p.parts[i]
+		if part.Outbound != nil && len(part.Ports) > 0 {
+			rewritten, err := p.rewritePolicy(part.Outbound, part.ID, sets, fecs, filterCache)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: outbound policy of %q: %w", part.ID, err)
+				return
+			}
+			pols1[i] = policy.SeqOf(ingressFilter(part), rewritten)
+		}
+		if part.Inbound != nil {
+			rewritten, err := p.rewritePolicy(part.Inbound, part.ID, nil, nil, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: inbound policy of %q: %w", part.ID, err)
+				return
+			}
+			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(p.vports[part.ID]))
+			pols2[i] = policy.SeqOf(atVirtual, rewritten)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	outbound := compactPolicies(pols1)
+	inbound := compactPolicies(pols2)
+
+	pass1 := policy.WithDefault(policy.Par(outbound...), p.sharedDefaultOut(fecs))
 	pass2Parts := []policy.Policy{
-		policy.WithDefault(policy.Par(pols2...), c.sharedDefaultIn()),
+		policy.WithDefault(policy.Par(inbound...), p.sharedDefaultIn()),
 	}
-	for _, n := range c.sortedPortNumbers() {
+	for _, n := range p.sortedPortNumbers() {
 		pass2Parts = append(pass2Parts, policy.MatchPolicy(policy.MatchAll.Port(EgressPort(n))))
 	}
 	return policy.SeqOf(pass1, policy.Par(pass2Parts...)), nil
 }
 
+// compactPolicies drops the slots left nil by participants without the
+// corresponding policy, preserving order.
+func compactPolicies(pols []policy.Policy) []policy.Policy {
+	out := make([]policy.Policy, 0, len(pols))
+	for _, pol := range pols {
+		if pol != nil {
+			out = append(out, pol)
+		}
+	}
+	return out
+}
+
 // sharedDefaultOut is the first-stage default: traffic follows its tag (or
 // the destination router's MAC) to the best advertiser's virtual switch.
 // The only port-dependent piece is the override for the best advertiser's
-// OWN traffic, whose default route is the second-best advertiser.
-func (c *Controller) sharedDefaultOut(fecs []*FEC) policy.Policy {
-	var overrides, base []policy.Policy
-	for _, f := range fecs {
+// OWN traffic, whose default route is the second-best advertiser. The
+// per-class rules are independent and fan out across the worker pool.
+func (p *pipeline) sharedDefaultOut(fecs []*FEC) policy.Policy {
+	baseSlots := make([]policy.Policy, len(fecs))
+	overrideSlots := make([]policy.Policy, len(fecs))
+	fanOut(p.workers, len(fecs), func(i int) {
+		f := fecs[i]
 		if f.First == "" {
-			continue
+			return
 		}
-		base = append(base, policy.SeqOf(
+		baseSlots[i] = policy.SeqOf(
 			policy.MatchPolicy(policy.MatchAll.DstMAC(f.VMAC)),
-			policy.Fwd(c.vports[f.First]),
-		))
+			policy.Fwd(p.vports[f.First]),
+		)
 		if f.Second == "" {
-			continue
+			return
 		}
-		firstP := c.participants[f.First]
+		firstP := p.byID[f.First]
 		if firstP == nil || len(firstP.Ports) == 0 {
-			continue
+			return
 		}
-		overrides = append(overrides, policy.SeqOf(
+		overrideSlots[i] = policy.SeqOf(
 			ingressFilter(firstP),
 			policy.MatchPolicy(policy.MatchAll.DstMAC(f.VMAC)),
-			policy.Fwd(c.vports[f.Second]),
-		))
-	}
-	for _, other := range c.participantsInOrder() {
+			policy.Fwd(p.vports[f.Second]),
+		)
+	})
+	base := compactPolicies(baseSlots)
+	overrides := compactPolicies(overrideSlots)
+	for _, other := range p.parts {
 		for _, port := range other.Ports {
 			base = append(base, policy.SeqOf(
 				policy.MatchPolicy(policy.MatchAll.DstMAC(port.MAC)),
-				policy.Fwd(c.vports[other.ID]),
+				policy.Fwd(p.vports[other.ID]),
 			))
 		}
 	}
@@ -193,15 +261,15 @@ func (c *Controller) sharedDefaultOut(fecs []*FEC) policy.Policy {
 // sharedDefaultIn is the second-stage default: traffic at a participant's
 // virtual switch is delivered on its first physical port with the router's
 // MAC restored (the paper's destination-MAC rewrite).
-func (c *Controller) sharedDefaultIn() policy.Policy {
+func (p *pipeline) sharedDefaultIn() policy.Policy {
 	var branches []policy.Policy
-	for _, p := range c.participantsInOrder() {
-		if len(p.Ports) == 0 {
+	for _, part := range p.parts {
+		if len(part.Ports) == 0 {
 			continue
 		}
-		home := p.Ports[0]
+		home := part.Ports[0]
 		branches = append(branches, policy.SeqOf(
-			policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID])),
+			policy.MatchPolicy(policy.MatchAll.Port(p.vports[part.ID])),
 			policy.ModPolicy(policy.Identity.SetDstMAC(home.MAC).SetPort(EgressPort(home.Number))),
 		))
 	}
@@ -213,16 +281,16 @@ func (c *Controller) sharedDefaultIn() policy.Policy {
 // restricted to the BGP routes that participant exported (as tag matches
 // under VNH encoding, as raw prefix filters otherwise), and forwards to an
 // egress location gain the recipient router's MAC rewrite.
-func (c *Controller) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
+func (p *pipeline) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
 	switch v := pol.(type) {
 	case *policy.Test, policy.Drop, policy.Pass:
 		return pol, nil
 	case *policy.Mod:
-		return c.rewriteMod(v, owner, sets, fecs, filterCache)
+		return p.rewriteMod(v, owner, sets, fecs, filterCache)
 	case *policy.Union:
 		out := make([]policy.Policy, len(v.Children))
 		for i, ch := range v.Children {
-			r, err := c.rewritePolicy(ch, owner, sets, fecs, filterCache)
+			r, err := p.rewritePolicy(ch, owner, sets, fecs, filterCache)
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +300,7 @@ func (c *Controller) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet,
 	case *policy.Seq:
 		out := make([]policy.Policy, len(v.Children))
 		for i, ch := range v.Children {
-			r, err := c.rewritePolicy(ch, owner, sets, fecs, filterCache)
+			r, err := p.rewritePolicy(ch, owner, sets, fecs, filterCache)
 			if err != nil {
 				return nil, err
 			}
@@ -240,21 +308,21 @@ func (c *Controller) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet,
 		}
 		return policy.SeqOf(out...), nil
 	case *policy.If:
-		then, err := c.rewritePolicy(v.Then, owner, sets, fecs, filterCache)
+		then, err := p.rewritePolicy(v.Then, owner, sets, fecs, filterCache)
 		if err != nil {
 			return nil, err
 		}
-		els, err := c.rewritePolicy(v.Else, owner, sets, fecs, filterCache)
+		els, err := p.rewritePolicy(v.Else, owner, sets, fecs, filterCache)
 		if err != nil {
 			return nil, err
 		}
 		return policy.IfThenElse(v.Pred, then, els), nil
 	case *policy.Fallback:
-		prim, err := c.rewritePolicy(v.Primary, owner, sets, fecs, filterCache)
+		prim, err := p.rewritePolicy(v.Primary, owner, sets, fecs, filterCache)
 		if err != nil {
 			return nil, err
 		}
-		def, err := c.rewritePolicy(v.Default, owner, sets, fecs, filterCache)
+		def, err := p.rewritePolicy(v.Default, owner, sets, fecs, filterCache)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +332,7 @@ func (c *Controller) rewritePolicy(pol policy.Policy, owner ID, sets []reachSet,
 	}
 }
 
-func (c *Controller) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
+func (p *pipeline) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs []*FEC, filterCache map[ID]policy.Policy) (policy.Policy, error) {
 	port, ok := m.Mods.GetPort()
 	if !ok {
 		return m, nil // pure header rewrite: no location change to police
@@ -275,7 +343,7 @@ func (c *Controller) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs [
 		if _, has := m.Mods.GetDstMAC(); has {
 			return m, nil
 		}
-		mac, known := c.portMACs[phys]
+		mac, known := p.portMACs[phys]
 		if !known {
 			return nil, fmt.Errorf("egress to unknown physical port %d", phys)
 		}
@@ -286,7 +354,7 @@ func (c *Controller) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs [
 	}
 	// fwd(B): restrict to the prefixes B exported to the policy's owner.
 	var hop ID
-	for id, v := range c.vports {
+	for id, v := range p.vports {
 		if v == port {
 			hop = id
 			break
@@ -311,23 +379,22 @@ func (c *Controller) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs [
 		return policy.Drop{}, nil // hop exported nothing to owner
 	}
 	if filterCache != nil {
-		if cached, ok := filterCache[hop]; ok {
+		// The cache was populated up front from the reach sets, so this
+		// lookup cannot miss; it is read-only here, keeping the parallel
+		// rewrites synchronization-free.
+		if cached, ok := filterCache[hop]; ok && cached != nil {
 			return policy.SeqOf(cached, m), nil
 		}
 	}
-	filter := c.reachFilter(reach, fecs)
-	if filterCache != nil {
-		filterCache[hop] = filter
-	}
-	return policy.SeqOf(filter, m), nil
+	return policy.SeqOf(p.reachFilter(reach, fecs), m), nil
 }
 
 // reachFilter builds the predicate-policy admitting exactly the traffic
 // destined to the given prefix set: tag matches on the covering equivalence
 // classes under VNH encoding, raw destination-prefix matches otherwise.
-func (c *Controller) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.Policy {
+func (p *pipeline) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.Policy {
 	var tests []policy.Policy
-	if c.opts.VNHEncoding {
+	if p.opts.VNHEncoding {
 		for _, f := range fecs {
 			// Classes are built from these very sets, so each class is
 			// entirely inside or outside reach: probing one member decides.
@@ -336,8 +403,8 @@ func (c *Controller) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.P
 			}
 		}
 	} else {
-		for _, p := range reach.Prefixes() {
-			tests = append(tests, policy.MatchPolicy(policy.MatchAll.DstIP(p)))
+		for _, pfx := range reach.Prefixes() {
+			tests = append(tests, policy.MatchPolicy(policy.MatchAll.DstIP(pfx)))
 		}
 	}
 	return policy.Par(tests...)
@@ -346,7 +413,7 @@ func (c *Controller) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.P
 // flatten converts the composed classifier to installable rules: only
 // non-drop rules reachable from physical ingress survive, and egress
 // locations in output actions map back to real port numbers.
-func (c *Controller) flatten(cl policy.Classifier) ([]policy.Rule, error) {
+func (p *pipeline) flatten(cl policy.Classifier) ([]policy.Rule, error) {
 	var out []policy.Rule
 	for _, r := range cl.Rules {
 		if r.IsDrop() {

@@ -45,6 +45,12 @@ type Controller struct {
 	opts Options
 	rs   *routeserver.Server
 
+	// compileMu serializes full compilations (Compile/Reoptimize): the
+	// snapshot-compute-commit pipeline must not let a compilation that
+	// snapshotted earlier commit over one that snapshotted later. It is
+	// always taken before mu; never the other way around.
+	compileMu sync.Mutex
+
 	mu           sync.RWMutex
 	participants map[ID]*Participant
 	order        []ID

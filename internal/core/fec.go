@@ -122,34 +122,41 @@ type reachSet struct {
 
 // collectReachSets walks every participant's outbound policy for fwd()
 // targets that are virtual ports and resolves each to the corresponding
-// export set from the route server, in deterministic order.
-func (c *Controller) collectReachSets() []reachSet {
-	var out []reachSet
-	for _, p := range c.participantsInOrder() {
-		if p.Outbound == nil {
-			continue
+// export set from the route server, in deterministic order. Participants
+// are resolved in parallel (the route server is internally synchronized)
+// and merged in registration order.
+func (p *pipeline) collectReachSets() []reachSet {
+	perPart := make([][]reachSet, len(p.parts))
+	fanOut(p.workers, len(p.parts), func(i int) {
+		part := p.parts[i]
+		if part.Outbound == nil {
+			return
 		}
 		targets := map[uint16]bool{}
-		collectFwdTargets(p.Outbound, targets)
+		collectFwdTargets(part.Outbound, targets)
 		var hops []ID
 		for loc := range targets {
 			if !IsVirtual(loc) {
 				continue
 			}
-			for id, v := range c.vports {
+			for id, v := range p.vports {
 				if v == loc {
 					hops = append(hops, id)
 				}
 			}
 		}
-		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+		sort.Slice(hops, func(a, b int) bool { return hops[a] < hops[b] })
 		for _, hop := range hops {
-			out = append(out, reachSet{
-				participant: p.ID,
+			perPart[i] = append(perPart[i], reachSet{
+				participant: part.ID,
 				hop:         hop,
-				set:         c.rs.ReachableVia(p.ID, hop),
+				set:         p.rs.ReachableVia(part.ID, hop),
 			})
 		}
+	})
+	var out []reachSet
+	for _, sets := range perPart {
+		out = append(out, sets...)
 	}
 	return out
 }
@@ -186,14 +193,19 @@ func collectFwdTargets(pol policy.Policy, into map[uint16]bool) {
 // §4.2: prefixes are keyed by (a) their membership across every policy
 // reach set and (b) the advertisers of their best and second-best routes;
 // each distinct key is one equivalence class. The paper's polynomial MDS
-// algorithm reduces to this single bucketing pass.
-func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
+// algorithm reduces to this single bucketing pass. The pass stays
+// sequential on purpose: VNH and class-ID assignment must follow the
+// sorted prefix order exactly for recompilations to be deterministic.
+// Alongside the classes it returns the freshly allocated VNHs (those not
+// carried over from the previous table) so an abandoned compilation can
+// return them to the pool.
+func (p *pipeline) computeFECs(sets []reachSet) ([]*FEC, []netip.Addr, error) {
 	// Universe: prefixes whose default behaviour at least one policy
 	// overrides. Prefixes outside it keep plain route-server handling.
 	universe := netutil.NewPrefixSet()
 	for _, rs := range sets {
-		for _, p := range rs.set.Prefixes() {
-			universe.Add(p)
+		for _, pfx := range rs.set.Prefixes() {
+			universe.Add(pfx)
 		}
 	}
 	// Prefixes announced by remote participants (no physical ports) have no
@@ -201,11 +213,11 @@ func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
 	// fabric can steer them to the announcer's virtual switch — the
 	// wide-area load-balancing shape (§3.2 "originating BGP routes from the
 	// SDX").
-	for _, p := range c.participantsInOrder() {
-		if len(p.Ports) > 0 {
+	for _, part := range p.parts {
+		if len(part.Ports) > 0 {
 			continue
 		}
-		for _, prefix := range c.rs.Advertised(p.ID) {
+		for _, prefix := range p.rs.Advertised(part.ID) {
 			universe.Add(prefix)
 		}
 	}
@@ -215,16 +227,16 @@ func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
 	keys := make([]string, 0)
 	meta := make(map[string][2]ID)
 	var keyBuf strings.Builder
-	for _, p := range prefixes {
+	for _, pfx := range prefixes {
 		keyBuf.Reset()
 		for _, rs := range sets {
-			if rs.set.Contains(p) {
+			if rs.set.Contains(pfx) {
 				keyBuf.WriteByte('1')
 			} else {
 				keyBuf.WriteByte('0')
 			}
 		}
-		first, second := c.rs.BestTwo(p)
+		first, second := p.rs.BestTwo(pfx)
 		keyBuf.WriteByte('|')
 		keyBuf.WriteString(string(first))
 		keyBuf.WriteByte('|')
@@ -234,7 +246,7 @@ func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
 			keys = append(keys, k)
 			meta[k] = [2]ID{first, second}
 		}
-		groups[k] = append(groups[k], p)
+		groups[k] = append(groups[k], pfx)
 	}
 
 	// Preserve tags across recompilations: a group whose membership and
@@ -242,11 +254,12 @@ func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
 	// server need not churn BGP advertisements (and routers need not re-ARP)
 	// for prefixes the background pass did not actually move.
 	old := make(map[string]*FEC)
-	for _, f := range c.fecs.All() {
+	for _, f := range p.fecs.All() {
 		fc := f
 		old[fecIdentity(&fc)] = &fc
 	}
 	fecs := make([]*FEC, 0, len(keys))
+	var fresh []netip.Addr
 	for _, k := range keys {
 		candidate := &FEC{
 			Prefixes: groups[k],
@@ -257,17 +270,18 @@ func (c *Controller) computeFECs(sets []reachSet) ([]*FEC, error) {
 			candidate.ID, candidate.VNH, candidate.VMAC = prev.ID, prev.VNH, prev.VMAC
 			delete(old, fecIdentity(candidate)) // consume: no double reuse
 		} else {
-			vnh, err := c.pool.Alloc()
+			vnh, err := p.pool.Alloc()
 			if err != nil {
-				return nil, fmt.Errorf("core: allocating VNH: %w", err)
+				return nil, fresh, fmt.Errorf("core: allocating VNH: %w", err)
 			}
-			candidate.ID = c.fecs.allocID()
+			fresh = append(fresh, vnh)
+			candidate.ID = p.fecs.allocID()
 			candidate.VNH = vnh
 			candidate.VMAC = netutil.VMAC(candidate.ID)
 		}
 		fecs = append(fecs, candidate)
 	}
-	return fecs, nil
+	return fecs, fresh, nil
 }
 
 // fecIdentity keys a class by its full behaviour: member prefixes plus the

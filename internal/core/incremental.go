@@ -65,8 +65,14 @@ type FastPathResult struct {
 // recomputes the optimal tables in the background.
 func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*FastPathResult, error) {
 	start := time.Now()
+	// The read lock is held for the whole reaction: it keeps the quick
+	// stage's allocate-compile-record sequence atomic with respect to a
+	// background compilation's commit, which takes the write lock. It does
+	// NOT serialize against the compile's compute phase, which runs
+	// lock-free on its own snapshot.
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	snap := c.snapshotLocked()
 
 	// Dedupe to affected prefixes, preserving arrival order.
 	seen := make(map[netip.Prefix]bool)
@@ -81,7 +87,7 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 	res := &FastPathResult{}
 	var newFecs []*FEC
 	for _, prefix := range affected {
-		fec, rules, err := c.fastPathForPrefix(prefix)
+		fec, rules, err := snap.fastPathForPrefix(prefix)
 		if err != nil {
 			return nil, err
 		}
@@ -98,17 +104,17 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 
 // fastPathForPrefix assigns prefix a fresh singleton FEC and compiles the
 // slice of the global policy that concerns it.
-func (c *Controller) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, error) {
+func (p *pipeline) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, error) {
 	prefix = prefix.Masked()
-	first, second := c.rs.BestTwo(prefix)
+	first, second := p.rs.BestTwo(prefix)
 	if first == "" {
 		// The prefix is gone: no new tag; traffic falls back to the base
 		// table, whose route-server withdrawals already stopped attracting
 		// it. (Stale base rules are retired by the background pass.)
 		return nil, nil, nil
 	}
-	id := c.fecs.allocID()
-	vnh, err := c.pool.Alloc()
+	id := p.fecs.allocID()
+	vnh, err := p.pool.Alloc()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: fast path VNH: %w", err)
 	}
@@ -120,14 +126,14 @@ func (c *Controller) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule
 		First:    first,
 		Second:   second,
 	}
-	c.fecs.add(fec)
+	p.fecs.add(fec)
 
-	mini, err := c.buildPrefixSlicePolicy(prefix, fec)
+	mini, err := p.buildPrefixSlicePolicy(prefix, fec)
 	if err != nil {
 		return nil, nil, err
 	}
-	classifier, _ := policy.CompileWithOptions(mini, c.opts.Compile)
-	flat, err := c.flatten(classifier)
+	classifier, _ := policy.CompileWithOptions(mini, p.opts.Compile)
+	flat, err := p.flatten(classifier)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -146,43 +152,43 @@ func (c *Controller) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule
 // traffic tagged with the prefix's fresh VMAC: each participant's outbound
 // policy with forwards filtered to "does that hop export this prefix to
 // me", plus single-class defaults, composed with the normal inbound stage.
-func (c *Controller) buildPrefixSlicePolicy(prefix netip.Prefix, fec *FEC) (policy.Policy, error) {
+func (p *pipeline) buildPrefixSlicePolicy(prefix netip.Prefix, fec *FEC) (policy.Policy, error) {
 	tag := policy.MatchPolicy(policy.MatchAll.DstMAC(fec.VMAC))
 	var pols1, pols2 []policy.Policy
-	for _, p := range c.participantsInOrder() {
-		if p.Outbound != nil && len(p.Ports) > 0 {
-			rewritten, err := c.rewriteForPrefix(p.Outbound, p.ID, prefix, tag)
+	for _, part := range p.parts {
+		if part.Outbound != nil && len(part.Ports) > 0 {
+			rewritten, err := p.rewriteForPrefix(part.Outbound, part.ID, prefix, tag)
 			if err != nil {
-				return nil, fmt.Errorf("core: fast path policy of %q: %w", p.ID, err)
+				return nil, fmt.Errorf("core: fast path policy of %q: %w", part.ID, err)
 			}
-			pols1 = append(pols1, policy.SeqOf(ingressFilter(p), rewritten))
+			pols1 = append(pols1, policy.SeqOf(ingressFilter(part), rewritten))
 		}
-		if p.Inbound != nil {
-			rewritten, err := c.rewritePolicy(p.Inbound, p.ID, nil, nil, nil)
+		if part.Inbound != nil {
+			rewritten, err := p.rewritePolicy(part.Inbound, part.ID, nil, nil, nil)
 			if err != nil {
 				return nil, err
 			}
-			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(c.vports[p.ID]))
+			atVirtual := policy.MatchPolicy(policy.MatchAll.Port(p.vports[part.ID]))
 			pols2 = append(pols2, policy.SeqOf(atVirtual, rewritten))
 		}
 	}
 	// Single-class shared default: the tag's base rule plus the best
 	// advertiser's own-traffic override.
 	var overrides, base []policy.Policy
-	base = append(base, policy.SeqOf(tag, policy.Fwd(c.vports[fec.First])))
+	base = append(base, policy.SeqOf(tag, policy.Fwd(p.vports[fec.First])))
 	if fec.Second != "" {
-		if firstP := c.participants[fec.First]; firstP != nil && len(firstP.Ports) > 0 {
+		if firstP := p.byID[fec.First]; firstP != nil && len(firstP.Ports) > 0 {
 			overrides = append(overrides, policy.SeqOf(
-				ingressFilter(firstP), tag, policy.Fwd(c.vports[fec.Second])))
+				ingressFilter(firstP), tag, policy.Fwd(p.vports[fec.Second])))
 		}
 	}
 	defOut := policy.WithDefault(policy.Par(overrides...), policy.Par(base...))
 
 	pass1 := policy.WithDefault(policy.Par(pols1...), defOut)
 	pass2Parts := []policy.Policy{
-		policy.WithDefault(policy.Par(pols2...), c.sharedDefaultIn()),
+		policy.WithDefault(policy.Par(pols2...), p.sharedDefaultIn()),
 	}
-	for _, n := range c.sortedPortNumbers() {
+	for _, n := range p.sortedPortNumbers() {
 		pass2Parts = append(pass2Parts, policy.MatchPolicy(policy.MatchAll.Port(EgressPort(n))))
 	}
 	return policy.SeqOf(pass1, policy.Par(pass2Parts...)), nil
@@ -191,7 +197,7 @@ func (c *Controller) buildPrefixSlicePolicy(prefix netip.Prefix, fec *FEC) (poli
 // rewriteForPrefix is rewritePolicy specialized to a single prefix: fwd(B)
 // becomes tag-match >> fwd(B) when B currently exports the prefix to the
 // owner, and drop otherwise.
-func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.Prefix, tag policy.Policy) (policy.Policy, error) {
+func (p *pipeline) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.Prefix, tag policy.Policy) (policy.Policy, error) {
 	switch v := pol.(type) {
 	case *policy.Test, policy.Drop, policy.Pass:
 		return pol, nil
@@ -204,14 +210,14 @@ func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.
 			if _, has := v.Mods.GetDstMAC(); has {
 				return pol, nil
 			}
-			mac, known := c.portMACs[phys]
+			mac, known := p.portMACs[phys]
 			if !known {
 				return nil, fmt.Errorf("egress to unknown physical port %d", phys)
 			}
 			return policy.ModPolicy(v.Mods.SetDstMAC(mac)), nil
 		}
 		var hop ID
-		for id, vp := range c.vports {
+		for id, vp := range p.vports {
 			if vp == port {
 				hop = id
 				break
@@ -220,14 +226,14 @@ func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.
 		if hop == "" {
 			return nil, fmt.Errorf("forward to unknown virtual port %d", port)
 		}
-		if _, exports := c.rs.AdvertisedRoute(hop, prefix); !exports || hop == owner {
+		if _, exports := p.rs.AdvertisedRoute(hop, prefix); !exports || hop == owner {
 			return policy.Drop{}, nil
 		}
 		return policy.SeqOf(tag, v), nil
 	case *policy.Union:
 		out := make([]policy.Policy, len(v.Children))
 		for i, ch := range v.Children {
-			r, err := c.rewriteForPrefix(ch, owner, prefix, tag)
+			r, err := p.rewriteForPrefix(ch, owner, prefix, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -237,7 +243,7 @@ func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.
 	case *policy.Seq:
 		out := make([]policy.Policy, len(v.Children))
 		for i, ch := range v.Children {
-			r, err := c.rewriteForPrefix(ch, owner, prefix, tag)
+			r, err := p.rewriteForPrefix(ch, owner, prefix, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -245,21 +251,21 @@ func (c *Controller) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.
 		}
 		return policy.SeqOf(out...), nil
 	case *policy.If:
-		then, err := c.rewriteForPrefix(v.Then, owner, prefix, tag)
+		then, err := p.rewriteForPrefix(v.Then, owner, prefix, tag)
 		if err != nil {
 			return nil, err
 		}
-		els, err := c.rewriteForPrefix(v.Else, owner, prefix, tag)
+		els, err := p.rewriteForPrefix(v.Else, owner, prefix, tag)
 		if err != nil {
 			return nil, err
 		}
 		return policy.IfThenElse(v.Pred, then, els), nil
 	case *policy.Fallback:
-		prim, err := c.rewriteForPrefix(v.Primary, owner, prefix, tag)
+		prim, err := p.rewriteForPrefix(v.Primary, owner, prefix, tag)
 		if err != nil {
 			return nil, err
 		}
-		def, err := c.rewriteForPrefix(v.Default, owner, prefix, tag)
+		def, err := p.rewriteForPrefix(v.Default, owner, prefix, tag)
 		if err != nil {
 			return nil, err
 		}

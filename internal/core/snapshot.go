@@ -1,0 +1,117 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+
+	"sdx/internal/netutil"
+	"sdx/internal/routeserver"
+)
+
+// fanOut runs fn(0..n-1) across at most workers goroutines and returns when
+// every call is done. Indices that cannot get a worker slot run inline on
+// the calling goroutine, so nesting never deadlocks and total goroutines
+// stay bounded. Callers write results into index-addressed slots and merge
+// them in order, keeping output independent of scheduling.
+func fanOut(workers, n int, fn func(int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// pipeline is an immutable snapshot of the controller state the §4.1
+// compilation pipeline reads. Compile takes one under a brief read lock and
+// then computes without holding any controller lock at all, so concurrent
+// readers (the fast path, ARP, monitoring) are never blocked behind a full
+// compilation. The route server, VNH pool, and FEC table are internally
+// synchronized and therefore shared by reference; participant records,
+// which SetPolicies mutates in place, are copied by value.
+type pipeline struct {
+	opts Options
+	rs   *routeserver.Server
+	pool *netutil.IPPool
+	fecs *FECTable
+
+	parts    []*Participant // registration order; value copies
+	byID     map[ID]*Participant
+	vports   map[ID]uint16
+	portMACs map[uint16]netutil.MAC
+
+	// workers is the resolved worker count for the parallel stages (>= 1).
+	workers int
+}
+
+// snapshot captures the compilation inputs under the read lock.
+func (c *Controller) snapshot() *pipeline {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.snapshotLocked()
+}
+
+// snapshotLocked is snapshot for callers that already hold c.mu.
+func (c *Controller) snapshotLocked() *pipeline {
+	p := &pipeline{
+		opts:     c.opts,
+		rs:       c.rs,
+		pool:     c.pool,
+		fecs:     c.fecs,
+		parts:    make([]*Participant, 0, len(c.order)),
+		byID:     make(map[ID]*Participant, len(c.order)),
+		vports:   make(map[ID]uint16, len(c.vports)),
+		portMACs: make(map[uint16]netutil.MAC, len(c.portMACs)),
+		workers:  c.opts.Compile.Workers(),
+	}
+	for _, id := range c.order {
+		cp := *c.participants[id]
+		p.parts = append(p.parts, &cp)
+		p.byID[id] = &cp
+	}
+	for id, v := range c.vports {
+		p.vports[id] = v
+	}
+	for n, mac := range c.portMACs {
+		p.portMACs[n] = mac
+	}
+	return p
+}
+
+// commit installs a compilation's equivalence classes under the write lock:
+// the table is replaced, VNHs not carried over are returned to the pool,
+// and the fast path's accumulated state is cleared. Holding the write lock
+// makes the swap atomic with respect to HandleRouteChanges, which holds the
+// read lock across its allocate-and-record sequence.
+func (c *Controller) commit(fecs []*FEC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.fecs.All()
+	c.fecs.replace(fecs)
+	reused := make(map[netip.Addr]bool, len(fecs))
+	for _, f := range fecs {
+		reused[f.VNH] = true
+	}
+	for _, f := range old {
+		if !reused[f.VNH] {
+			c.pool.Release(f.VNH)
+		}
+	}
+	c.fastPath.reset()
+}

@@ -135,16 +135,6 @@ func (c *Controller) DeliverTo(id ID) policy.Policy {
 	return c.Deliver(p.Ports[0].Number)
 }
 
-// participantsInOrder returns participants in registration order; the
-// compilation pipeline iterates this for run-to-run determinism.
-func (c *Controller) participantsInOrder() []*Participant {
-	out := make([]*Participant, 0, len(c.order))
-	for _, id := range c.order {
-		out = append(out, c.participants[id])
-	}
-	return out
-}
-
 // ingressFilter returns the predicate-policy matching any of the
 // participant's physical ingress ports, or nil for remote participants.
 func ingressFilter(p *Participant) policy.Policy {
@@ -159,9 +149,9 @@ func ingressFilter(p *Participant) policy.Policy {
 }
 
 // sortedPortNumbers returns every physical port number in use, ascending.
-func (c *Controller) sortedPortNumbers() []uint16 {
-	out := make([]uint16, 0, len(c.portMACs))
-	for n := range c.portMACs {
+func (p *pipeline) sortedPortNumbers() []uint16 {
+	out := make([]uint16, 0, len(p.portMACs))
+	for n := range p.portMACs {
 		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -3,14 +3,18 @@ package netutil
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // IPPool hands out addresses from a prefix in order, with free-list reuse.
 // The SDX controller draws virtual next-hop (VNH) addresses from one of
-// these; the paper uses a private /12 for the same purpose. IPPool is not
-// safe for concurrent use.
+// these; the paper uses a private /12 for the same purpose. IPPool is safe
+// for concurrent use: the controller's fast path allocates from it while
+// the background pass releases retired addresses into it.
 type IPPool struct {
 	base netip.Prefix
+
+	mu   sync.Mutex
 	next netip.Addr
 	free []netip.Addr
 	used map[netip.Addr]bool
@@ -42,6 +46,8 @@ func MustNewIPPool(s string) *IPPool {
 // Alloc returns the next free address, or an error when the pool is
 // exhausted.
 func (p *IPPool) Alloc() (netip.Addr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for len(p.free) > 0 {
 		a := p.free[len(p.free)-1]
 		p.free = p.free[:len(p.free)-1]
@@ -64,6 +70,8 @@ func (p *IPPool) Alloc() (netip.Addr, error) {
 // Release returns an address to the pool. Releasing an address that was not
 // allocated is a no-op.
 func (p *IPPool) Release(a netip.Addr) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.used[a] {
 		return
 	}
@@ -73,10 +81,18 @@ func (p *IPPool) Release(a netip.Addr) {
 
 // Reserve marks an address as in use regardless of allocation order, for
 // statically configured next hops that must not be minted as VNHs.
-func (p *IPPool) Reserve(a netip.Addr) { p.used[a] = true }
+func (p *IPPool) Reserve(a netip.Addr) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.used[a] = true
+}
 
 // InUse returns the number of currently allocated addresses.
-func (p *IPPool) InUse() int { return len(p.used) }
+func (p *IPPool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.used)
+}
 
 // Contains reports whether a falls inside the pool's prefix.
 func (p *IPPool) Contains(a netip.Addr) bool { return p.base.Contains(a) }

@@ -187,14 +187,25 @@ func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
 	return data[8:l], nil
 }
 
-// SerializeTo appends header and payload to b. The checksum is left zero
-// (legal for UDP over IPv4); the fabric never verifies it.
-func (u *UDP) SerializeTo(b []byte, payload []byte) []byte {
+// SerializeTo appends header and payload to b, computing the RFC 768
+// checksum over the pseudo header derived from ip. A computed checksum of
+// zero is transmitted as 0xffff (zero on the wire means "no checksum"). A
+// nil ip leaves the checksum zero — the caller has no pseudo header.
+func (u *UDP) SerializeTo(b []byte, payload []byte, ip *IPv4) []byte {
+	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, u.DstPort)
 	b = binary.BigEndian.AppendUint16(b, uint16(8+len(payload)))
 	b = binary.BigEndian.AppendUint16(b, 0)
-	return append(b, payload...)
+	b = append(b, payload...)
+	if ip != nil {
+		sum := PseudoChecksum(ip, ProtoUDP, b[start:])
+		if sum == 0 {
+			sum = 0xffff
+		}
+		binary.BigEndian.PutUint16(b[start+6:start+8], sum)
+	}
+	return b
 }
 
 // TCP is the TCP header subset the fabric can match on.
@@ -232,29 +243,61 @@ func (t *TCP) DecodeFromBytes(data []byte) ([]byte, error) {
 	return data[off:], nil
 }
 
-// SerializeTo appends header (no options) and payload to b. The checksum is
-// left zero; the software fabric does not verify transport checksums.
-func (t *TCP) SerializeTo(b []byte, payload []byte) []byte {
+// SerializeTo appends header (no options) and payload to b, computing the
+// RFC 9293 checksum over the pseudo header derived from ip. A nil ip leaves
+// the checksum zero — the caller has no pseudo header.
+func (t *TCP) SerializeTo(b []byte, payload []byte, ip *IPv4) []byte {
+	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, t.DstPort)
 	b = binary.BigEndian.AppendUint32(b, t.Seq)
 	b = binary.BigEndian.AppendUint32(b, t.Ack)
 	b = append(b, 5<<4, t.Flags)
 	b = binary.BigEndian.AppendUint16(b, 65535) // window
-	b = binary.BigEndian.AppendUint16(b, 0)     // checksum
+	b = binary.BigEndian.AppendUint16(b, 0)     // checksum placeholder
 	b = binary.BigEndian.AppendUint16(b, 0)     // urgent
-	return append(b, payload...)
+	b = append(b, payload...)
+	if ip != nil {
+		sum := PseudoChecksum(ip, ProtoTCP, b[start:])
+		binary.BigEndian.PutUint16(b[start+16:start+18], sum)
+	}
+	return b
 }
 
 // Checksum computes the RFC 1071 ones-complement sum over data.
 func Checksum(data []byte) uint16 {
-	var sum uint32
+	return checksumFold(checksumAdd(0, data))
+}
+
+// PseudoChecksum computes the transport checksum over the IPv4 pseudo
+// header (source, destination, protocol, transport length) followed by the
+// transport segment. The segment's checksum field must be zero. Summing a
+// received segment with its checksum in place instead returns zero for an
+// intact packet.
+func PseudoChecksum(ip *IPv4, proto uint8, segment []byte) uint16 {
+	src, dst := ip.SrcIP.As4(), ip.DstIP.As4()
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	return checksumFold(checksumAdd(checksumAdd(0, pseudo[:]), segment))
+}
+
+// checksumAdd accumulates data into a ones-complement running sum; odd
+// trailing bytes are padded with zero per RFC 1071.
+func checksumAdd(sum uint32, data []byte) uint32 {
 	for i := 0; i+1 < len(data); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
 	}
 	if len(data)%2 == 1 {
 		sum += uint32(data[len(data)-1]) << 8
 	}
+	return sum
+}
+
+// checksumFold folds the carries and complements the result.
+func checksumFold(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}

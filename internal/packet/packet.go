@@ -65,8 +65,10 @@ func Decode(data []byte) (*Packet, error) {
 	return p, nil
 }
 
-// Serialize renders the packet back to a wire image, recomputing lengths
-// and the IPv4 checksum.
+// Serialize renders the packet back to a wire image, recomputing lengths,
+// the IPv4 header checksum, and the TCP/UDP pseudo-header checksums — so a
+// frame the fabric rewrote (VNH next hops mod addresses and ports) leaves
+// with checksums matching its new headers.
 func (p *Packet) Serialize() []byte {
 	hdr := p.Eth.SerializeTo(nil)
 	switch {
@@ -76,9 +78,9 @@ func (p *Packet) Serialize() []byte {
 		var inner []byte
 		switch {
 		case p.TCP != nil:
-			inner = p.TCP.SerializeTo(nil, p.Payload)
+			inner = p.TCP.SerializeTo(nil, p.Payload, p.IPv4)
 		case p.UDP != nil:
-			inner = p.UDP.SerializeTo(nil, p.Payload)
+			inner = p.UDP.SerializeTo(nil, p.Payload, p.IPv4)
 		default:
 			inner = p.Payload
 		}

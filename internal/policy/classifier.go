@@ -191,11 +191,28 @@ func pullback(m1 Match, a Mods, m2 Match) (Match, bool) {
 // emitted packet flows through b. Both inputs must be complete classifiers;
 // the result is complete.
 func seqCompose(a, b Classifier) Classifier {
-	var rules []Rule
-	for _, ra := range a.Rules {
+	return seqComposeBlocks(a, b, nil)
+}
+
+// seqCompose on a compiler fans the independent per-rule blocks out across
+// the worker pool; the sequential compiler takes the plain path.
+func (c *compiler) seqCompose(a, b Classifier) Classifier {
+	if c == nil || c.sem == nil {
+		return seqComposeBlocks(a, b, nil)
+	}
+	return seqComposeBlocks(a, b, c)
+}
+
+// seqComposeBlocks computes one block of output rules per rule of a — each
+// block depends only on that rule and on b — and concatenates the blocks in
+// rule order, so the result is identical however the blocks are scheduled.
+func seqComposeBlocks(a, b Classifier, c *compiler) Classifier {
+	blocks := make([][]Rule, len(a.Rules))
+	one := func(i int) {
+		ra := a.Rules[i]
 		if ra.IsDrop() {
-			rules = append(rules, ra)
-			continue
+			blocks[i] = []Rule{ra}
+			return
 		}
 		// For each action of ra, pull b back through the rewrite to get a
 		// partition of ra's region; then union the per-action partitions so
@@ -221,7 +238,22 @@ func seqCompose(a, b Classifier) Classifier {
 				block = parallelCompose(block, pc)
 			}
 		}
-		rules = append(rules, block.Rules...)
+		blocks[i] = block.Rules
+	}
+	if c != nil {
+		c.fanOut(len(a.Rules), one)
+	} else {
+		for i := range a.Rules {
+			one(i)
+		}
+	}
+	n := 0
+	for _, b := range blocks {
+		n += len(b)
+	}
+	rules := make([]Rule, 0, n)
+	for _, b := range blocks {
+		rules = append(rules, b...)
 	}
 	return Classifier{Rules: dedupMatches(rules)}
 }
