@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# One iteration of the compilation benchmarks: catches benchmarks that no
+# longer build or crash without paying for a full measured run.
+bench-smoke:
+	$(GO) test -bench=Compile -benchtime=1x -run '^$$' .
 
 check: vet test race

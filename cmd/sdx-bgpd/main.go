@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"sdx/internal/bgp"
+	"sdx/internal/telemetry"
 )
 
 type announceFlag struct {
@@ -62,7 +63,9 @@ func main() {
 		routerID      = flag.String("id", "172.31.0.1", "BGP identifier (the port's router IP)")
 		nextHop       = flag.String("nexthop", "", "NEXT_HOP for announcements (default: -id)")
 		withdrawAfter = flag.Duration("withdraw-after", 0, "withdraw all announcements after this long (0 = never)")
-		announces     announceFlag
+		telemetryAddr = flag.String("telemetry-addr", "",
+			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		announces announceFlag
 	)
 	flag.Var(&announces, "announce", "prefix to announce, PREFIX or PREFIX@PATHLEN (repeatable)")
 	flag.Parse()
@@ -73,11 +76,21 @@ func main() {
 		nh = netip.MustParseAddr(*nextHop)
 	}
 
-	speaker := bgp.NewSpeaker(bgp.SessionConfig{
+	sessCfg := bgp.SessionConfig{
 		LocalAS:  uint16(*asn),
 		LocalID:  id,
 		HoldTime: bgp.DefaultHoldTime,
-	})
+	}
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		sessCfg.Metrics = bgp.NewMetrics(reg)
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
+	}
+	speaker := bgp.NewSpeaker(sessCfg)
 	speaker.OnUpdate = func(p *bgp.Peer, u *bgp.Update) {
 		for _, w := range u.Withdrawn {
 			log.Printf("rib: withdraw %v", w)

@@ -26,6 +26,7 @@ import (
 	"sdx/internal/core"
 	"sdx/internal/openflow"
 	"sdx/internal/routeserver"
+	"sdx/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 			"background recompilation delay after the last BGP change (burst detection)")
 		parallelism = flag.Int("parallelism", 0,
 			"policy-compilation workers: 1 sequential, N>1 workers, <0 one per CPU (overrides config)")
+		telemetryAddr = flag.String("telemetry-addr", "",
+			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
 	)
 	flag.Parse()
 
@@ -50,7 +53,18 @@ func main() {
 		opts.Compile.Parallelism = *parallelism
 	}
 
+	// Telemetry is always collected (the instruments are cheap atomics);
+	// -telemetry-addr only controls whether it is served over HTTP. The
+	// tracer mirrors its events to the log, which is where the per-compile
+	// summary line comes from.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	tracer.SetLogf(log.Printf)
+	opts.Telemetry = reg
+	opts.Tracer = tracer
+
 	rs := routeserver.New(nil)
+	rs.EnableTelemetry(reg)
 	ctrl := core.NewController(rs, opts)
 	if err := cfg.Apply(ctrl); err != nil {
 		log.Fatalf("applying config: %v", err)
@@ -59,6 +73,7 @@ func main() {
 	d := &daemon{
 		ctrl:       ctrl,
 		reoptAfter: *reoptAfter,
+		ofMetrics:  openflow.NewMetrics(reg),
 	}
 
 	// Route-server frontend over live BGP.
@@ -70,8 +85,10 @@ func main() {
 		LocalAS:  cfg.LocalAS,
 		LocalID:  localID,
 		HoldTime: bgp.DefaultHoldTime,
+		Metrics:  bgp.NewMetrics(reg),
 	})
 	fe := routeserver.NewFrontend(rs, speaker)
+	fe.EnableTelemetry(reg)
 	fe.NextHop = ctrl.NextHopFor
 	owns := cfg.Ownership()
 	fe.Ownership = func(p routeserver.ID, prefix netip.Prefix) bool {
@@ -96,6 +113,14 @@ func main() {
 		log.Fatalf("bgp listen: %v", err)
 	}
 	log.Printf("route server listening on %v (AS%d, id %v)", bgpAddr, cfg.LocalAS, localID)
+
+	if *telemetryAddr != "" {
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		log.Printf("telemetry on http://%v/metrics (events at /debug/sdx)", tsrv.Addr())
+	}
 
 	// Initial compilation.
 	if _, err := d.recompile(); err != nil {
@@ -123,6 +148,7 @@ type daemon struct {
 	ctrl       *core.Controller
 	frontend   *routeserver.Frontend
 	reoptAfter time.Duration
+	ofMetrics  *openflow.Metrics
 
 	mu       sync.Mutex
 	switches map[*openflow.Conn]bool
@@ -145,10 +171,8 @@ func (d *daemon) recompile() (*core.CompileResult, error) {
 			log.Printf("pushing base table: %v", err)
 		}
 	}
-	log.Printf("compiled: %d prefix groups, %d rules (%v policy, %v vnh)",
-		res.Stats.PrefixGroups, res.Stats.FlowRules,
-		res.Stats.PolicyTime.Round(time.Millisecond),
-		res.Stats.VNHTime.Round(time.Millisecond))
+	// The per-compile summary line (duration, rules, FECs, parallelism) is
+	// emitted by the controller's tracer, which mirrors to this log.
 	// Refresh participants whose virtual next hops moved; unchanged groups
 	// kept their VNHs, so this is mostly idempotent.
 	if d.frontend != nil {
@@ -181,14 +205,14 @@ func (d *daemon) onRouteChanges(changes []routeserver.BestChange) {
 		}
 	})
 	d.mu.Unlock()
-	log.Printf("fast path: %d prefixes, %d rules in %v",
-		len(fast.NewFECs), len(fast.Rules), fast.Elapsed.Round(time.Millisecond))
+	// The quick-stage summary line is the tracer's "fastpath" event.
 }
 
 // serveSwitch owns one OpenFlow connection: handshake, base-table push,
 // then the PACKET_IN loop (ARP responder).
 func (d *daemon) serveSwitch(raw net.Conn) {
 	conn := openflow.NewConn(raw)
+	conn.SetMetrics(d.ofMetrics)
 	features, err := conn.HandshakeController()
 	if err != nil {
 		log.Printf("switch handshake: %v", err)

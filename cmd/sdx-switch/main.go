@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sdx/internal/dataplane"
+	"sdx/internal/telemetry"
 )
 
 type portFlag struct {
@@ -59,9 +60,11 @@ func (f *portFlag) Set(v string) error {
 
 func main() {
 	var (
-		controller = flag.String("controller", "127.0.0.1:6633", "controller OpenFlow address")
-		dpid       = flag.Uint64("dpid", 1, "datapath id")
-		ports      portFlag
+		controller    = flag.String("controller", "127.0.0.1:6633", "controller OpenFlow address")
+		dpid          = flag.Uint64("dpid", 1, "datapath id")
+		telemetryAddr = flag.String("telemetry-addr", "",
+			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		ports portFlag
 	)
 	flag.Var(&ports, "port", "fabric port as NUMBER=LISTEN/PEER (repeatable)")
 	flag.Parse()
@@ -70,6 +73,15 @@ func main() {
 	}
 
 	sw := dataplane.NewSwitch(*dpid)
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		sw.EnableTelemetry(reg)
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
+	}
 	for _, spec := range ports.specs {
 		if err := attachUDPPort(sw, spec); err != nil {
 			log.Fatalf("port %d: %v", spec.number, err)

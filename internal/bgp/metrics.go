@@ -1,0 +1,111 @@
+package bgp
+
+import "sdx/internal/telemetry"
+
+// Metrics holds the BGP session instruments shared by every session created
+// with a SessionConfig that carries them: a per-FSM-state session gauge,
+// per-type message counters, and a hold-timer expiry counter. The state
+// gauges are pre-resolved into an array indexed by State so transitions are
+// two atomic adds. A nil *Metrics is a no-op.
+type Metrics struct {
+	states [StateEstablished + 1]*telemetry.Gauge
+
+	UpdatesIn        *telemetry.Counter
+	UpdatesOut       *telemetry.Counter
+	KeepalivesIn     *telemetry.Counter
+	KeepalivesOut    *telemetry.Counter
+	NotificationsIn  *telemetry.Counter
+	NotificationsOut *telemetry.Counter
+	OpensIn          *telemetry.Counter
+	OpensOut         *telemetry.Counter
+	HoldExpiries     *telemetry.Counter
+}
+
+// NewMetrics registers the BGP session metrics with reg and returns the
+// shared instrument set. A nil registry returns nil, the no-op mode.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{}
+	states := reg.GaugeVec("sdx_bgp_sessions",
+		"Live BGP sessions, by FSM state.", "state")
+	for st := StateIdle; st <= StateEstablished; st++ {
+		m.states[st] = states.With(st.String())
+	}
+	in := reg.CounterVec("sdx_bgp_messages_in_total",
+		"BGP messages received, by type.", "type")
+	out := reg.CounterVec("sdx_bgp_messages_out_total",
+		"BGP messages sent, by type.", "type")
+	m.OpensIn, m.OpensOut = in.With("OPEN"), out.With("OPEN")
+	m.UpdatesIn, m.UpdatesOut = in.With("UPDATE"), out.With("UPDATE")
+	m.KeepalivesIn, m.KeepalivesOut = in.With("KEEPALIVE"), out.With("KEEPALIVE")
+	m.NotificationsIn, m.NotificationsOut = in.With("NOTIFICATION"), out.With("NOTIFICATION")
+	m.HoldExpiries = reg.Counter("sdx_bgp_hold_expiries_total",
+		"BGP sessions torn down by hold-timer expiry.")
+	return m
+}
+
+// enter counts a new session appearing in state st.
+func (m *Metrics) enter(st State) {
+	if m == nil {
+		return
+	}
+	m.states[st].Add(1)
+}
+
+// transition moves a live session from old to new.
+func (m *Metrics) transition(old, new State) {
+	if m == nil {
+		return
+	}
+	m.states[old].Add(-1)
+	m.states[new].Add(1)
+}
+
+// leave counts a session in state st shutting down.
+func (m *Metrics) leave(st State) {
+	if m == nil {
+		return
+	}
+	m.states[st].Add(-1)
+}
+
+func (m *Metrics) msgIn(msg Message) {
+	if m == nil {
+		return
+	}
+	switch msg.(type) {
+	case *Open:
+		m.OpensIn.Inc()
+	case *Update:
+		m.UpdatesIn.Inc()
+	case *Keepalive:
+		m.KeepalivesIn.Inc()
+	case *Notification:
+		m.NotificationsIn.Inc()
+	}
+}
+
+func (m *Metrics) msgOut(msg Message) {
+	if m == nil {
+		return
+	}
+	switch msg.(type) {
+	case *Open:
+		m.OpensOut.Inc()
+	case *Update:
+		m.UpdatesOut.Inc()
+	case *Keepalive:
+		m.KeepalivesOut.Inc()
+	case *Notification:
+		m.NotificationsOut.Inc()
+	}
+}
+
+func (m *Metrics) holdExpired() {
+	if m == nil {
+		return
+	}
+	m.HoldExpiries.Inc()
+}

@@ -59,6 +59,10 @@ type SessionConfig struct {
 	HoldTime time.Duration
 	// PeerAS, when nonzero, is enforced against the peer's OPEN.
 	PeerAS uint16
+	// Metrics, when non-nil, receives session FSM and message counts. The
+	// instrument set is shared: every session created from this config
+	// contributes to the same gauges and counters.
+	Metrics *Metrics
 }
 
 // ErrClosed is returned by Send after the session has shut down.
@@ -88,7 +92,14 @@ func NewSession(conn net.Conn, cfg SessionConfig) *Session {
 	if cfg.HoldTime < 0 {
 		cfg.HoldTime = 0
 	}
+	cfg.Metrics.enter(StateIdle)
 	return &Session{conn: conn, cfg: cfg, done: make(chan struct{})}
+}
+
+// setState advances the FSM and moves the session between state gauges.
+func (s *Session) setState(st State) {
+	old := State(s.state.Swap(uint32(st)))
+	s.cfg.Metrics.transition(old, st)
 }
 
 // State returns the current FSM state.
@@ -113,11 +124,12 @@ func (s *Session) Handshake() error {
 	holdSecs := uint16(s.cfg.HoldTime / time.Second)
 	open := &Open{AS: s.cfg.LocalAS, HoldTime: holdSecs, BGPID: s.cfg.LocalID}
 	if err := s.send(open); err != nil {
+		s.abort()
 		return fmt.Errorf("bgp: sending OPEN: %w", err)
 	}
-	s.state.Store(uint32(StateOpenSent))
+	s.setState(StateOpenSent)
 
-	msg, err := ReadMessage(s.conn)
+	msg, err := s.read()
 	if err != nil {
 		s.abort()
 		return fmt.Errorf("bgp: reading OPEN: %w", err)
@@ -143,12 +155,13 @@ func (s *Session) Handshake() error {
 	if d := time.Duration(peerOpen.HoldTime) * time.Second; d < s.holdTime {
 		s.holdTime = d
 	}
-	s.state.Store(uint32(StateOpenConfirm))
+	s.setState(StateOpenConfirm)
 
 	if err := s.send(&Keepalive{}); err != nil {
+		s.abort()
 		return fmt.Errorf("bgp: sending KEEPALIVE: %w", err)
 	}
-	msg, err = ReadMessage(s.conn)
+	msg, err = s.read()
 	if err != nil {
 		s.abort()
 		return fmt.Errorf("bgp: reading KEEPALIVE: %w", err)
@@ -162,8 +175,18 @@ func (s *Session) Handshake() error {
 		s.notifyAndClose(NotifFSMError, 0)
 		return fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
 	}
-	s.state.Store(uint32(StateEstablished))
+	s.setState(StateEstablished)
 	return nil
+}
+
+// read pulls one message off the transport, counting it.
+func (s *Session) read() (Message, error) {
+	m, err := ReadMessage(s.conn)
+	if err != nil {
+		return m, err
+	}
+	s.cfg.Metrics.msgIn(m)
+	return m, nil
 }
 
 // Run reads messages until the session fails or is closed, invoking handler
@@ -205,9 +228,10 @@ func (s *Session) Run(handler func(*Update)) error {
 				return s.runErr(err)
 			}
 		}
-		msg, err := ReadMessage(s.conn)
+		msg, err := s.read()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.cfg.Metrics.holdExpired()
 				s.notifyAndClose(NotifHoldTimerExpired, 0)
 				return fmt.Errorf("bgp: hold timer expired: %w", err)
 			}
@@ -260,6 +284,9 @@ func (s *Session) send(m Message) error {
 	default:
 	}
 	_, err = s.conn.Write(b)
+	if err == nil {
+		s.cfg.Metrics.msgOut(m)
+	}
 	return err
 }
 
@@ -278,13 +305,15 @@ func (s *Session) notifyAndClose(code, subcode uint8) {
 	if b, err := Marshal(&Notification{Code: code, Subcode: subcode}); err == nil {
 		s.writeMu.Lock()
 		s.conn.SetWriteDeadline(time.Now().Add(time.Second))
-		s.conn.Write(b) // best effort; the transport is going away regardless
+		if _, werr := s.conn.Write(b); werr == nil { // best effort; the transport is going away regardless
+			s.cfg.Metrics.msgOut(&Notification{})
+		}
 		s.writeMu.Unlock()
 	}
 	s.closed = true
 	close(s.done)
 	s.conn.Close()
-	s.state.Store(uint32(StateIdle))
+	s.cfg.Metrics.leave(State(s.state.Swap(uint32(StateIdle))))
 }
 
 func (s *Session) abort() {
@@ -296,7 +325,7 @@ func (s *Session) abort() {
 	s.closed = true
 	close(s.done)
 	s.conn.Close()
-	s.state.Store(uint32(StateIdle))
+	s.cfg.Metrics.leave(State(s.state.Swap(uint32(StateIdle))))
 }
 
 // Done is closed when the session has fully shut down.

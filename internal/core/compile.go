@@ -7,6 +7,7 @@ import (
 
 	"sdx/internal/netutil"
 	"sdx/internal/policy"
+	"sdx/internal/telemetry"
 )
 
 // CompileStats extends the policy compiler's operation counts with the
@@ -52,8 +53,11 @@ type CompileResult struct {
 // serialized by compileMu so a slower, staler compilation can never commit
 // over a fresher one.
 func (c *Controller) Compile() (*CompileResult, error) {
+	waitStart := time.Now()
 	c.compileMu.Lock()
 	defer c.compileMu.Unlock()
+	wait := time.Since(waitStart)
+	start := time.Now()
 	snap := c.snapshot()
 	res, fecs, fresh, err := snap.run()
 	if err != nil {
@@ -61,11 +65,26 @@ func (c *Controller) Compile() (*CompileResult, error) {
 		for _, a := range fresh {
 			c.pool.Release(a)
 		}
+		c.metrics.compileFailed()
+		c.tracer.Emit("compile_error", telemetry.Str("err", err.Error()))
 		return nil, err
 	}
 	if snap.opts.VNHEncoding {
 		c.commit(fecs)
 	}
+	dur := time.Since(start)
+	c.metrics.compileDone(res, wait, dur)
+	c.tracer.Emit("compile",
+		telemetry.Dur("dur", dur),
+		telemetry.Dur("vnh", res.Stats.VNHTime),
+		telemetry.Dur("policy", res.Stats.PolicyTime),
+		telemetry.Dur("wait", wait),
+		telemetry.Int("rules", res.Stats.FlowRules),
+		telemetry.Int("classifier", len(res.Classifier.Rules)),
+		telemetry.Int("fecs", res.Stats.PrefixGroups),
+		telemetry.Int("participants", res.Stats.Participants),
+		telemetry.Int("parallel", res.Stats.Parallel),
+		telemetry.Int("memo_hits", res.Stats.MemoHits))
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sdx/internal/netutil"
 	"sdx/internal/policy"
 	"sdx/internal/routeserver"
+	"sdx/internal/telemetry"
 )
 
 // Options configures a Controller.
@@ -27,6 +28,13 @@ type Options struct {
 	// Optimize runs the O(n²) shadow-elimination pass on the final
 	// classifier (the background re-optimization stage).
 	Optimize bool
+	// Telemetry, when non-nil, registers the controller's metrics (compile
+	// durations and stage splits, classifier and flow-rule counts, FEC
+	// count, VNH pool occupancy, serialization waits) with the registry.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives one structured event per compilation
+	// and per fast-path reaction.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultOptions is the paper's configuration: VNH encoding and every
@@ -62,6 +70,11 @@ type Controller struct {
 	pool     *netutil.IPPool
 	fecs     *FECTable
 	fastPath *fastPathState
+
+	// metrics and tracer are set at construction from Options and never
+	// mutated, so the compile paths read them without locking.
+	metrics *coreMetrics
+	tracer  *telemetry.Tracer
 }
 
 // NewController returns a controller bound to a route-server engine.
@@ -73,7 +86,7 @@ func NewController(rs *routeserver.Server, opts Options) *Controller {
 	if err != nil {
 		panic(fmt.Sprintf("core: bad VNH pool: %v", err))
 	}
-	return &Controller{
+	c := &Controller{
 		opts:         opts,
 		rs:           rs,
 		participants: make(map[ID]*Participant),
@@ -84,7 +97,10 @@ func NewController(rs *routeserver.Server, opts Options) *Controller {
 		pool:         pool,
 		fecs:         newFECTable(),
 		fastPath:     newFastPathState(),
+		tracer:       opts.Tracer,
 	}
+	c.metrics = newCoreMetrics(opts.Telemetry, c)
+	return c
 }
 
 // RouteServer returns the underlying engine.

@@ -9,6 +9,7 @@ import (
 	"sdx/internal/netutil"
 	"sdx/internal/policy"
 	"sdx/internal/routeserver"
+	"sdx/internal/telemetry"
 )
 
 // fastPathState tracks what the quick reaction stage has installed since
@@ -99,6 +100,13 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 	}
 	c.fastPath.record(res.Rules, newFecs)
 	res.Elapsed = time.Since(start)
+	c.metrics.fastpathDone(res)
+	c.tracer.Emit("fastpath",
+		telemetry.Dur("dur", res.Elapsed),
+		telemetry.Int("changes", len(changes)),
+		telemetry.Int("prefixes", len(affected)),
+		telemetry.Int("rules", len(res.Rules)),
+		telemetry.Int("fecs", len(res.NewFECs)))
 	return res, nil
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"sdx/internal/telemetry"
+)
+
+// coreMetrics holds the controller's instruments. A nil *coreMetrics (no
+// registry configured) is a no-op, so the compile paths call through
+// unconditionally.
+type coreMetrics struct {
+	compiles      *telemetry.Counter
+	compileErrors *telemetry.Counter
+	compileDur    *telemetry.Histogram
+	vnhStageDur   *telemetry.Histogram
+	policyStage   *telemetry.Histogram
+	// compileWait is the time a Compile call spent queued behind another
+	// compilation on compileMu — the serialization cost of the
+	// snapshot-compute-commit pipeline.
+	compileWait *telemetry.Histogram
+
+	classifierRules *telemetry.Gauge
+	flowRules       *telemetry.Gauge
+	prefixGroups    *telemetry.Gauge
+
+	fastpathReactions *telemetry.Counter
+	fastpathRules     *telemetry.Counter
+	fastpathDur       *telemetry.Histogram
+}
+
+// newCoreMetrics registers the controller metrics with reg. The FEC count,
+// VNH pool occupancy, and participant count are read from the controller at
+// scrape time rather than maintained on the hot paths. A nil registry
+// returns nil, the no-op mode.
+func newCoreMetrics(reg *telemetry.Registry, c *Controller) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &coreMetrics{}
+	m.compiles = reg.Counter("sdx_core_compiles_total",
+		"Full policy compilations committed.")
+	m.compileErrors = reg.Counter("sdx_core_compile_errors_total",
+		"Full policy compilations that failed.")
+	m.compileDur = reg.Histogram("sdx_core_compile_duration_seconds",
+		"Wall-clock duration of full compilations.", nil)
+	stage := reg.HistogramVec("sdx_core_compile_stage_duration_seconds",
+		"Compilation time split by pipeline stage.", nil, "stage")
+	m.vnhStageDur = stage.With("vnh")
+	m.policyStage = stage.With("policy")
+	m.compileWait = reg.Histogram("sdx_core_compile_wait_seconds",
+		"Time compilations spent queued on the serialization lock.", nil)
+	m.classifierRules = reg.Gauge("sdx_core_classifier_rules",
+		"Rules in the composed global classifier after the last compile.")
+	m.flowRules = reg.Gauge("sdx_core_flow_rules",
+		"Installable flow rules produced by the last compile.")
+	m.prefixGroups = reg.Gauge("sdx_core_prefix_groups",
+		"Forwarding equivalence classes produced by the last compile.")
+	m.fastpathReactions = reg.Counter("sdx_core_fastpath_reactions_total",
+		"Quick-stage reactions to best-route change batches.")
+	m.fastpathRules = reg.Counter("sdx_core_fastpath_rules_total",
+		"Higher-priority rules added by the quick stage.")
+	m.fastpathDur = reg.Histogram("sdx_core_fastpath_duration_seconds",
+		"Wall-clock duration of quick-stage reactions.", nil)
+
+	reg.GaugeFunc("sdx_core_fecs",
+		"Live forwarding equivalence classes (base plus fast-path).",
+		func() float64 { return float64(c.fecs.Len()) })
+	reg.GaugeFunc("sdx_core_vnh_pool_used",
+		"Virtual next-hop addresses currently allocated.",
+		func() float64 { return float64(c.pool.InUse()) })
+	reg.GaugeFunc("sdx_core_participants",
+		"Participants registered with the controller.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.participants))
+		})
+	return m
+}
+
+// compileDone records one successful full compilation.
+func (m *coreMetrics) compileDone(res *CompileResult, wait, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.compiles.Inc()
+	m.compileWait.Observe(wait.Seconds())
+	m.compileDur.Observe(dur.Seconds())
+	m.vnhStageDur.Observe(res.Stats.VNHTime.Seconds())
+	m.policyStage.Observe(res.Stats.PolicyTime.Seconds())
+	m.classifierRules.Set(int64(len(res.Classifier.Rules)))
+	m.flowRules.Set(int64(res.Stats.FlowRules))
+	m.prefixGroups.Set(int64(res.Stats.PrefixGroups))
+}
+
+// compileFailed records one failed full compilation.
+func (m *coreMetrics) compileFailed() {
+	if m == nil {
+		return
+	}
+	m.compileErrors.Inc()
+}
+
+// fastpathDone records one quick-stage reaction.
+func (m *coreMetrics) fastpathDone(res *FastPathResult) {
+	if m == nil {
+		return
+	}
+	m.fastpathReactions.Inc()
+	m.fastpathRules.Add(uint64(len(res.Rules)))
+	m.fastpathDur.Observe(res.Elapsed.Seconds())
+}

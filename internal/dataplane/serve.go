@@ -15,6 +15,9 @@ import (
 // on its own goroutine.
 func (s *Switch) ServeController(conn net.Conn) error {
 	oc := openflow.NewConn(conn)
+	s.mu.RLock()
+	oc.SetMetrics(s.ofMetrics)
+	s.mu.RUnlock()
 	if err := oc.HandshakeSwitch(openflow.FeaturesReply{
 		DatapathID: s.DatapathID,
 		NumPorts:   uint16(s.NumPorts()),
@@ -62,25 +65,12 @@ func (s *Switch) ServeController(conn net.Conn) error {
 				continue
 			}
 		case openflow.TypeStatsRequest:
-			req, err := msg.DecodeFlowStatsRequest()
+			reply, err := s.statsReply(msg)
 			if err != nil {
 				return err
 			}
-			var entries []openflow.FlowStatsEntry
-			for _, e := range s.Table.Entries() {
-				if !req.Match.ToPolicy().Subsumes(e.Match) {
-					continue
-				}
-				entries = append(entries, openflow.FlowStatsEntry{
-					Match:    openflow.MatchFromPolicy(e.Match),
-					Priority: e.Priority,
-					Packets:  e.Packets,
-					Bytes:    e.Bytes,
-					Actions:  e.Actions,
-				})
-			}
 			sendMu.Lock()
-			err = oc.Send(openflow.EncodeFlowStatsReply(entries, msg.XID))
+			err = oc.Send(reply)
 			sendMu.Unlock()
 			if err != nil {
 				return err
@@ -106,6 +96,53 @@ func (s *Switch) ServeController(conn net.Conn) error {
 		default:
 			return fmt.Errorf("dataplane: unexpected %v from controller", msg.Type)
 		}
+	}
+}
+
+// statsReply answers a STATS_REQUEST, dispatching on the stats subtype:
+// flow stats dump the table counters, port stats dump the per-port RX/TX
+// counters the telemetry layer also exports.
+func (s *Switch) statsReply(msg *openflow.Message) ([]byte, error) {
+	st, err := msg.StatsType()
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case openflow.StatsTypePort:
+		req, err := msg.DecodePortStatsRequest()
+		if err != nil {
+			return nil, err
+		}
+		entries := s.PortStatsEntries()
+		if req.PortNo != openflow.PortNone {
+			filtered := entries[:0]
+			for _, e := range entries {
+				if e.PortNo == req.PortNo {
+					filtered = append(filtered, e)
+				}
+			}
+			entries = filtered
+		}
+		return openflow.EncodePortStatsReply(entries, msg.XID), nil
+	default:
+		req, err := msg.DecodeFlowStatsRequest()
+		if err != nil {
+			return nil, err
+		}
+		var entries []openflow.FlowStatsEntry
+		for _, e := range s.Table.Entries() {
+			if !req.Match.ToPolicy().Subsumes(e.Match) {
+				continue
+			}
+			entries = append(entries, openflow.FlowStatsEntry{
+				Match:    openflow.MatchFromPolicy(e.Match),
+				Priority: e.Priority,
+				Packets:  e.Packets,
+				Bytes:    e.Bytes,
+				Actions:  e.Actions,
+			})
+		}
+		return openflow.EncodeFlowStatsReply(entries, msg.XID), nil
 	}
 }
 

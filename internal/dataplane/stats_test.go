@@ -79,3 +79,74 @@ func TestServeControllerFlowStats(t *testing.T) {
 		t.Errorf("restricted dump match = %v", entries[0].Match.ToPolicy())
 	}
 }
+
+// Per-port RX/TX counters travel back over the OF port-stats path, the same
+// counters the telemetry layer exports at scrape time.
+func TestServeControllerPortStats(t *testing.T) {
+	sw, _ := newTestSwitch()
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(1),
+		Priority: 1,
+		Actions:  []openflow.Action{openflow.Output(2)},
+	})
+	frame := udpFrame(80)
+	for i := 0; i < 3; i++ {
+		if err := sw.Inject(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctrlSide, swSide := net.Pipe()
+	go sw.ServeController(swSide)
+	ctrl := openflow.NewConn(ctrlSide)
+	defer ctrl.Close()
+	if _, err := ctrl.HandshakeController(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full dump.
+	xid, err := ctrl.RequestPortStats(openflow.PortNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ctrl.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.XID != xid {
+		t.Fatalf("xid = %d, want %d", msg.XID, xid)
+	}
+	entries, err := msg.DecodePortStatsReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("full dump returned %d entries, want 3", len(entries))
+	}
+	byPort := make(map[uint16]openflow.PortStatsEntry)
+	for _, e := range entries {
+		byPort[e.PortNo] = e
+	}
+	if e := byPort[1]; e.RxPackets != 3 || e.RxBytes != uint64(3*len(frame)) {
+		t.Errorf("port 1 rx = %d pkts %d bytes", e.RxPackets, e.RxBytes)
+	}
+	if e := byPort[2]; e.TxPackets != 3 || e.TxBytes != uint64(3*len(frame)) {
+		t.Errorf("port 2 tx = %d pkts %d bytes", e.TxPackets, e.TxBytes)
+	}
+
+	// Filtered dump.
+	if _, err := ctrl.RequestPortStats(2); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = ctrl.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err = msg.DecodePortStatsReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].PortNo != 2 {
+		t.Fatalf("filtered dump = %+v, want just port 2", entries)
+	}
+}

@@ -2,12 +2,15 @@ package dataplane
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"sdx/internal/openflow"
 	"sdx/internal/packet"
 	"sdx/internal/policy"
+	"sdx/internal/telemetry"
 )
 
 // PortStats counts traffic through one switch port; the deployment
@@ -41,8 +44,20 @@ type Switch struct {
 	// controller delivery; nil when no controller is attached
 	toController func(*openflow.PacketIn)
 
-	droppedNoMatch atomic.Uint64
-	droppedNoPort  atomic.Uint64
+	// ofMetrics, when set by EnableTelemetry, is attached to controller
+	// connections served by ServeController.
+	ofMetrics *openflow.Metrics
+
+	// Intrusive counters: always live (an atomic add each), surfaced to a
+	// telemetry registry only when EnableTelemetry adopts them, so the
+	// Inject hot path is identical with and without a registry. The dropped
+	// pair is what Dropped() has always reported.
+	droppedNoMatch telemetry.Counter
+	droppedNoPort  telemetry.Counter
+	matched        telemetry.Counter
+	missed         telemetry.Counter
+	packetIns      telemetry.Counter
+	packetOuts     telemetry.Counter
 }
 
 // NewSwitch returns an empty switch.
@@ -91,9 +106,98 @@ func (s *Switch) Stats(portNo uint16) (PortStats, bool) {
 }
 
 // Dropped returns the counts of frames dropped for want of a matching rule
-// and for output to a missing port.
+// and for output to a missing port. It reads the same telemetry counters
+// EnableTelemetry exposes as sdx_dataplane_dropped_total.
 func (s *Switch) Dropped() (noMatch, noPort uint64) {
-	return s.droppedNoMatch.Load(), s.droppedNoPort.Load()
+	return s.droppedNoMatch.Value(), s.droppedNoPort.Value()
+}
+
+// PortNumbers returns the attached port numbers in ascending order.
+func (s *Switch) PortNumbers() []uint16 {
+	s.mu.RLock()
+	out := make([]uint16, 0, len(s.ports))
+	for n := range s.ports {
+		out = append(out, n)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PortStatsEntries snapshots every port's counters in port order — the
+// source for both the telemetry collectors and the OpenFlow port-stats
+// reply.
+func (s *Switch) PortStatsEntries() []openflow.PortStatsEntry {
+	s.mu.RLock()
+	out := make([]openflow.PortStatsEntry, 0, len(s.ports))
+	for n, p := range s.ports {
+		out = append(out, openflow.PortStatsEntry{
+			PortNo:    n,
+			RxPackets: p.rxPkts.Load(),
+			TxPackets: p.txPkts.Load(),
+			RxBytes:   p.rxBytes.Load(),
+			TxBytes:   p.txBytes.Load(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
+	return out
+}
+
+// EnableTelemetry exposes the switch's intrusive counters through reg: the
+// table hit/miss and PACKET_IN/OUT paths, both drop reasons, per-port RX/TX
+// frame and byte counters, and the flow-table size. All series are resolved
+// at scrape time, so the Inject hot path is untouched — the overhead
+// benchmark (BenchmarkInjectTelemetryOverhead) guards that property. It
+// also attaches OpenFlow message metrics to future ServeController
+// sessions. Call it before serving traffic; a nil registry is a no-op.
+func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sdx_dataplane_table_hits_total",
+		"Frames matched by a flow-table entry.",
+		func() float64 { return float64(s.matched.Value()) })
+	reg.CounterFunc("sdx_dataplane_table_misses_total",
+		"Frames that missed the flow table (punted or dropped).",
+		func() float64 { return float64(s.missed.Value()) })
+	reg.CounterFunc("sdx_dataplane_packet_in_total",
+		"Table-miss frames forwarded to the controller as PACKET_INs.",
+		func() float64 { return float64(s.packetIns.Value()) })
+	reg.CounterFunc("sdx_dataplane_packet_out_total",
+		"Controller-injected PACKET_OUT frames executed.",
+		func() float64 { return float64(s.packetOuts.Value()) })
+	reg.CounterVecFunc("sdx_dataplane_dropped_total",
+		"Frames dropped, by reason.", []string{"reason"},
+		func(emit func([]string, float64)) {
+			noMatch, noPort := s.Dropped()
+			emit([]string{"no_match"}, float64(noMatch))
+			emit([]string{"no_port"}, float64(noPort))
+		})
+	reg.GaugeFunc("sdx_dataplane_flow_entries",
+		"Installed flow-table rules.",
+		func() float64 { return float64(s.Table.Len()) })
+	reg.CounterVecFunc("sdx_dataplane_port_frames_total",
+		"Frames through each switch port, by direction.", []string{"port", "dir"},
+		func(emit func([]string, float64)) {
+			for _, e := range s.PortStatsEntries() {
+				p := strconv.Itoa(int(e.PortNo))
+				emit([]string{p, "rx"}, float64(e.RxPackets))
+				emit([]string{p, "tx"}, float64(e.TxPackets))
+			}
+		})
+	reg.CounterVecFunc("sdx_dataplane_port_bytes_total",
+		"Bytes through each switch port, by direction.", []string{"port", "dir"},
+		func(emit func([]string, float64)) {
+			for _, e := range s.PortStatsEntries() {
+				p := strconv.Itoa(int(e.PortNo))
+				emit([]string{p, "rx"}, float64(e.RxBytes))
+				emit([]string{p, "tx"}, float64(e.TxBytes))
+			}
+		})
+	s.mu.Lock()
+	s.ofMetrics = openflow.NewMetrics(reg)
+	s.mu.Unlock()
 }
 
 // Inject delivers one frame into the switch on the given ingress port, as
@@ -119,9 +223,11 @@ func (s *Switch) process(inPort uint16, frame []byte) error {
 	located := toPolicyPacket(inPort, pkt)
 	entry, ok := s.Table.Lookup(located, len(frame))
 	if !ok {
+		s.missed.Inc()
 		s.punt(inPort, frame)
 		return nil
 	}
+	s.matched.Inc()
 	if len(entry.Actions) == 0 {
 		return nil // explicit drop
 	}
@@ -220,7 +326,7 @@ func (s *Switch) emit(portNo uint16, frame []byte) {
 	p, ok := s.ports[portNo]
 	s.mu.RUnlock()
 	if !ok {
-		s.droppedNoPort.Add(1)
+		s.droppedNoPort.Inc()
 		return
 	}
 	p.txPkts.Add(1)
@@ -248,9 +354,10 @@ func (s *Switch) punt(inPort uint16, frame []byte) {
 	send := s.toController
 	s.mu.RUnlock()
 	if send == nil {
-		s.droppedNoMatch.Add(1)
+		s.droppedNoMatch.Inc()
 		return
 	}
+	s.packetIns.Inc()
 	send(&openflow.PacketIn{
 		BufferID: 0xffffffff,
 		InPort:   inPort,
@@ -282,6 +389,7 @@ func (s *Switch) ExecutePacketOut(po *openflow.PacketOut) error {
 	if err != nil {
 		return fmt.Errorf("dataplane: undecodable packet-out: %w", err)
 	}
+	s.packetOuts.Inc()
 	s.applyActions(po.Actions, pkt, po.Data, po.InPort)
 	return nil
 }

@@ -14,10 +14,16 @@ type Conn struct {
 	conn    net.Conn
 	writeMu sync.Mutex
 	xid     atomic.Uint32
+	metrics *Metrics
 }
 
 // NewConn wraps an established transport connection.
 func NewConn(c net.Conn) *Conn { return &Conn{conn: c} }
+
+// SetMetrics attaches per-type message and error counters to the
+// connection. Call it before the connection is served; a nil Metrics (the
+// no-op mode) is the default.
+func (c *Conn) SetMetrics(m *Metrics) { c.metrics = m }
 
 // NextXID returns a fresh transaction id.
 func (c *Conn) NextXID() uint32 { return c.xid.Add(1) }
@@ -27,11 +33,24 @@ func (c *Conn) Send(b []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	_, err := c.conn.Write(b)
+	if err != nil {
+		c.metrics.sendError()
+	} else if len(b) >= 2 {
+		c.metrics.msgOut(MsgType(b[1]))
+	}
 	return err
 }
 
 // Recv reads one message.
-func (c *Conn) Recv() (*Message, error) { return ReadMessage(c.conn) }
+func (c *Conn) Recv() (*Message, error) {
+	m, err := ReadMessage(c.conn)
+	if err != nil {
+		c.metrics.decodeError(err)
+		return m, err
+	}
+	c.metrics.msgIn(m.Type)
+	return m, nil
+}
 
 // Close tears down the transport.
 func (c *Conn) Close() error { return c.conn.Close() }

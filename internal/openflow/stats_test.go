@@ -82,3 +82,60 @@ func TestFlowStatsWrongTypes(t *testing.T) {
 		t.Error("DecodeFlowStatsRequest on HELLO should fail")
 	}
 }
+
+func TestPortStatsRoundTrip(t *testing.T) {
+	// Request: single port and the all-ports wildcard.
+	for _, portNo := range []uint16{3, PortNone} {
+		raw := EncodePortStatsRequest(&PortStatsRequest{PortNo: portNo}, 9)
+		msg, err := ReadMessage(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, _ := msg.StatsType(); st != StatsTypePort {
+			t.Fatalf("stats type = %d, want %d", st, StatsTypePort)
+		}
+		req, err := msg.DecodePortStatsRequest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.PortNo != portNo {
+			t.Errorf("port = %d, want %d", req.PortNo, portNo)
+		}
+	}
+
+	// Reply: entries survive the 104-byte ofp_port_stats encoding.
+	in := []PortStatsEntry{
+		{PortNo: 1, RxPackets: 10, TxPackets: 20, RxBytes: 1000, TxBytes: 2000},
+		{PortNo: 2, RxPackets: 0, TxPackets: 1, RxBytes: 0, TxBytes: 60},
+	}
+	raw := EncodePortStatsReply(in, 10)
+	msg, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := msg.DecodePortStatsReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+
+	// Cross-type decodes must fail rather than misparse.
+	if _, err := msg.DecodeFlowStatsReply(); err == nil {
+		t.Error("DecodeFlowStatsReply on a port-stats reply should fail")
+	}
+	flowRaw := EncodeFlowStatsReply(nil, 11)
+	flowMsg, err := ReadMessage(bytes.NewReader(flowRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flowMsg.DecodePortStatsReply(); err == nil {
+		t.Error("DecodePortStatsReply on a flow-stats reply should fail")
+	}
+}

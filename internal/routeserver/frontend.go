@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sdx/internal/bgp"
+	"sdx/internal/telemetry"
 )
 
 // NextHopResolver maps a best route to the next-hop address the route
@@ -40,6 +41,10 @@ type Frontend struct {
 	// adjOut tracks what has been advertised to each participant, so
 	// withdrawals are only sent for routes the peer actually holds.
 	adjOut map[ID]map[netip.Prefix]bool
+
+	// Intrusive instruments, exported via EnableTelemetry.
+	mUpdatesOut     telemetry.Counter
+	mWithdrawalsOut telemetry.Counter
 
 	// procMu serializes the decision-and-readvertisement path across
 	// sessions: without it, two peers' updates could interleave so that a
@@ -107,6 +112,7 @@ func (f *Frontend) onEstablished(p *bgp.Peer) {
 	}
 	for _, u := range updates {
 		p.Send(u)
+		f.mUpdatesOut.Inc()
 		for _, prefix := range u.NLRI {
 			f.recordSent(id, prefix, true)
 		}
@@ -247,9 +253,11 @@ func (f *Frontend) propagate(changes []BestChange) {
 		for id, peer := range peers {
 			if best, ok := f.Server.BestFor(id, ch.Prefix); ok {
 				peer.Send(f.buildUpdate(id, ch.Prefix, best))
+				f.mUpdatesOut.Inc()
 				f.recordSent(id, ch.Prefix, true)
 			} else if f.hasSent(id, ch.Prefix) {
 				peer.Send(&bgp.Update{Withdrawn: []netip.Prefix{ch.Prefix}})
+				f.mWithdrawalsOut.Inc()
 				f.recordSent(id, ch.Prefix, false)
 			}
 		}
@@ -285,6 +293,7 @@ func (f *Frontend) ReadvertiseAll() {
 		for id, peer := range peers {
 			if best, ok := f.Server.BestFor(id, prefix); ok {
 				peer.Send(f.buildUpdate(id, prefix, best))
+				f.mUpdatesOut.Inc()
 				f.recordSent(id, prefix, true)
 			}
 		}

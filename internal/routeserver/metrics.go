@@ -1,0 +1,54 @@
+package routeserver
+
+import "sdx/internal/telemetry"
+
+// EnableTelemetry registers the route-server engine's metrics with reg. The
+// engine counts into always-live intrusive counters; the registry only reads
+// them at scrape time, so enabling telemetry does not touch the decision
+// path. Call once per Server; a nil registry is a no-op.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sdx_routeserver_best_recomputations_total",
+		"Per-participant best-route computations.",
+		func() float64 { return float64(s.mBestRecomputations.Value()) })
+	reg.CounterFunc("sdx_routeserver_best_changes_total",
+		"Best-route changes produced by advertisements and withdrawals.",
+		func() float64 { return float64(s.mBestChanges.Value()) })
+	reg.CounterFunc("sdx_routeserver_advertisements_total",
+		"Routes advertised or loaded into the engine.",
+		func() float64 { return float64(s.mAdvertisements.Value()) })
+	reg.CounterFunc("sdx_routeserver_withdrawals_total",
+		"Routes withdrawn from the engine.",
+		func() float64 { return float64(s.mWithdrawals.Value()) })
+	reg.GaugeFunc("sdx_routeserver_prefixes",
+		"Prefixes with at least one candidate route.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.candidates))
+		})
+	reg.GaugeFunc("sdx_routeserver_participants",
+		"Registered participants.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.participants))
+		})
+}
+
+// EnableTelemetry registers the frontend's re-export metrics with reg: the
+// BGP UPDATEs and withdrawals the route server sends back out to
+// participants. A nil registry is a no-op.
+func (f *Frontend) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sdx_routeserver_updates_out_total",
+		"Best-route advertisements re-exported to participants.",
+		func() float64 { return float64(f.mUpdatesOut.Value()) })
+	reg.CounterFunc("sdx_routeserver_withdrawals_out_total",
+		"Withdrawals re-exported to participants.",
+		func() float64 { return float64(f.mWithdrawalsOut.Value()) })
+}

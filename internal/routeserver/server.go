@@ -18,6 +18,7 @@ import (
 
 	"sdx/internal/bgp"
 	"sdx/internal/netutil"
+	"sdx/internal/telemetry"
 )
 
 // ID names a participant. The SDX uses short names ("A", "B", "AS65001").
@@ -54,6 +55,13 @@ type Server struct {
 	// routeExport is the optional route-level export filter
 	// (SetRouteExportPolicy); it sees communities and other attributes.
 	routeExport RouteExportFilter
+
+	// Intrusive instruments: always counted, exported only once
+	// EnableTelemetry has registered scrape-time readers for them.
+	mBestRecomputations telemetry.Counter
+	mBestChanges        telemetry.Counter
+	mAdvertisements     telemetry.Counter
+	mWithdrawals        telemetry.Counter
 }
 
 // New returns an empty Server with the given export policy (nil = export
@@ -128,6 +136,7 @@ func (s *Server) Advertise(from ID, route bgp.Route) ([]BestChange, error) {
 		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
 	}
 	route.Prefix = route.Prefix.Masked()
+	s.mAdvertisements.Inc()
 
 	before := s.bestAllLocked(route.Prefix)
 	p.advertised.Set(route)
@@ -152,6 +161,7 @@ func (s *Server) Load(from ID, route bgp.Route) error {
 		return fmt.Errorf("routeserver: unknown participant %q", from)
 	}
 	route.Prefix = route.Prefix.Masked()
+	s.mAdvertisements.Inc()
 	p.advertised.Set(route)
 	cands := s.candidates[route.Prefix]
 	if cands == nil {
@@ -175,6 +185,7 @@ func (s *Server) Withdraw(from ID, prefix netip.Prefix) ([]BestChange, error) {
 
 func (s *Server) withdrawLocked(from ID, prefix netip.Prefix) []BestChange {
 	prefix = prefix.Masked()
+	s.mWithdrawals.Inc()
 	p := s.participants[from]
 	before := s.bestAllLocked(prefix)
 	p.advertised.Remove(prefix)
@@ -216,6 +227,7 @@ func (s *Server) diffLocked(prefix netip.Prefix, before map[ID]*bgp.Route) []Bes
 			cur = &rc
 		}
 		if !routePtrEqual(old, cur) {
+			s.mBestChanges.Inc()
 			changes = append(changes, BestChange{Participant: id, Prefix: prefix, Old: old, New: cur})
 		}
 	}
@@ -245,6 +257,7 @@ func (s *Server) BestFor(id ID, prefix netip.Prefix) (bgp.Route, bool) {
 }
 
 func (s *Server) bestForLocked(id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	s.mBestRecomputations.Inc()
 	cands := s.candidates[prefix]
 	if len(cands) == 0 {
 		return bgp.Route{}, false

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute of an event. Values are pre-rendered
+// strings: events are for humans and JSON, not for aggregation.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Dur builds a duration attribute, rendered compactly.
+func Dur(k string, d time.Duration) Attr {
+	return Attr{Key: k, Value: d.Round(time.Microsecond).String()}
+}
+
+// Event is one recorded occurrence: a point event or a finished span.
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// String renders the event as "name k=v k=v".
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}
+
+// Tracer records events into a bounded in-memory ring, optionally mirroring
+// each one to a log function. A nil *Tracer is a no-op, so library code can
+// emit unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+	logf  func(format string, args ...any)
+}
+
+// DefaultRingSize is the event capacity NewTracer uses for size <= 0.
+const DefaultRingSize = 256
+
+// NewTracer returns a tracer retaining the last size events.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Event, 0, size)}
+}
+
+// SetLogf mirrors every subsequent event to f (e.g. log.Printf), so daemon
+// operators see the event stream without polling /debug/sdx.
+func (t *Tracer) SetLogf(f func(format string, args ...any)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.logf = f
+	t.mu.Unlock()
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	e := Event{Time: time.Now(), Name: name, Attrs: attrs}
+	t.mu.Lock()
+	if cap(t.ring) == 0 {
+		t.ring = make([]Event, 0, DefaultRingSize) // zero-value Tracer
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	logf := t.logf
+	t.mu.Unlock()
+	if logf != nil {
+		logf("%s", e.String())
+	}
+}
+
+// Recent returns up to max of the most recent events, oldest first. max <= 0
+// means all retained events.
+func (t *Tracer) Recent(max int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	out := make([]Event, 0, n)
+	start := 0
+	if n == cap(t.ring) {
+		start = t.next // ring is full: next is the oldest slot
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%n])
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Total returns the number of events ever emitted (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Span is an in-flight timed operation; End emits it as an event carrying a
+// "dur" attribute. A nil *Span (from a nil tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan begins a span. The returned span is nil (and End a no-op) when
+// the tracer is nil.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Attr attaches an attribute to an in-flight span.
+func (s *Span) Attr(a Attr) {
+	if s != nil {
+		s.attrs = append(s.attrs, a)
+	}
+}
+
+// End finishes the span, appending any final attributes and the elapsed
+// duration, and emits it.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	all := append(s.attrs, attrs...)
+	all = append(all, Dur("dur", time.Since(s.start)))
+	s.t.Emit(s.name, all...)
+}
+
+// Errorf is a convenience for emitting error events with a formatted
+// message attribute.
+func (t *Tracer) Errorf(name, format string, args ...any) {
+	t.Emit(name, Str("error", fmt.Sprintf(format, args...)))
+}
