@@ -24,8 +24,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # One iteration of the compilation benchmarks: catches benchmarks that no
-# longer build or crash without paying for a full measured run.
+# longer build or crash without paying for a full measured run. The
+# data-plane lookup benchmarks then run at a fixed iteration count and land
+# in BENCH_dataplane.json (ns/op, cache hit-rate, speedup vs. the recorded
+# pre-cache baseline in BENCH_baseline.json) so the perf trajectory is
+# tracked across PRs.
 bench-smoke:
 	$(GO) test -bench=Compile -benchtime=1x -run '^$$' .
+	$(GO) test -bench='BenchmarkSwitchForwarding|BenchmarkFlowTableLookup' -benchtime=2000x -run '^$$' . \
+		| $(GO) run ./cmd/sdx-benchjson -baseline BENCH_baseline.json -out BENCH_dataplane.json
+	@cat BENCH_dataplane.json
 
 check: vet test race

@@ -1,0 +1,124 @@
+// Command sdx-benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file so the perf trajectory of the data-plane hot
+// paths is tracked across PRs (make bench-smoke writes BENCH_dataplane.json).
+//
+// With -baseline, a previously written file is embedded under "baseline"
+// and per-benchmark speedups (baseline ns/op ÷ current ns/op) are computed
+// for every benchmark present in both runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: iterations, ns/op, and any custom metrics
+// (hit-rate, MB/s, allocs/op, ...) keyed by unit.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	Benchmarks map[string]Result  `json:"benchmarks"`
+	Baseline   map[string]Result  `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// normalize strips the -GOMAXPROCS suffix so keys are stable across hosts.
+func normalize(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", r.Text(), err)
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		// Remainder alternates "<value> <unit>".
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out[normalize(m[1])] = res
+	}
+	return out, r.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "previously written report to compare against")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdx-benchjson:", err)
+		os.Exit(1)
+	}
+	rep := Report{Benchmarks: results}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdx-benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "sdx-benchjson: parse baseline:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Speedup = make(map[string]float64)
+		for name, b := range base.Benchmarks {
+			if cur, ok := results[name]; ok && cur.NsPerOp > 0 {
+				rep.Speedup[name] = b.NsPerOp / cur.NsPerOp
+			}
+		}
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdx-benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sdx-benchjson:", err)
+		os.Exit(1)
+	}
+}

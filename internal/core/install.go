@@ -34,34 +34,27 @@ func FlowModsForRules(rules []policy.Rule, top uint16) ([]*openflow.FlowMod, err
 }
 
 // InstallBase replaces the base priority band of the switch with the
-// compilation result. Fast-path rules (if any) are also cleared: a full
-// compilation subsumes them.
+// compilation result in one batched table swap: a full compilation at
+// Figure-7 scale installs thousands of rules, and the batch path sorts and
+// invalidates the lookup cache once instead of per rule. Fast-path rules
+// (if any) are also cleared: a full compilation subsumes them.
 func InstallBase(sw *dataplane.Switch, res *CompileResult) error {
 	fms, err := FlowModsForRules(res.Rules, fastPriority-1)
 	if err != nil {
 		return err
 	}
 	sw.Table.Clear()
-	for _, fm := range fms {
-		if err := sw.InstallFlowMod(fm); err != nil {
-			return err
-		}
-	}
-	return nil
+	return sw.InstallFlowMods(fms)
 }
 
-// InstallFast adds a fast-path result above the base band.
+// InstallFast adds a fast-path result above the base band (batched, like
+// InstallBase).
 func InstallFast(sw *dataplane.Switch, res *FastPathResult) error {
 	fms, err := FlowModsForRules(res.Rules, 0xfffe)
 	if err != nil {
 		return err
 	}
-	for _, fm := range fms {
-		if err := sw.InstallFlowMod(fm); err != nil {
-			return err
-		}
-	}
-	return nil
+	return sw.InstallFlowMods(fms)
 }
 
 // PushBase writes the base band over an OpenFlow connection, clearing the

@@ -175,9 +175,11 @@ func (f *Fabric) InstallGlobal(rules []policy.Rule) error {
 
 	// Policy rules at the ingress switch. Rules without a port constraint
 	// apply at every switch (on its own local ports only, which is exactly
-	// what localizing each action achieves).
+	// what localizing each action achieves). Entries are accumulated per
+	// switch and installed with one batched table swap each.
 	const transitPriority = 10
 	top := uint16(0xf000)
+	batches := make(map[uint64][]*FlowEntry, len(f.switches))
 	for i, r := range rules {
 		priority := top - uint16(i)
 		targets := f.ingressSwitches(r)
@@ -190,27 +192,27 @@ func (f *Fabric) InstallGlobal(rules []policy.Rule) error {
 			if err != nil {
 				return err
 			}
-			if err := f.switches[dpid].InstallFlowMod(fm); err != nil {
-				return err
-			}
+			batches[dpid] = append(batches[dpid], EntryFromFlowMod(fm))
 		}
 	}
 
 	// Transit rules: dstmac of each mapped port steers to the local port or
 	// the next trunk hop.
-	for dpid, sw := range f.switches {
+	for dpid := range f.switches {
 		for _, fp := range f.sortedPorts() {
 			out := fp.local
 			if fp.dpid != dpid {
 				out = f.nextHop[dpid][fp.dpid]
 			}
-			entry := &FlowEntry{
+			batches[dpid] = append(batches[dpid], &FlowEntry{
 				Match:    policy.MatchAll.DstMAC(fp.mac),
 				Priority: transitPriority,
 				Actions:  []openflow.Action{openflow.Output(out)},
-			}
-			sw.Table.Add(entry)
+			})
 		}
+	}
+	for dpid, sw := range f.switches {
+		sw.Table.AddBatch(batches[dpid])
 	}
 	return nil
 }

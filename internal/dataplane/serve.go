@@ -40,10 +40,26 @@ func (s *Switch) ServeController(conn net.Conn) error {
 		oc.Close()
 	}()
 
+	// Consecutive FLOW_MOD adds are coalesced into one AddBatch table swap;
+	// any other message (a barrier above all — the fence every installer in
+	// this repo sends after a table push) flushes the pending batch first,
+	// so ordering guarantees are unchanged.
+	var pending []*FlowEntry
+	flush := func() {
+		if len(pending) > 0 {
+			s.Table.AddBatch(pending)
+			pending = nil
+		}
+	}
+	defer flush()
+
 	for {
 		msg, err := oc.Recv()
 		if err != nil {
 			return err
+		}
+		if msg.Type != openflow.TypeFlowMod {
+			flush()
 		}
 		switch msg.Type {
 		case openflow.TypeFlowMod:
@@ -51,8 +67,14 @@ func (s *Switch) ServeController(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if err := s.InstallFlowMod(fm); err != nil {
-				return err
+			switch fm.Command {
+			case openflow.FlowModAdd, openflow.FlowModModify:
+				pending = append(pending, EntryFromFlowMod(fm))
+			default:
+				flush()
+				if err := s.InstallFlowMod(fm); err != nil {
+					return err
+				}
 			}
 		case openflow.TypePacketOut:
 			po, err := msg.DecodePacketOut()

@@ -177,6 +177,18 @@ func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sdx_dataplane_flow_entries",
 		"Installed flow-table rules.",
 		func() float64 { return float64(s.Table.Len()) })
+	reg.CounterFunc("sdx_dataplane_cache_hits_total",
+		"Lookups answered lock-free by the microflow cache.",
+		func() float64 { return float64(s.Table.CacheStats().Hits) })
+	reg.CounterFunc("sdx_dataplane_cache_misses_total",
+		"Lookups that fell through to the indexed slow path.",
+		func() float64 { return float64(s.Table.CacheStats().Misses) })
+	reg.CounterFunc("sdx_dataplane_cache_invalidations_total",
+		"Wholesale microflow-cache invalidations (table mutations).",
+		func() float64 { return float64(s.Table.CacheStats().Invalidations) })
+	reg.GaugeFunc("sdx_dataplane_cache_entries",
+		"Microflow-cache slots valid at the current table generation.",
+		func() float64 { return float64(s.Table.CacheStats().Entries) })
 	reg.CounterVecFunc("sdx_dataplane_port_frames_total",
 		"Frames through each switch port, by direction.", []string{"port", "dir"},
 		func(emit func([]string, float64)) {
@@ -366,19 +378,58 @@ func (s *Switch) punt(inPort uint16, frame []byte) {
 	})
 }
 
+// EntryFromFlowMod lowers an add/modify flow modification to the table
+// entry it installs.
+func EntryFromFlowMod(fm *openflow.FlowMod) *FlowEntry {
+	return &FlowEntry{
+		Match:    fm.Match.ToPolicy(),
+		Priority: fm.Priority,
+		Actions:  fm.Actions,
+		Cookie:   fm.Cookie,
+	}
+}
+
 // InstallFlowMod applies a controller flow modification to the table.
 func (s *Switch) InstallFlowMod(fm *openflow.FlowMod) error {
-	m := fm.Match.ToPolicy()
 	switch fm.Command {
 	case openflow.FlowModAdd, openflow.FlowModModify:
-		s.Table.Add(&FlowEntry{Match: m, Priority: fm.Priority, Actions: fm.Actions, Cookie: fm.Cookie})
+		s.Table.Add(EntryFromFlowMod(fm))
 	case openflow.FlowModDelete:
-		s.Table.Delete(m, fm.Priority, false)
+		s.Table.Delete(fm.Match.ToPolicy(), fm.Priority, false)
 	case openflow.FlowModDeleteStrict:
-		s.Table.Delete(m, fm.Priority, true)
+		s.Table.Delete(fm.Match.ToPolicy(), fm.Priority, true)
 	default:
 		return fmt.Errorf("dataplane: unsupported flow-mod command %d", fm.Command)
 	}
+	return nil
+}
+
+// InstallFlowMods applies a sequence of flow modifications, coalescing runs
+// of consecutive adds/modifies into single AddBatch table operations so a
+// full-table swap sorts and invalidates once instead of per rule.
+func (s *Switch) InstallFlowMods(fms []*openflow.FlowMod) error {
+	var batch []*FlowEntry
+	flush := func() {
+		if len(batch) > 0 {
+			s.Table.AddBatch(batch)
+			batch = nil
+		}
+	}
+	for _, fm := range fms {
+		switch fm.Command {
+		case openflow.FlowModAdd, openflow.FlowModModify:
+			batch = append(batch, EntryFromFlowMod(fm))
+		case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+			flush()
+			if err := s.InstallFlowMod(fm); err != nil {
+				return err
+			}
+		default:
+			flush()
+			return fmt.Errorf("dataplane: unsupported flow-mod command %d", fm.Command)
+		}
+	}
+	flush()
 	return nil
 }
 

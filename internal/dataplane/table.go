@@ -6,25 +6,35 @@
 package dataplane
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"sdx/internal/netutil"
 	"sdx/internal/openflow"
 	"sdx/internal/policy"
+	"sdx/internal/telemetry"
 )
 
 // FlowEntry is one installed rule: an OpenFlow match, a priority, the
 // action list, and hit counters.
+//
+// Packets and Bytes are updated with atomic operations outside the table
+// lock (they are bumped by lookups that may hold no lock at all); read them
+// through FlowTable.Entries, which takes a consistent atomic snapshot. They
+// sit first in the struct so they are 64-bit aligned even on 32-bit
+// platforms.
 type FlowEntry struct {
+	Packets uint64
+	Bytes   uint64
+
 	Match    policy.Match
 	Priority uint16
 	Actions  []openflow.Action
 	Cookie   uint64
-
-	Packets uint64
-	Bytes   uint64
 }
 
 func (e *FlowEntry) String() string {
@@ -56,20 +66,163 @@ func (e *FlowEntry) String() string {
 	return fmt.Sprintf("priority=%d %s -> %s", e.Priority, e.Match, actStr)
 }
 
+// microflowSlots is the size of the direct-mapped exact-match cache. Power
+// of two; 8192 slots × one pointer is 64 KiB per table, far below the flow
+// diversity of an IXP fabric port but enough that steady flows stay cached.
+const microflowSlots = 1 << 13
+
+// microflowSlot is one cached lookup result: the full header tuple it was
+// computed for, the table generation it is valid under, and the winning
+// entry (nil caches a table miss). Slots are immutable once published.
+type microflowSlot struct {
+	pkt   policy.Packet
+	gen   uint64
+	entry *FlowEntry
+}
+
+// ruleKey identifies a rule for OFPFC_ADD replacement semantics: same match
+// and priority replace in place.
+type ruleKey struct {
+	match    policy.Match
+	priority uint16
+}
+
+// CacheStats reports microflow-cache effectiveness counters.
+type CacheStats struct {
+	Hits          uint64 // lookups answered by the exact-match cache
+	Misses        uint64 // lookups that fell through to the slow path
+	Invalidations uint64 // wholesale invalidations (table mutations)
+	Entries       int    // slots valid at the current table generation
+}
+
 // FlowTable is a priority-ordered flow table. Higher priority wins; among
 // equal priorities the earliest-installed rule wins, matching Open vSwitch
 // behaviour closely enough for the SDX, which always uses distinct
 // priorities for overlapping rules.
+//
+// Lookup runs a three-tier pipeline:
+//
+//  1. A direct-mapped exact-match microflow cache keyed on the packet's
+//     full header tuple, validated by a table generation counter that every
+//     mutation bumps. A cache hit touches no lock.
+//  2. On a miss, a match index over the installed rules — buckets by exact
+//     destination MAC (the SDX VMAC tag stage) and by in-port, plus a
+//     residual list for rules constraining neither — scanned under RLock.
+//  3. The winning entry (or the miss) is published back into the cache at
+//     the generation observed under the lock.
+//
+// Per-entry hit counters are atomics bumped outside the lock on every tier,
+// so concurrent lookups never serialize on the table.
 type FlowTable struct {
 	mu      sync.RWMutex
-	entries []*FlowEntry
+	entries []*FlowEntry // priority desc, then installation order asc
 	seq     uint64
 	order   map[*FlowEntry]uint64
+	byRule  map[ruleKey]*FlowEntry
+
+	// Match index over entries; each bucket is in table order. A rule lives
+	// in exactly one bucket: its dst-MAC bucket if it constrains the
+	// destination MAC, else its in-port bucket if it constrains the port,
+	// else the residual list.
+	byDstMAC map[netutil.MAC][]*FlowEntry
+	byPort   map[uint16][]*FlowEntry
+	residual []*FlowEntry
+
+	// gen is bumped (under mu) by every mutation; a cached slot is valid
+	// only while its recorded generation equals gen.
+	gen   atomic.Uint64
+	cache [microflowSlots]atomic.Pointer[microflowSlot]
+
+	cacheHits          telemetry.Counter
+	cacheMisses        telemetry.Counter
+	cacheInvalidations telemetry.Counter
 }
 
 // NewFlowTable returns an empty table.
 func NewFlowTable() *FlowTable {
-	return &FlowTable{order: make(map[*FlowEntry]uint64)}
+	return &FlowTable{
+		order:    make(map[*FlowEntry]uint64),
+		byRule:   make(map[ruleKey]*FlowEntry),
+		byDstMAC: make(map[netutil.MAC][]*FlowEntry),
+		byPort:   make(map[uint16][]*FlowEntry),
+	}
+}
+
+// less reports whether a precedes b in table order: priority descending,
+// then installation order ascending (the tie-break invariant).
+func (t *FlowTable) less(a, b *FlowEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return t.order[a] < t.order[b]
+}
+
+// invalidateLocked bumps the table generation, invalidating every cached
+// microflow wholesale. Callers hold mu.
+func (t *FlowTable) invalidateLocked() {
+	t.gen.Add(1)
+	t.cacheInvalidations.Inc()
+}
+
+// bucketInsertLocked places e into its index bucket at its table-order
+// position.
+func (t *FlowTable) bucketInsertLocked(e *FlowEntry) {
+	if mac, ok := e.Match.GetDstMAC(); ok {
+		t.byDstMAC[mac] = t.insertSorted(t.byDstMAC[mac], e)
+		return
+	}
+	if p, ok := e.Match.GetPort(); ok {
+		t.byPort[p] = t.insertSorted(t.byPort[p], e)
+		return
+	}
+	t.residual = t.insertSorted(t.residual, e)
+}
+
+// bucketReplaceLocked swaps old for e inside old's bucket. Because e
+// inherits old's priority and installation order, the position is unchanged.
+func (t *FlowTable) bucketReplaceLocked(old, e *FlowEntry) {
+	var list []*FlowEntry
+	if mac, ok := old.Match.GetDstMAC(); ok {
+		list = t.byDstMAC[mac]
+	} else if p, ok := old.Match.GetPort(); ok {
+		list = t.byPort[p]
+	} else {
+		list = t.residual
+	}
+	for i, cur := range list {
+		if cur == old {
+			list[i] = e
+			return
+		}
+	}
+}
+
+// insertSorted inserts e into a table-ordered list, keeping it sorted.
+func (t *FlowTable) insertSorted(list []*FlowEntry, e *FlowEntry) []*FlowEntry {
+	i := sort.Search(len(list), func(i int) bool { return t.less(e, list[i]) })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// rebuildIndexLocked reconstructs the match index from the sorted entries
+// slice. O(n); used by the bulk paths (AddBatch, Delete, Clear) where
+// incremental maintenance would not be cheaper.
+func (t *FlowTable) rebuildIndexLocked() {
+	t.byDstMAC = make(map[netutil.MAC][]*FlowEntry)
+	t.byPort = make(map[uint16][]*FlowEntry)
+	t.residual = nil
+	for _, e := range t.entries {
+		// entries is already in table order, so appends keep buckets sorted.
+		if mac, ok := e.Match.GetDstMAC(); ok {
+			t.byDstMAC[mac] = append(t.byDstMAC[mac], e)
+		} else if p, ok := e.Match.GetPort(); ok {
+			t.byPort[p] = append(t.byPort[p], e)
+		} else {
+			t.residual = append(t.residual, e)
+		}
+	}
 }
 
 // Add installs a rule. An existing rule with the same match and priority is
@@ -77,23 +230,85 @@ func NewFlowTable() *FlowTable {
 func (t *FlowTable) Add(e *FlowEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, old := range t.entries {
-		if old.Match == e.Match && old.Priority == e.Priority {
-			t.order[e] = t.order[old]
-			delete(t.order, old)
-			t.entries[i] = e
+	t.addLocked(e)
+	t.invalidateLocked()
+}
+
+func (t *FlowTable) addLocked(e *FlowEntry) {
+	k := ruleKey{e.Match, e.Priority}
+	if old, ok := t.byRule[k]; ok {
+		if old == e {
 			return
 		}
+		// Locate old before touching the order map: the comparator needs
+		// old's installation order to binary-search the sorted slice.
+		i := sort.Search(len(t.entries), func(i int) bool { return !t.less(t.entries[i], old) })
+		t.order[e] = t.order[old]
+		delete(t.order, old)
+		t.byRule[k] = e
+		t.entries[i] = e
+		t.bucketReplaceLocked(old, e)
+		return
 	}
 	t.seq++
 	t.order[e] = t.seq
-	t.entries = append(t.entries, e)
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		if t.entries[i].Priority != t.entries[j].Priority {
-			return t.entries[i].Priority > t.entries[j].Priority
+	t.byRule[k] = e
+	// The new rule carries the highest installation order, so it lands
+	// after every existing rule of its priority.
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Priority < e.Priority })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.bucketInsertLocked(e)
+}
+
+// AddBatch installs many rules in one table operation: a single lock
+// acquisition, a single sort, a single index rebuild, and a single cache
+// invalidation. Full-table swaps (core.InstallBase, the OpenFlow FLOW_MOD
+// stream) use it to avoid the O(n² log n) cost of per-insert ordering.
+// Replacement semantics match repeated Add calls, including duplicates
+// within the batch (the last one wins).
+func (t *FlowTable) AddBatch(es []*FlowEntry) {
+	if len(es) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	replaced := make(map[*FlowEntry]*FlowEntry)
+	for _, e := range es {
+		k := ruleKey{e.Match, e.Priority}
+		if old, ok := t.byRule[k]; ok {
+			if old == e {
+				continue
+			}
+			t.order[e] = t.order[old]
+			delete(t.order, old)
+			t.byRule[k] = e
+			replaced[old] = e
+			continue
 		}
-		return t.order[t.entries[i]] < t.order[t.entries[j]]
-	})
+		t.seq++
+		t.order[e] = t.seq
+		t.byRule[k] = e
+		t.entries = append(t.entries, e)
+	}
+	if len(replaced) > 0 {
+		for i, e := range t.entries {
+			// Follow replacement chains: a rule replaced twice within the
+			// batch resolves to the final entry.
+			for {
+				n, ok := replaced[e]
+				if !ok {
+					break
+				}
+				e = n
+			}
+			t.entries[i] = e
+		}
+	}
+	sort.SliceStable(t.entries, func(i, j int) bool { return t.less(t.entries[i], t.entries[j]) })
+	t.rebuildIndexLocked()
+	t.invalidateLocked()
 }
 
 // Delete removes rules whose match equals m (strict) at the given priority;
@@ -114,11 +329,16 @@ func (t *FlowTable) Delete(m policy.Match, priority uint16, strict bool) int {
 		if del {
 			removed++
 			delete(t.order, e)
+			delete(t.byRule, ruleKey{e.Match, e.Priority})
 			continue
 		}
 		kept = append(kept, e)
 	}
-	t.entries = kept
+	if removed > 0 {
+		t.entries = kept
+		t.rebuildIndexLocked()
+		t.invalidateLocked()
+	}
 	return removed
 }
 
@@ -128,18 +348,107 @@ func (t *FlowTable) Clear() {
 	defer t.mu.Unlock()
 	t.entries = nil
 	t.order = make(map[*FlowEntry]uint64)
+	t.byRule = make(map[ruleKey]*FlowEntry)
 	t.seq = 0
+	t.rebuildIndexLocked()
+	t.invalidateLocked()
+}
+
+// mac48 packs a MAC into a uint64 for hashing.
+func mac48(m netutil.MAC) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// microflowIndex hashes the full header tuple to a cache slot (FNV-1a over
+// the packed fields). Collisions only cost a cache miss: the slot stores
+// the exact tuple and is compared before use.
+func microflowIndex(p policy.Packet) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	s := p.SrcIP.As16()
+	d := p.DstIP.As16()
+	h := uint64(offset64)
+	h = (h ^ (uint64(p.Port) | uint64(p.EthType)<<16 | uint64(p.Proto)<<32 |
+		uint64(p.SrcPort)<<40 | uint64(p.DstPort)<<48)) * prime64
+	h = (h ^ mac48(p.SrcMAC)) * prime64
+	h = (h ^ mac48(p.DstMAC)) * prime64
+	h = (h ^ binary.BigEndian.Uint64(s[:8])) * prime64
+	h = (h ^ binary.BigEndian.Uint64(s[8:])) * prime64
+	h = (h ^ binary.BigEndian.Uint64(d[:8])) * prime64
+	h = (h ^ binary.BigEndian.Uint64(d[8:])) * prime64
+	return h & (microflowSlots - 1)
 }
 
 // Lookup returns the highest-priority entry covering pkt and bumps its
-// counters by size bytes.
+// counters by size bytes. Repeated lookups of the same header tuple are
+// answered lock-free from the microflow cache until the table next mutates.
 func (t *FlowTable) Lookup(pkt policy.Packet, size int) (*FlowEntry, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	idx := microflowIndex(pkt)
+	gen := t.gen.Load()
+	if s := t.cache[idx].Load(); s != nil && s.gen == gen && s.pkt == pkt {
+		t.cacheHits.Inc()
+		if s.entry == nil {
+			return nil, false
+		}
+		atomic.AddUint64(&s.entry.Packets, 1)
+		atomic.AddUint64(&s.entry.Bytes, uint64(size))
+		return s.entry, true
+	}
+	t.cacheMisses.Inc()
+	t.mu.RLock()
+	e := t.classifyLocked(pkt)
+	// Publish at the generation observed under the read lock: mutations
+	// take the write lock, so gen cannot move while we hold it and the slot
+	// is exactly as valid as the scan that produced it.
+	t.cache[idx].Store(&microflowSlot{pkt: pkt, gen: t.gen.Load(), entry: e})
+	t.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	atomic.AddUint64(&e.Packets, 1)
+	atomic.AddUint64(&e.Bytes, uint64(size))
+	return e, true
+}
+
+// classifyLocked finds the winning entry for pkt via the match index: the
+// packet's dst-MAC bucket, its in-port bucket, and the residual list are
+// each scanned for their first cover, and the best of the three candidates
+// wins. Every rule that could cover pkt lives in exactly one of those
+// buckets, and each bucket is in table order, so the result is identical to
+// a linear scan of the full table. Callers hold mu (read or write).
+func (t *FlowTable) classifyLocked(pkt policy.Packet) *FlowEntry {
+	best := t.scanBucket(t.byDstMAC[pkt.DstMAC], pkt, nil)
+	best = t.scanBucket(t.byPort[pkt.Port], pkt, best)
+	best = t.scanBucket(t.residual, pkt, best)
+	return best
+}
+
+// scanBucket returns the better of best and the first entry in list
+// covering pkt. The list is in table order, so the scan stops as soon as
+// the remaining entries cannot beat best.
+func (t *FlowTable) scanBucket(list []*FlowEntry, pkt policy.Packet, best *FlowEntry) *FlowEntry {
+	for _, e := range list {
+		if best != nil && !t.less(e, best) {
+			break
+		}
+		if e.Match.Covers(pkt) {
+			return e
+		}
+	}
+	return best
+}
+
+// lookupLinear is the un-indexed, un-cached reference lookup: a pure
+// priority-ordered scan of the whole table, with no counter side effects.
+// The equivalence property test uses it as the oracle for the fast paths.
+func (t *FlowTable) lookupLinear(pkt policy.Packet) (*FlowEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, e := range t.entries {
 		if e.Match.Covers(pkt) {
-			e.Packets++
-			e.Bytes += uint64(size)
 			return e, true
 		}
 	}
@@ -154,18 +463,46 @@ func (t *FlowTable) Len() int {
 	return len(t.entries)
 }
 
-// Entries returns a snapshot of the rules in priority order.
+// CacheStats returns the microflow-cache counters and the number of slots
+// valid at the current table generation (the latter costs a scan of the
+// slot array; it is meant for scrape-time collection).
+func (t *FlowTable) CacheStats() CacheStats {
+	st := CacheStats{
+		Hits:          t.cacheHits.Value(),
+		Misses:        t.cacheMisses.Value(),
+		Invalidations: t.cacheInvalidations.Value(),
+	}
+	gen := t.gen.Load()
+	for i := range t.cache {
+		if s := t.cache[i].Load(); s != nil && s.gen == gen {
+			st.Entries++
+		}
+	}
+	return st
+}
+
+// Entries returns a snapshot of the rules in priority order. Counter values
+// are loaded atomically, so the snapshot is consistent even while traffic
+// is being forwarded.
 func (t *FlowTable) Entries() []FlowEntry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]FlowEntry, len(t.entries))
 	for i, e := range t.entries {
-		out[i] = *e
+		out[i] = FlowEntry{
+			Packets:  atomic.LoadUint64(&e.Packets),
+			Bytes:    atomic.LoadUint64(&e.Bytes),
+			Match:    e.Match,
+			Priority: e.Priority,
+			Actions:  e.Actions,
+			Cookie:   e.Cookie,
+		}
 	}
 	return out
 }
 
-// Dump renders the table like "ovs-ofctl dump-flows".
+// Dump renders the table like "ovs-ofctl dump-flows". The snapshot is taken
+// under the read lock; formatting happens outside it.
 func (t *FlowTable) Dump() string {
 	var b strings.Builder
 	for _, e := range t.Entries() {

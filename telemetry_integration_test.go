@@ -102,9 +102,13 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		Priority: 1,
 		Actions:  []openflow.Action{openflow.Output(2)},
 	})
+	// Two identical frames: the first misses the microflow cache and the
+	// second hits it, so both cache counters carry live values.
 	frame := packet.NewUDP(macA, macB, ipA, ipB, 4000, 80, []byte("x")).Serialize()
-	if err := sw.Inject(1, frame); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 2; i++ {
+		if err := sw.Inject(1, frame); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// Serve and scrape.
@@ -133,7 +137,11 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"sdx_core_compiles_total 1",
 		`sdx_bgp_sessions{state="Established"} 1`,
 		"sdx_routeserver_advertisements_total 1",
-		"sdx_dataplane_table_hits_total 1",
+		"sdx_dataplane_table_hits_total 2",
+		"sdx_dataplane_cache_hits_total 1",
+		"sdx_dataplane_cache_misses_total 1",
+		"sdx_dataplane_cache_invalidations_total 1",
+		"sdx_dataplane_cache_entries 1",
 		"sdx_core_vnh_pool_used",
 		"sdx_core_fecs 1",
 	} {
