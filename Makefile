@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke check
+.PHONY: build test race vet bench bench-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,12 @@ bench-smoke:
 	$(GO) test -bench='BenchmarkSwitchForwarding|BenchmarkFlowTableLookup' -benchtime=2000x -run '^$$' . \
 		| $(GO) run ./cmd/sdx-benchjson -baseline BENCH_baseline.json -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json
+
+# The control-plane chaos test (both control channels killed and restored
+# mid-churn; final flow tables must converge byte-identically) runs once as
+# part of `race`/`check`; `chaos` hammers it under the race detector to
+# surface rare interleavings.
+chaos:
+	$(GO) test -race -count=20 -run TestChaosControlPlaneConvergence ./internal/core/
 
 check: vet test race

@@ -21,6 +21,7 @@ import (
 	"net/netip"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sdx/internal/bgp"
@@ -65,6 +66,10 @@ func main() {
 		withdrawAfter = flag.Duration("withdraw-after", 0, "withdraw all announcements after this long (0 = never)")
 		telemetryAddr = flag.String("telemetry-addr", "",
 			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		redialMin = flag.Duration("redial-min-backoff", 100*time.Millisecond,
+			"initial route-server redial backoff")
+		redialMax = flag.Duration("redial-max-backoff", 30*time.Second,
+			"route-server redial backoff ceiling")
 		announces announceFlag
 	)
 	flag.Var(&announces, "announce", "prefix to announce, PREFIX or PREFIX@PATHLEN (repeatable)")
@@ -91,6 +96,7 @@ func main() {
 		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
 	}
 	speaker := bgp.NewSpeaker(sessCfg)
+	speaker.RedialMin, speaker.RedialMax = *redialMin, *redialMax
 	speaker.OnUpdate = func(p *bgp.Peer, u *bgp.Update) {
 		for _, w := range u.Withdrawn {
 			log.Printf("rib: withdraw %v", w)
@@ -100,42 +106,52 @@ func main() {
 				nlri, u.Attrs.NextHop, u.Attrs.ASPathString())
 		}
 	}
+
+	// Announcements ride the establishment callback, so a redial after a
+	// route-server restart re-announces everything: the route server's copy
+	// of this router's Adj-RIB-In died with the old session.
+	var withdrawn atomic.Bool
+	speaker.OnEstablished = func(p *bgp.Peer) {
+		log.Printf("established with route server AS%d", p.Session.PeerAS())
+		if withdrawn.Load() {
+			return
+		}
+		for _, a := range announces.routes {
+			asns := make([]uint16, a.pathLen)
+			for i := range asns {
+				asns[i] = uint16(*asn)
+			}
+			u := &bgp.Update{
+				Attrs: bgp.PathAttrs{
+					Origin:  bgp.OriginIGP,
+					NextHop: nh,
+					ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
+				},
+				NLRI: []netip.Prefix{a.prefix},
+			}
+			if err := p.Send(u); err != nil {
+				log.Printf("announcing %v: %v", a.prefix, err)
+				return
+			}
+			log.Printf("announced %v (path length %d)", a.prefix, a.pathLen)
+		}
+	}
 	speaker.OnDown = func(p *bgp.Peer, err error) {
-		log.Printf("session to route server down: %v", err)
+		log.Printf("session to route server down: %v (redialing)", err)
 	}
 
-	peer, err := speaker.Dial(*server)
-	if err != nil {
-		log.Fatalf("dialing route server: %v", err)
-	}
-	log.Printf("established with route server AS%d", peer.Session.PeerAS())
-
-	for _, a := range announces.routes {
-		asns := make([]uint16, a.pathLen)
-		for i := range asns {
-			asns[i] = uint16(*asn)
-		}
-		u := &bgp.Update{
-			Attrs: bgp.PathAttrs{
-				Origin:  bgp.OriginIGP,
-				NextHop: nh,
-				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-			},
-			NLRI: []netip.Prefix{a.prefix},
-		}
-		if err := peer.Send(u); err != nil {
-			log.Fatalf("announcing %v: %v", a.prefix, err)
-		}
-		log.Printf("announced %v (path length %d)", a.prefix, a.pathLen)
+	if err := speaker.AddNeighbor(*server); err != nil {
+		log.Fatalf("configuring route server neighbor: %v", err)
 	}
 
 	if *withdrawAfter > 0 {
 		time.AfterFunc(*withdrawAfter, func() {
+			withdrawn.Store(true)
 			var prefixes []netip.Prefix
 			for _, a := range announces.routes {
 				prefixes = append(prefixes, a.prefix)
 			}
-			if err := peer.Send(&bgp.Update{Withdrawn: prefixes}); err != nil {
+			if err := speaker.Broadcast(&bgp.Update{Withdrawn: prefixes}); err != nil {
 				log.Printf("withdrawing: %v", err)
 				return
 			}
@@ -143,5 +159,5 @@ func main() {
 		})
 	}
 
-	<-peer.Session.Done()
+	select {} // the redial loop owns the session lifecycle from here
 }

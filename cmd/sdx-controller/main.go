@@ -70,10 +70,14 @@ func main() {
 		log.Fatalf("applying config: %v", err)
 	}
 
+	switches := core.NewSwitchServer(reg)
+	switches.HandlePacketIn = ctrl.HandlePacketIn
+	switches.Metrics = openflow.NewMetrics(reg)
+	switches.Logf = log.Printf
 	d := &daemon{
 		ctrl:       ctrl,
+		switches:   switches,
 		reoptAfter: *reoptAfter,
-		ofMetrics:  openflow.NewMetrics(reg),
 	}
 
 	// Route-server frontend over live BGP.
@@ -138,38 +142,35 @@ func main() {
 		if err != nil {
 			log.Fatalf("openflow accept: %v", err)
 		}
-		go d.serveSwitch(conn)
+		// The switch server handshakes, reconciles the switch's flow table
+		// against the last compilation (no wipe: adds first, then strict
+		// deletes of stale entries), and runs the PACKET_IN loop.
+		go switches.Serve(conn)
 	}
 }
 
 // daemon holds the controller's runtime state shared between the BGP and
-// OpenFlow sides.
+// OpenFlow sides. Switch-facing state (live channels, last committed base,
+// outstanding fast-path rules) lives in the core.SwitchServer.
 type daemon struct {
 	ctrl       *core.Controller
+	switches   *core.SwitchServer
 	frontend   *routeserver.Frontend
 	reoptAfter time.Duration
-	ofMetrics  *openflow.Metrics
 
-	mu       sync.Mutex
-	switches map[*openflow.Conn]bool
-	lastBase *core.CompileResult
-	reoptT   *time.Timer
+	mu     sync.Mutex
+	reoptT *time.Timer
 }
 
-// recompile runs the full pipeline and pushes the base table to every
+// recompile runs the full pipeline and diff-pushes the base table to every
 // connected switch.
 func (d *daemon) recompile() (*core.CompileResult, error) {
 	res, err := d.ctrl.Compile()
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.lastBase = res
-	for conn := range d.switches {
-		if err := core.PushBase(conn, res); err != nil {
-			log.Printf("pushing base table: %v", err)
-		}
+	if err := d.switches.SetBase(res); err != nil {
+		return nil, err
 	}
 	// The per-compile summary line (duration, rules, FECs, parallelism) is
 	// emitted by the controller's tracer, which mirrors to this log.
@@ -190,12 +191,10 @@ func (d *daemon) onRouteChanges(changes []routeserver.BestChange) {
 		log.Printf("fast path: %v", err)
 		return
 	}
-	d.mu.Lock()
-	for conn := range d.switches {
-		if err := core.PushFast(conn, fast); err != nil {
-			log.Printf("pushing fast rules: %v", err)
-		}
+	if err := d.switches.PushFastAll(fast); err != nil {
+		log.Printf("pushing fast rules: %v", err)
 	}
+	d.mu.Lock()
 	if d.reoptT != nil {
 		d.reoptT.Stop()
 	}
@@ -206,66 +205,4 @@ func (d *daemon) onRouteChanges(changes []routeserver.BestChange) {
 	})
 	d.mu.Unlock()
 	// The quick-stage summary line is the tracer's "fastpath" event.
-}
-
-// serveSwitch owns one OpenFlow connection: handshake, base-table push,
-// then the PACKET_IN loop (ARP responder).
-func (d *daemon) serveSwitch(raw net.Conn) {
-	conn := openflow.NewConn(raw)
-	conn.SetMetrics(d.ofMetrics)
-	features, err := conn.HandshakeController()
-	if err != nil {
-		log.Printf("switch handshake: %v", err)
-		conn.Close()
-		return
-	}
-	log.Printf("switch connected: dpid %#x, %d ports", features.DatapathID, features.NumPorts)
-
-	d.mu.Lock()
-	if d.switches == nil {
-		d.switches = make(map[*openflow.Conn]bool)
-	}
-	d.switches[conn] = true
-	base := d.lastBase
-	d.mu.Unlock()
-	if base != nil {
-		if err := core.PushBase(conn, base); err != nil {
-			log.Printf("pushing base table: %v", err)
-		}
-	}
-	defer func() {
-		d.mu.Lock()
-		delete(d.switches, conn)
-		d.mu.Unlock()
-		conn.Close()
-		log.Printf("switch %#x disconnected", features.DatapathID)
-	}()
-
-	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		switch msg.Type {
-		case openflow.TypePacketIn:
-			pi, err := msg.DecodePacketIn()
-			if err != nil {
-				log.Printf("bad packet-in: %v", err)
-				continue
-			}
-			if po, ok := d.ctrl.HandlePacketIn(pi); ok {
-				if err := conn.SendPacketOut(po); err != nil {
-					return
-				}
-			}
-		case openflow.TypeEchoRequest:
-			if err := conn.Send(openflow.Encode(openflow.TypeEchoReply, msg.XID, msg.Body)); err != nil {
-				return
-			}
-		case openflow.TypeBarrierReply, openflow.TypeEchoReply:
-			// fences and liveness acknowledgements
-		default:
-			log.Printf("unexpected %v from switch", msg.Type)
-		}
-	}
 }

@@ -64,6 +64,10 @@ func main() {
 		dpid          = flag.Uint64("dpid", 1, "datapath id")
 		telemetryAddr = flag.String("telemetry-addr", "",
 			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		minBackoff = flag.Duration("reconnect-min-backoff", 100*time.Millisecond,
+			"initial controller-redial backoff")
+		maxBackoff = flag.Duration("reconnect-max-backoff", 30*time.Second,
+			"controller-redial backoff ceiling")
 		ports portFlag
 	)
 	flag.Var(&ports, "port", "fabric port as NUMBER=LISTEN/PEER (repeatable)")
@@ -89,21 +93,21 @@ func main() {
 		log.Printf("port %d: %s -> %s", spec.number, spec.listen, spec.peer)
 	}
 
-	// Stay connected to the controller, reconnecting on failure; the flow
-	// table persists across reconnects (fail-open in OpenFlow terms).
-	for {
+	// Stay attached to the controller: RunController redials with
+	// exponential backoff and jitter. While disconnected the switch keeps
+	// forwarding on its installed flow table (fail-open) — only table-miss
+	// traffic loses its punt path — and on reattach the controller
+	// reconciles the table in place instead of wiping it.
+	log.Printf("connecting to controller %s", *controller)
+	sw.RunController(func() (net.Conn, error) {
 		conn, err := net.Dial("tcp", *controller)
 		if err != nil {
-			log.Printf("controller %s unreachable: %v; retrying", *controller, err)
-			time.Sleep(time.Second)
-			continue
+			log.Printf("controller %s unreachable: %v; backing off", *controller, err)
+			return nil, err
 		}
 		log.Printf("connected to controller %s", *controller)
-		if err := sw.ServeController(conn); err != nil {
-			log.Printf("controller session ended: %v", err)
-		}
-		time.Sleep(time.Second)
-	}
+		return conn, nil
+	}, nil, dataplane.ReconnectConfig{MinBackoff: *minBackoff, MaxBackoff: *maxBackoff})
 }
 
 // attachUDPPort binds the tunnel socket and wires it to the switch port.

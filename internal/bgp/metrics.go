@@ -1,6 +1,10 @@
 package bgp
 
-import "sdx/internal/telemetry"
+import (
+	"time"
+
+	"sdx/internal/telemetry"
+)
 
 // Metrics holds the BGP session instruments shared by every session created
 // with a SessionConfig that carries them: a per-FSM-state session gauge,
@@ -19,6 +23,13 @@ type Metrics struct {
 	OpensIn          *telemetry.Counter
 	OpensOut         *telemetry.Counter
 	HoldExpiries     *telemetry.Counter
+
+	// Persistent-neighbor resilience: dial attempts, sessions established
+	// by the redial loop, and the loop's current backoff (exposed in
+	// seconds via a scrape-time reader over the nanosecond gauge).
+	RedialAttempts *telemetry.Counter
+	Redials        *telemetry.Counter
+	backoffNanos   *telemetry.Gauge
 }
 
 // NewMetrics registers the BGP session metrics with reg and returns the
@@ -43,7 +54,39 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.NotificationsIn, m.NotificationsOut = in.With("NOTIFICATION"), out.With("NOTIFICATION")
 	m.HoldExpiries = reg.Counter("sdx_bgp_hold_expiries_total",
 		"BGP sessions torn down by hold-timer expiry.")
+	m.RedialAttempts = reg.Counter("sdx_bgp_redial_attempts_total",
+		"Dial attempts by persistent-neighbor redial loops.")
+	m.Redials = reg.Counter("sdx_bgp_redials_total",
+		"Sessions established by persistent-neighbor redial loops.")
+	m.backoffNanos = &telemetry.Gauge{}
+	reg.GaugeFunc("sdx_bgp_redial_backoff_seconds",
+		"Current persistent-neighbor redial backoff.",
+		func() float64 { return float64(m.backoffNanos.Value()) / 1e9 })
 	return m
+}
+
+// redialAttempt counts one persistent-neighbor dial attempt.
+func (m *Metrics) redialAttempt() {
+	if m == nil {
+		return
+	}
+	m.RedialAttempts.Inc()
+}
+
+// redialEstablished counts one session brought up by a redial loop.
+func (m *Metrics) redialEstablished() {
+	if m == nil {
+		return
+	}
+	m.Redials.Inc()
+}
+
+// setRedialBackoff records the redial loop's current backoff interval.
+func (m *Metrics) setRedialBackoff(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.backoffNanos.Set(int64(d))
 }
 
 // enter counts a new session appearing in state st.

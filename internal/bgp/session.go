@@ -82,7 +82,11 @@ type Session struct {
 	writeMu sync.Mutex
 	closeMu sync.Mutex
 	closed  bool
-	done    chan struct{}
+	// cause records why the session was aborted from a goroutine other
+	// than the one inside Run (a failed keepalive send), so runErr can
+	// surface it instead of mistaking the teardown for a clean Close.
+	cause error
+	done  chan struct{}
 }
 
 // NewSession wraps an established transport connection. The session starts
@@ -209,6 +213,13 @@ func (s *Session) Run(handler func(*Update)) error {
 				select {
 				case <-t.C:
 					if err := s.send(&Keepalive{}); err != nil {
+						// The transport is gone. Exiting quietly would
+						// leave the session half-alive — unable to send,
+						// waiting on the peer's hold timer to notice — so
+						// abort it, which unblocks Run's read promptly.
+						if !errors.Is(err, ErrClosed) {
+							s.abortErr(fmt.Errorf("bgp: sending KEEPALIVE: %w", err))
+						}
 						return
 					}
 				case <-stopKeepalive:
@@ -252,11 +263,16 @@ func (s *Session) Run(handler func(*Update)) error {
 	}
 }
 
-// runErr maps read errors after Close to a clean nil.
+// runErr maps read errors after Close to a clean nil — unless the session
+// was aborted with a recorded cause (a keepalive send failure), which is a
+// real failure Run must report.
 func (s *Session) runErr(err error) error {
 	select {
 	case <-s.done:
-		return nil
+		s.closeMu.Lock()
+		cause := s.cause
+		s.closeMu.Unlock()
+		return cause
 	default:
 		s.abort()
 		return err
@@ -316,12 +332,16 @@ func (s *Session) notifyAndClose(code, subcode uint8) {
 	s.cfg.Metrics.leave(State(s.state.Swap(uint32(StateIdle))))
 }
 
-func (s *Session) abort() {
+func (s *Session) abort() { s.abortErr(nil) }
+
+// abortErr tears the session down recording err as the failure cause.
+func (s *Session) abortErr(err error) {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
 	if s.closed {
 		return
 	}
+	s.cause = err
 	s.closed = true
 	close(s.done)
 	s.conn.Close()

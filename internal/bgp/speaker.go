@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"sdx/internal/netutil"
 )
 
 // Peer is one established neighbor of a Speaker.
@@ -39,15 +42,30 @@ type Speaker struct {
 	// OnDown is invoked when a session ends; err is nil for a clean close.
 	OnDown func(p *Peer, err error)
 
-	mu    sync.Mutex
-	peers map[string]*Peer
-	ln    net.Listener
-	wg    sync.WaitGroup
+	// Dialer, when set, replaces net.Dial for outbound sessions (Dial and
+	// persistent neighbors). The fault-injection tests cut sessions here.
+	Dialer func(addr string) (net.Conn, error)
+	// RedialMin/RedialMax bound the persistent neighbors' backoff schedule
+	// (zero = netutil's defaults); RedialSeed seeds its jitter.
+	RedialMin  time.Duration
+	RedialMax  time.Duration
+	RedialSeed int64
+
+	mu        sync.Mutex
+	peers     map[string]*Peer
+	neighbors map[string]chan struct{} // addr -> stop channel
+	closed    bool
+	ln        net.Listener
+	wg        sync.WaitGroup
 }
 
 // NewSpeaker returns a Speaker with the given local session configuration.
 func NewSpeaker(cfg SessionConfig) *Speaker {
-	return &Speaker{Config: cfg, peers: make(map[string]*Peer)}
+	return &Speaker{
+		Config:    cfg,
+		peers:     make(map[string]*Peer),
+		neighbors: make(map[string]chan struct{}),
+	}
 }
 
 // Listen starts accepting BGP connections on addr ("host:port"). It returns
@@ -79,9 +97,11 @@ func (s *Speaker) Listen(addr string) (net.Addr, error) {
 }
 
 // Dial connects to a neighbor and completes the handshake, returning the
-// established peer. The session's receive loop runs in the background.
+// established peer. The session's receive loop runs in the background. The
+// session is one-shot: when it dies it stays dead. Neighbors that should
+// survive session failure belong in AddNeighbor instead.
 func (s *Speaker) Dial(addr string) (*Peer, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := s.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +118,94 @@ func (s *Speaker) Dial(addr string) (*Peer, error) {
 	return p, nil
 }
 
+func (s *Speaker) dial(addr string) (net.Conn, error) {
+	if s.Dialer != nil {
+		return s.Dialer(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// AddNeighbor registers addr as a persistent neighbor: a background
+// goroutine dials it, serves the session, and on session death redials
+// with exponential backoff and jitter until the neighbor is removed or the
+// speaker closed. Session lifecycle is surfaced through the usual
+// OnEstablished/OnDown callbacks; a successful establishment resets the
+// backoff ramp.
+func (s *Speaker) AddNeighbor(addr string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("bgp: speaker closed")
+	}
+	if _, dup := s.neighbors[addr]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("bgp: neighbor %s already configured", addr)
+	}
+	stop := make(chan struct{})
+	s.neighbors[addr] = stop
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.redialLoop(addr, stop)
+	}()
+	return nil
+}
+
+// RemoveNeighbor stops redialing addr and closes its live session, if any.
+func (s *Speaker) RemoveNeighbor(addr string) {
+	s.mu.Lock()
+	stop, ok := s.neighbors[addr]
+	if ok {
+		delete(s.neighbors, addr)
+	}
+	s.mu.Unlock()
+	if ok {
+		close(stop)
+	}
+}
+
+// redialLoop keeps one persistent neighbor connected. It owns the backoff
+// schedule; the session itself is served synchronously so a redial can only
+// begin after the previous session has fully torn down.
+func (s *Speaker) redialLoop(addr string, stop <-chan struct{}) {
+	bo := &netutil.Backoff{Min: s.RedialMin, Max: s.RedialMax, Seed: s.RedialSeed}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		s.Config.Metrics.redialAttempt()
+		if conn, err := s.dial(addr); err == nil {
+			sess := NewSession(conn, s.Config)
+			if err := sess.Handshake(); err == nil {
+				bo.Reset()
+				s.Config.Metrics.setRedialBackoff(0)
+				s.Config.Metrics.redialEstablished()
+				p := s.addPeer(sess)
+				done := make(chan struct{})
+				go func() {
+					select {
+					case <-stop:
+						sess.Close()
+					case <-done:
+					}
+				}()
+				s.servePeer(p)
+				close(done)
+			}
+		}
+		d := bo.Next()
+		s.Config.Metrics.setRedialBackoff(d)
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
 func (s *Speaker) runConn(conn net.Conn) {
 	sess := NewSession(conn, s.Config)
 	if err := sess.Handshake(); err != nil {
@@ -109,8 +217,15 @@ func (s *Speaker) runConn(conn net.Conn) {
 func (s *Speaker) addPeer(sess *Session) *Peer {
 	p := &Peer{Session: sess, In: NewRIB(), speaker: s}
 	s.mu.Lock()
+	displaced := s.peers[p.Key()]
 	s.peers[p.Key()] = p
 	s.mu.Unlock()
+	// A second session from the same BGP identifier is a reconnect: the
+	// fresh session wins, and the stale one is closed so its hold timer
+	// does not keep it half-alive alongside its replacement.
+	if displaced != nil {
+		displaced.Session.Close()
+	}
 	if s.OnEstablished != nil {
 		s.OnEstablished(p)
 	}
@@ -125,7 +240,12 @@ func (s *Speaker) servePeer(p *Peer) {
 		}
 	})
 	s.mu.Lock()
-	delete(s.peers, p.Key())
+	// Delete only if the map still points at p: a reconnected peer (same
+	// BGP ID) may already have replaced this entry, and unconditionally
+	// deleting would tear the live replacement out from under it.
+	if s.peers[p.Key()] == p {
+		delete(s.peers, p.Key())
+	}
 	s.mu.Unlock()
 	if s.OnDown != nil {
 		s.OnDown(p, err)
@@ -179,16 +299,25 @@ func (s *Speaker) Broadcast(u *Update) error {
 	return first
 }
 
-// Close shuts down the listener and all sessions and waits for their
-// goroutines to finish.
+// Close shuts down the listener, the persistent-neighbor redial loops, and
+// all sessions, and waits for their goroutines to finish.
 func (s *Speaker) Close() {
 	s.mu.Lock()
+	s.closed = true
 	ln := s.ln
 	peers := make([]*Peer, 0, len(s.peers))
 	for _, p := range s.peers {
 		peers = append(peers, p)
 	}
+	stops := make([]chan struct{}, 0, len(s.neighbors))
+	for _, stop := range s.neighbors {
+		stops = append(stops, stop)
+	}
+	s.neighbors = make(map[string]chan struct{})
 	s.mu.Unlock()
+	for _, stop := range stops {
+		close(stop)
+	}
 	if ln != nil {
 		ln.Close()
 	}

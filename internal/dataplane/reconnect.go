@@ -1,0 +1,69 @@
+package dataplane
+
+import (
+	"net"
+	"time"
+
+	"sdx/internal/netutil"
+)
+
+// ReconnectConfig tunes RunController's redial schedule. Zero values take
+// netutil's defaults; a fixed Seed makes the jittered schedule reproducible,
+// which the fault-injection tests rely on.
+type ReconnectConfig struct {
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	Seed       int64
+}
+
+// RunController keeps the switch attached to its controller: it dials,
+// serves the connection until it fails, and redials with exponential backoff
+// and jitter. While disconnected the switch keeps forwarding on its
+// installed flow table — the paper's §5.1 degradation mode, where the fabric
+// "continues to forward traffic" on the last-computed rules and only
+// table-miss traffic loses its punt path. On reattach the controller side
+// reconciles the flow table (see core.SwitchServer), so no traffic-dropping
+// table wipe happens here. RunController blocks until stop is closed.
+func (s *Switch) RunController(dial func() (net.Conn, error), stop <-chan struct{}, cfg ReconnectConfig) {
+	bo := &netutil.Backoff{Min: cfg.MinBackoff, Max: cfg.MaxBackoff, Seed: cfg.Seed}
+	s.mu.Lock()
+	s.onCtrlAttach = func() { s.reconnects.Inc() }
+	s.mu.Unlock()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		s.reconnectAttempts.Inc()
+		if conn, err := dial(); err == nil {
+			s.backoffNanos.Set(0)
+			before := s.controllerGen()
+			// The serve loop only watches its socket, so a stop request must
+			// sever the transport to unblock it.
+			done := make(chan struct{})
+			go func() {
+				select {
+				case <-stop:
+					conn.Close()
+				case <-done:
+				}
+			}()
+			s.ServeController(conn)
+			close(done)
+			if s.controllerGen() != before {
+				// The handshake completed and the switch attached: this was
+				// a real session, so the next outage starts a fresh backoff
+				// ramp instead of resuming a stale one.
+				bo.Reset()
+			}
+		}
+		d := bo.Next()
+		s.backoffNanos.Set(int64(d))
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}

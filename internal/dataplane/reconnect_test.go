@@ -1,0 +1,239 @@
+package dataplane
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdx/internal/faultnet"
+	"sdx/internal/openflow"
+	"sdx/internal/policy"
+	"sdx/internal/telemetry"
+)
+
+// TestSecondControllerDisplacesFirst is the regression test for the
+// toController clobber bug: when a second controller connection attaches,
+// the first's deferred cleanup must not null out the replacement's delivery
+// function. Pre-fix, the first loop's teardown set s.toController = nil
+// unconditionally, so the switch silently stopped punting to the live
+// controller.
+func TestSecondControllerDisplacesFirst(t *testing.T) {
+	sw, _ := newTestSwitch()
+
+	ctrlA, swA := net.Pipe()
+	doneA := make(chan error, 1)
+	go func() { doneA <- sw.ServeController(swA) }()
+	connA := openflow.NewConn(ctrlA)
+	if _, err := connA.HandshakeController(); err != nil {
+		t.Fatal(err)
+	}
+	// The controller-side handshake returns before the switch goroutine
+	// installs its attachment; wait for it, or B's attach below could be
+	// displaced by A's late one instead of the other way around.
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.controllerGen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The replacement attaches; the displaced connection must be severed so
+	// its serve loop unwinds (deliberate displacement, like a BGP peer
+	// reconnecting under the same identifier).
+	ctrlB, swB := net.Pipe()
+	doneB := make(chan error, 1)
+	go func() { doneB <- sw.ServeController(swB) }()
+	connB := openflow.NewConn(ctrlB)
+	if _, err := connB.HandshakeController(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-doneA:
+		// attachController closes the displaced transport only after the
+		// replacement's delivery function is installed, so from here the
+		// punt path must reach controller B.
+	case <-time.After(5 * time.Second):
+		t.Fatal("first serve loop survived its displacement")
+	}
+
+	go sw.Inject(1, udpFrame(443)) // table miss -> PACKET_IN
+	msgCh := make(chan *openflow.Message, 1)
+	go func() {
+		if msg, err := connB.Recv(); err == nil {
+			msgCh <- msg
+		}
+	}()
+	select {
+	case msg := <-msgCh:
+		if msg.Type != openflow.TypePacketIn {
+			t.Fatalf("controller B received %v, want PACKET_IN", msg.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("punt never reached the replacement controller: the displaced loop clobbered the attachment")
+	}
+	connB.Close()
+	<-doneB
+}
+
+// failWriteConn fails writes on demand while reads keep flowing.
+type failWriteConn struct {
+	net.Conn
+	fail atomic.Bool
+}
+
+func (c *failWriteConn) Write(p []byte) (int, error) {
+	if c.fail.Load() {
+		return 0, errors.New("injected write failure")
+	}
+	return c.Conn.Write(p)
+}
+
+// TestPacketInSendFailureTearsDownServe is the regression test for the
+// dropped PACKET_IN send error: a punt whose write fails means the control
+// channel is dead, so the serve loop must tear down (letting RunController
+// redial) instead of looping forever punting into a black hole. The failed
+// write must also be counted by the OpenFlow send-error metric.
+func TestPacketInSendFailureTearsDownServe(t *testing.T) {
+	sw, _ := newTestSwitch()
+	reg := telemetry.NewRegistry()
+	sw.EnableTelemetry(reg)
+
+	ctrlSide, swSide := net.Pipe()
+	fwc := &failWriteConn{Conn: swSide}
+	done := make(chan error, 1)
+	go func() { done <- sw.ServeController(fwc) }()
+	ctrl := openflow.NewConn(ctrlSide)
+	if _, err := ctrl.HandshakeController(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { // drain so the switch's writes don't block on the pipe
+		for {
+			if _, err := ctrl.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// The controller-side handshake can return before the switch side has
+	// installed its delivery function; wait for the attach.
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.ctrlConnected.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	fwc.fail.Store(true)
+	go sw.Inject(1, udpFrame(443)) // punt -> failed send -> teardown
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop survived a dead control channel")
+	}
+	if got := sw.ofMetrics.SendErrors.Value(); got == 0 {
+		t.Error("failed PACKET_IN send was not counted by sdx_openflow_send_errors_total")
+	}
+}
+
+// TestRunControllerReconnectsAndKeepsTable exercises the switch leg of the
+// tentpole: RunController redials a severed controller with backoff, the
+// flow table keeps forwarding between sessions (fail-open), and the
+// reconnect instruments count the sessions.
+func TestRunControllerReconnectsAndKeepsTable(t *testing.T) {
+	sw, sinks := newTestSwitch()
+
+	// A minimal controller: each accepted session handshakes and installs
+	// one rule, then idles until severed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	sessions := make(chan *openflow.Conn, 8)
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := openflow.NewConn(raw)
+			if _, err := conn.HandshakeController(); err != nil {
+				conn.Close()
+				continue
+			}
+			fm, err := openflow.FlowModFromRule(policy.Rule{
+				Match:   policy.MatchAll.Port(1).DstPort(80),
+				Actions: []policy.Mods{policy.Identity.SetPort(2)},
+			}, 10)
+			if err != nil || conn.SendFlowMod(fm) != nil {
+				conn.Close()
+				continue
+			}
+			if _, err := conn.SendBarrier(); err != nil {
+				conn.Close()
+				continue
+			}
+			sessions <- conn
+			go func() {
+				for {
+					if _, err := conn.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	dialer := &faultnet.Dialer{}
+	stop := make(chan struct{})
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		sw.RunController(func() (net.Conn, error) { return dialer.Dial(ln.Addr().String()) },
+			stop, ReconnectConfig{MinBackoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, Seed: 1})
+	}()
+
+	select {
+	case <-sessions:
+	case <-time.After(5 * time.Second):
+		t.Fatal("switch never connected")
+	}
+	// Wait for the controller's rule to land, then sever the channel.
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.Table.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if sw.Table.Len() == 0 {
+		t.Fatal("rule never installed")
+	}
+	dialer.Last().Sever()
+
+	// Fail-open: the installed table forwards with no controller attached.
+	if err := sw.Inject(1, udpFrame(80)); err != nil {
+		t.Fatal(err)
+	}
+	if sinks[2].count() != 1 {
+		t.Error("installed rule stopped forwarding while disconnected")
+	}
+
+	select {
+	case <-sessions:
+	case <-time.After(5 * time.Second):
+		t.Fatal("switch never reconnected after sever")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for sw.reconnects.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := sw.reconnects.Value(); got < 2 {
+		t.Errorf("reconnects counter = %d, want >= 2", got)
+	}
+	if sw.reconnectAttempts.Value() < 2 {
+		t.Errorf("reconnect attempts = %d, want >= 2", sw.reconnectAttempts.Value())
+	}
+
+	close(stop)
+	dialer.SeverAll()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunController did not return after stop")
+	}
+}

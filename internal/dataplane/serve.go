@@ -26,17 +26,22 @@ func (s *Switch) ServeController(conn net.Conn) error {
 	}
 
 	var sendMu sync.Mutex
-	s.mu.Lock()
-	s.toController = func(pi *openflow.PacketIn) {
+	gen := s.attachController(func(pi *openflow.PacketIn) {
 		sendMu.Lock()
 		defer sendMu.Unlock()
-		oc.Send(openflow.EncodePacketIn(pi, oc.NextXID()))
-	}
-	s.mu.Unlock()
+		if err := oc.Send(openflow.EncodePacketIn(pi, oc.NextXID())); err != nil {
+			// The control channel is dead: the failed write was counted by
+			// the connection's send-error metric, and closing the transport
+			// makes the Recv loop below unwind so a reconnect loop can dial
+			// a fresh controller instead of punting into a black hole.
+			oc.Close()
+		}
+	}, func() { oc.Close() })
 	defer func() {
-		s.mu.Lock()
-		s.toController = nil
-		s.mu.Unlock()
+		// Clear the delivery function only if this connection still owns it:
+		// a newer controller may have attached while this one was dying, and
+		// clobbering its registration would silently re-enter headless mode.
+		s.detachController(gen)
 		oc.Close()
 	}()
 
@@ -173,7 +178,57 @@ func (s *Switch) statsReply(msg *openflow.Message) ([]byte, error) {
 // switch in the same process (as the benchmarks and examples do) uses this
 // to avoid the socket round trip while exercising identical table logic.
 func (s *Switch) AttachController(handler func(*openflow.PacketIn)) {
+	s.attachController(handler, nil)
+}
+
+// attachController installs the controller delivery function, returning the
+// generation token detachController requires. A previously attached
+// connection is deliberately displaced: its closer is invoked so its serve
+// loop unwinds — the fresh connection wins, mirroring how the BGP speaker
+// resolves a reconnect from the same identifier.
+func (s *Switch) attachController(send func(*openflow.PacketIn), closer func()) uint64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.toController = handler
+	displaced := s.ctrlClose
+	attached := s.onCtrlAttach
+	s.ctrlGen++
+	gen := s.ctrlGen
+	s.toController = send
+	s.ctrlClose = closer
+	s.mu.Unlock()
+	if send != nil {
+		s.ctrlConnected.Set(1)
+		if attached != nil {
+			attached()
+		}
+	} else {
+		s.ctrlConnected.Set(0)
+	}
+	if displaced != nil {
+		displaced()
+	}
+	return gen
+}
+
+// detachController clears the delivery function, but only if gen still names
+// the attached controller — a stale connection must not tear down its
+// replacement.
+func (s *Switch) detachController(gen uint64) {
+	s.mu.Lock()
+	if s.ctrlGen != gen {
+		s.mu.Unlock()
+		return
+	}
+	s.toController = nil
+	s.ctrlClose = nil
+	s.mu.Unlock()
+	s.ctrlConnected.Set(0)
+}
+
+// controllerGen reports the current attach generation; the reconnect loop
+// compares it across a ServeController call to learn whether the handshake
+// completed.
+func (s *Switch) controllerGen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ctrlGen
 }

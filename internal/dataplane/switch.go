@@ -41,8 +41,18 @@ type Switch struct {
 	mu    sync.RWMutex
 	ports map[uint16]*port
 
-	// controller delivery; nil when no controller is attached
+	// controller delivery; nil when no controller is attached. ctrlGen is
+	// bumped on every attach and acts as a token: a detaching connection
+	// only clears toController if no newer controller has replaced it in
+	// the meantime. ctrlClose, when set, severs the attached connection's
+	// transport so a replacement can deliberately displace it.
 	toController func(*openflow.PacketIn)
+	ctrlGen      uint64
+	ctrlClose    func()
+	// onCtrlAttach, when set by RunController, observes each successful
+	// attach so the reconnect instruments count establishment in real time
+	// rather than at session teardown.
+	onCtrlAttach func()
 
 	// ofMetrics, when set by EnableTelemetry, is attached to controller
 	// connections served by ServeController.
@@ -58,6 +68,12 @@ type Switch struct {
 	missed         telemetry.Counter
 	packetIns      telemetry.Counter
 	packetOuts     telemetry.Counter
+
+	// Reconnect-loop instruments (RunController).
+	reconnectAttempts telemetry.Counter
+	reconnects        telemetry.Counter
+	backoffNanos      telemetry.Gauge
+	ctrlConnected     telemetry.Gauge
 }
 
 // NewSwitch returns an empty switch.
@@ -189,6 +205,18 @@ func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sdx_dataplane_cache_entries",
 		"Microflow-cache slots valid at the current table generation.",
 		func() float64 { return float64(s.Table.CacheStats().Entries) })
+	reg.CounterFunc("sdx_dataplane_reconnect_attempts_total",
+		"Controller dial attempts by the reconnect loop.",
+		func() float64 { return float64(s.reconnectAttempts.Value()) })
+	reg.CounterFunc("sdx_dataplane_reconnects_total",
+		"Controller sessions established by the reconnect loop.",
+		func() float64 { return float64(s.reconnects.Value()) })
+	reg.GaugeFunc("sdx_dataplane_reconnect_backoff_seconds",
+		"Current controller-redial backoff (0 while connected).",
+		func() float64 { return float64(s.backoffNanos.Value()) / 1e9 })
+	reg.GaugeFunc("sdx_dataplane_controller_connected",
+		"Whether a controller is attached (1) or the switch is running on its installed table (0).",
+		func() float64 { return float64(s.ctrlConnected.Value()) })
 	reg.CounterVecFunc("sdx_dataplane_port_frames_total",
 		"Frames through each switch port, by direction.", []string{"port", "dir"},
 		func(emit func([]string, float64)) {

@@ -1,0 +1,159 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two connected TCP endpoints on loopback.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestSeverAfterWriteBytes(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a)
+	c.SeverAfterBytes(-1, 6)
+
+	// The op crossing the budget delivers up to the boundary, then fails.
+	n, err := c.Write([]byte("0123456789"))
+	if n != 6 || !errors.Is(err, ErrSevered) {
+		t.Fatalf("Write = (%d, %v), want (6, ErrSevered)", n, err)
+	}
+	buf := make([]byte, 16)
+	if m, _ := b.Read(buf); m != 6 {
+		t.Fatalf("peer received %d bytes, want the 6 admitted", m)
+	}
+	if !c.Severed() {
+		t.Error("connection should be severed after budget exhaustion")
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrSevered) {
+		t.Errorf("post-sever Write = %v, want ErrSevered", err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, ErrSevered) {
+		t.Errorf("post-sever Read = %v, want ErrSevered", err)
+	}
+}
+
+func TestSeverAfterOps(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a)
+	c.SeverAfterOps(2)
+	if _, err := c.Write([]byte("one")); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := c.Write([]byte("two")); !errors.Is(err, ErrSevered) {
+		t.Fatalf("op 2 should complete then sever, got %v", err)
+	}
+	buf := make([]byte, 16)
+	if n, _ := b.Read(buf); n == 0 {
+		t.Error("ops before the boundary should have reached the peer")
+	}
+	if _, err := c.Write([]byte("three")); !errors.Is(err, ErrSevered) {
+		t.Errorf("op 3 = %v, want ErrSevered", err)
+	}
+}
+
+func TestBlackholeSwallowsUntilSever(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a)
+	c.Blackhole()
+
+	if n, err := c.Write([]byte("into the void")); n != 13 || err != nil {
+		t.Fatalf("blackholed Write = (%d, %v), want claimed success", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, _ := b.Read(make([]byte, 16)); n != 0 {
+		t.Error("blackholed write reached the peer")
+	}
+
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 16))
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("blackholed Read returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c.Sever()
+	select {
+	case err := <-readDone:
+		if !errors.Is(err, ErrSevered) {
+			t.Errorf("released Read = %v, want ErrSevered", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sever did not release the blackholed reader")
+	}
+}
+
+func TestSeverClosesTransport(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a)
+	c.Sever()
+	c.Sever() // idempotent
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Error("peer read should fail once the transport is closed")
+	}
+}
+
+func TestDialerTracksConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	armed := 0
+	d := &Dialer{Arm: func(*Conn) { armed++ }}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Dial(ln.Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Dials() != 3 || armed != 3 {
+		t.Fatalf("Dials = %d, armed = %d, want 3", d.Dials(), armed)
+	}
+	last := d.Last()
+	d.SeverAll()
+	if !last.Severed() {
+		t.Error("SeverAll left the last connection alive")
+	}
+}

@@ -1,0 +1,84 @@
+package netutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff defaults, shared by every reconnecting component (the switch's
+// controller redial loop and the BGP speaker's persistent neighbors).
+const (
+	DefaultBackoffMin    = 100 * time.Millisecond
+	DefaultBackoffMax    = 30 * time.Second
+	DefaultBackoffFactor = 2.0
+	DefaultBackoffJitter = 0.5
+)
+
+// Backoff computes an exponential backoff schedule with bounded jitter:
+// the i-th interval is Min·Factorⁱ capped at Max, of which the top Jitter
+// fraction is randomized (so an interval d lands in [d·(1-Jitter), d]).
+// Jitter keeps a fleet of reconnecting clients from hammering a restarted
+// controller in lockstep; the cap keeps a long outage from pushing the
+// retry horizon out indefinitely.
+//
+// The randomness comes from a PRNG seeded with Seed, so two Backoffs with
+// equal parameters produce identical schedules — the property the
+// reconnect tests pin down. Zero fields take the Default* values above
+// (Seed stays zero: determinism is the default, callers wanting spread
+// pass distinct seeds). A Backoff is not safe for concurrent use; each
+// redial loop owns its own.
+type Backoff struct {
+	Min    time.Duration
+	Max    time.Duration
+	Factor float64
+	Jitter float64 // in [0,1]; fraction of each interval randomized
+	Seed   int64
+
+	rng     *rand.Rand
+	attempt int
+}
+
+// Next returns the next interval in the schedule and advances it.
+func (b *Backoff) Next() time.Duration {
+	min, max, factor, jitter := b.Min, b.Max, b.Factor, b.Jitter
+	if min <= 0 {
+		min = DefaultBackoffMin
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if factor <= 1 {
+		factor = DefaultBackoffFactor
+	}
+	if jitter <= 0 || jitter > 1 {
+		jitter = DefaultBackoffJitter
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+	}
+	d := float64(min)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	b.attempt++
+	// Subtractive jitter keeps Max an honest upper bound.
+	d -= b.rng.Float64() * jitter * d
+	if d < float64(min) {
+		d = float64(min)
+	}
+	return time.Duration(d)
+}
+
+// Attempt returns how many intervals Next has handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds the schedule to the first interval; call it after a
+// successful connection so the next failure starts the ramp afresh. The
+// PRNG keeps its state: determinism is over the whole sequence of draws,
+// not per ramp.
+func (b *Backoff) Reset() { b.attempt = 0 }

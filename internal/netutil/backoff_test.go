@@ -1,0 +1,97 @@
+package netutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterminism pins the property the reconnect tests lean on: two
+// schedules with equal parameters (including Seed) are identical, and a
+// different seed diverges.
+func TestBackoffDeterminism(t *testing.T) {
+	a := &Backoff{Min: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	b := &Backoff{Min: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	var seqA, seqB []time.Duration
+	for i := 0; i < 20; i++ {
+		seqA = append(seqA, a.Next())
+		seqB = append(seqB, b.Next())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("interval %d: %v != %v with equal seeds", i, seqA[i], seqB[i])
+		}
+	}
+	c := &Backoff{Min: 10 * time.Millisecond, Max: time.Second, Seed: 43}
+	same := true
+	for i := 0; i < 20; i++ {
+		if c.Next() != seqA[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 20-interval schedule")
+	}
+}
+
+// TestBackoffRampAndCap checks the undithered shape: with Jitter effectively
+// disabled the i-th interval is Min·Factorⁱ capped at Max. Jitter cannot be
+// exactly zero (zero means "use the default"), so a tiny value bounds the
+// wobble below the assertion tolerance.
+func TestBackoffRampAndCap(t *testing.T) {
+	b := &Backoff{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 1e-9}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second, // stays pinned at the cap
+	}
+	for i, w := range want {
+		got := b.Next()
+		if diff := got - w; diff < -time.Millisecond || diff > 0 {
+			t.Errorf("interval %d = %v, want ~%v", i, got, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Errorf("Attempt() = %d, want %d", b.Attempt(), len(want))
+	}
+}
+
+// TestBackoffJitterBounds checks every interval lands in [d·(1-J), d] and
+// never exceeds Max or undercuts Min.
+func TestBackoffJitterBounds(t *testing.T) {
+	min, max := 50*time.Millisecond, 500*time.Millisecond
+	b := &Backoff{Min: min, Max: max, Factor: 2, Jitter: 0.5, Seed: 7}
+	for i := 0; i < 50; i++ {
+		d := b.Next()
+		if d < min || d > max {
+			t.Fatalf("interval %d = %v outside [%v, %v]", i, d, min, max)
+		}
+	}
+}
+
+// TestBackoffReset checks Reset rewinds the ramp but not the PRNG: the
+// post-reset first interval is drawn from Min again.
+func TestBackoffReset(t *testing.T) {
+	b := &Backoff{Min: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 1e-9}
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Errorf("Attempt() after Reset = %d", b.Attempt())
+	}
+	if got := b.Next(); got > 100*time.Millisecond || got < 99*time.Millisecond {
+		t.Errorf("first post-reset interval = %v, want ~Min", got)
+	}
+}
+
+// TestBackoffDefaults checks the zero value follows the shared defaults.
+func TestBackoffDefaults(t *testing.T) {
+	b := &Backoff{}
+	d := b.Next()
+	if d < DefaultBackoffMin/2 || d > DefaultBackoffMin {
+		t.Errorf("zero-value first interval = %v, want within jitter of %v", d, DefaultBackoffMin)
+	}
+}

@@ -148,10 +148,34 @@ func (f *Frontend) onDown(p *bgp.Peer, _ error) {
 		return
 	}
 	f.mu.Lock()
-	if f.peers[id] == p {
+	current := f.peers[id] == p
+	if current {
 		delete(f.peers, id)
+		// The peer's RIB died with its session; a reconnecting router
+		// starts from an empty table and is re-fed by onEstablished.
+		delete(f.adjOut, id)
 	}
 	f.mu.Unlock()
+	if !current {
+		// A displaced session (the peer reconnected and the fresh session
+		// already replaced this one) — the live routes belong to the
+		// replacement, so there is nothing to flush.
+		return
+	}
+	if live, ok := f.Speaker.Peer(p.Key()); ok && live != p {
+		// Same displacement seen earlier than our own bookkeeping: the
+		// speaker installs the replacement in its peer map before closing
+		// the old session, so this check is race-free even when the old
+		// session's teardown outruns the replacement's onEstablished.
+		return
+	}
+	// Flush the downed participant's routes from the engine and recompute
+	// best routes: the fabric keeps forwarding on installed rules, but new
+	// best-route decisions must stop preferring a next hop that can no
+	// longer speak for itself.
+	f.procMu.Lock()
+	defer f.procMu.Unlock()
+	f.propagate(f.Server.FlushParticipant(id))
 }
 
 func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {

@@ -22,6 +22,9 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("sdx_routeserver_withdrawals_total",
 		"Routes withdrawn from the engine.",
 		func() float64 { return float64(s.mWithdrawals.Value()) })
+	reg.CounterFunc("sdx_routeserver_peer_flushes_total",
+		"Participants whose routes were flushed on session loss.",
+		func() float64 { return float64(s.mPeerFlushes.Value()) })
 	reg.GaugeFunc("sdx_routeserver_prefixes",
 		"Prefixes with at least one candidate route.",
 		func() float64 {

@@ -1,0 +1,173 @@
+package routeserver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdx/internal/bgp"
+)
+
+// watchDowns wraps the frontend's OnDown so a test can wait until a downed
+// session has been fully processed (flush included) before asserting on the
+// engine's state.
+func watchDowns(fe *Frontend) chan struct{} {
+	downs := make(chan struct{}, 8)
+	orig := fe.Speaker.OnDown
+	fe.Speaker.OnDown = func(p *bgp.Peer, err error) {
+		orig(p, err)
+		downs <- struct{}{}
+	}
+	return downs
+}
+
+// TestFrontendPeerDownFlushesRoutes exercises the control-plane-failure leg
+// of the route server: when a participant's BGP session dies, its routes
+// must be flushed from the engine, best routes recomputed, and the other
+// participants re-advertised the surviving alternatives (or sent
+// withdrawals where no alternative exists).
+func TestFrontendPeerDownFlushesRoutes(t *testing.T) {
+	fe, addr := newLiveRouteServer(t, nil)
+	downs := watchDowns(fe)
+	a := dialClient(t, addr, 65001, "10.0.0.1")
+	b := dialClient(t, addr, 65002, "10.0.0.2")
+	c := dialClient(t, addr, 65003, "10.0.0.3")
+
+	advertise(t, b, "10.0.0.0/8", 65002)
+	advertise(t, b, "30.0.0.0/8", 65002)        // no backup: must be withdrawn
+	advertise(t, c, "10.0.0.0/8", 65003, 65099) // longer path: backup
+
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8") && u.Attrs.FirstAS() == 65002
+	})
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.NLRI) == 1 && u.NLRI[0] == mp("30.0.0.0/8")
+	})
+
+	// B's router dies. The frontend must flush B's routes and recompute.
+	b.speaker.Close()
+	select {
+	case <-downs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("B's session death never reached the frontend")
+	}
+
+	if _, ok := fe.Server.BestFor("A", mp("30.0.0.0/8")); ok {
+		t.Error("30.0.0.0/8 still has a best route after its only advertiser died")
+	}
+	if best, ok := fe.Server.BestFor("A", mp("10.0.0.0/8")); !ok || best.PeerAS != 65003 {
+		t.Errorf("best for 10.0.0.0/8 after failover = %+v, %v; want C's route", best, ok)
+	}
+
+	// A is re-advertised C's backup for 10/8 and sent a withdrawal for 30/8.
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8") && u.Attrs.FirstAS() == 65003
+	})
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.Withdrawn) == 1 && u.Withdrawn[0] == mp("30.0.0.0/8")
+	})
+}
+
+// TestFrontendDisplacedSessionKeepsRoutes is the companion regression test:
+// when a participant RECONNECTS (same BGP identifier) rather than dying,
+// the displaced old session's teardown must not flush the participant's
+// routes out from under the live replacement.
+func TestFrontendDisplacedSessionKeepsRoutes(t *testing.T) {
+	fe, addr := newLiveRouteServer(t, nil)
+	downs := watchDowns(fe)
+	a := dialClient(t, addr, 65001, "10.0.0.1")
+	b1 := dialClient(t, addr, 65002, "10.0.0.2")
+
+	advertise(t, b1, "10.0.0.0/8", 65002)
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8")
+	})
+
+	// B reconnects under the same identifier: the fresh session displaces
+	// the old one, whose teardown then races the replacement's arrival.
+	b2 := dialClient(t, addr, 65002, "10.0.0.2")
+	select {
+	case <-downs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("displaced session was never torn down")
+	}
+
+	// Give any wrongly emitted withdrawal time to arrive, then assert the
+	// engine and A's RIB both kept the route.
+	time.Sleep(50 * time.Millisecond)
+	if best, ok := fe.Server.BestFor("A", mp("10.0.0.0/8")); !ok || best.PeerAS != 65002 {
+		t.Errorf("best for 10.0.0.0/8 after displacement = %+v, %v; want B's route intact", best, ok)
+	}
+	a.mu.Lock()
+	for _, u := range a.updates {
+		for _, w := range u.Withdrawn {
+			if w == mp("10.0.0.0/8") {
+				t.Error("displaced session's teardown withdrew the live participant's route")
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	// The replacement session is live: routes it advertises still flow.
+	advertise(t, b2, "20.0.0.0/8", 65002)
+	a.waitForUpdate(t, func(u *bgp.Update) bool {
+		return len(u.NLRI) == 1 && u.NLRI[0] == mp("20.0.0.0/8")
+	})
+}
+
+// TestServerFlushParticipant unit-tests the engine-level flush: every
+// prefix the participant advertised is withdrawn in one call, best routes
+// recompute, and the participant stays registered for a future session.
+func TestServerFlushParticipant(t *testing.T) {
+	s := New(nil)
+	for i, id := range []ID{"A", "B", "C"} {
+		if err := s.AddParticipant(id, uint16(65001+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route := func(as uint16, prefix string, pathLen int) bgp.Route {
+		asns := make([]uint16, pathLen)
+		for i := range asns {
+			asns[i] = as
+		}
+		return bgp.Route{
+			Prefix: mp(prefix),
+			Attrs: bgp.PathAttrs{
+				NextHop: ma("192.0.2.9"),
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
+			},
+			PeerAS: as,
+		}
+	}
+	mustAdv := func(id ID, r bgp.Route) {
+		t.Helper()
+		if _, err := s.Advertise(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdv("B", route(65002, "10.0.0.0/8", 1))
+	mustAdv("B", route(65002, "30.0.0.0/8", 1))
+	mustAdv("C", route(65003, "10.0.0.0/8", 2))
+
+	changes := s.FlushParticipant("B")
+	prefixes := make(map[netip.Prefix]bool)
+	for _, ch := range changes {
+		prefixes[ch.Prefix] = true
+	}
+	if !prefixes[mp("10.0.0.0/8")] || !prefixes[mp("30.0.0.0/8")] {
+		t.Errorf("flush changes covered %v, want both of B's prefixes", prefixes)
+	}
+	if best, ok := s.BestFor("A", mp("10.0.0.0/8")); !ok || best.PeerAS != 65003 {
+		t.Errorf("best for 10.0.0.0/8 = %+v, %v; want failover to C", best, ok)
+	}
+	if _, ok := s.BestFor("A", mp("30.0.0.0/8")); ok {
+		t.Error("30.0.0.0/8 survived its only advertiser's flush")
+	}
+
+	// The participant is still registered: a reconnecting router can
+	// re-advertise without re-provisioning.
+	mustAdv("B", route(65002, "30.0.0.0/8", 1))
+	if _, ok := s.BestFor("A", mp("30.0.0.0/8")); !ok {
+		t.Error("flushed participant could not re-advertise")
+	}
+}

@@ -62,6 +62,7 @@ type Server struct {
 	mBestChanges        telemetry.Counter
 	mAdvertisements     telemetry.Counter
 	mWithdrawals        telemetry.Counter
+	mPeerFlushes        telemetry.Counter
 }
 
 // New returns an empty Server with the given export policy (nil = export
@@ -100,6 +101,26 @@ func (s *Server) RemoveParticipant(id ID) []BestChange {
 		changes = append(changes, s.withdrawLocked(id, prefix)...)
 	}
 	delete(s.participants, id)
+	return changes
+}
+
+// FlushParticipant withdraws every route the participant has advertised —
+// the session-down path: a peer's routes die with its transport, exactly
+// as a conventional route server flushes a neighbor's Adj-RIB-In — while
+// keeping the participant registered for its return. It returns the
+// best-route changes the flush caused across the other participants.
+func (s *Server) FlushParticipant(id ID) []BestChange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return nil
+	}
+	s.mPeerFlushes.Inc()
+	var changes []BestChange
+	for _, prefix := range p.advertised.Prefixes() {
+		changes = append(changes, s.withdrawLocked(id, prefix)...)
+	}
 	return changes
 }
 
