@@ -28,12 +28,17 @@ bench:
 # data-plane lookup benchmarks then run at a fixed iteration count and land
 # in BENCH_dataplane.json (ns/op, cache hit-rate, speedup vs. the recorded
 # pre-cache baseline in BENCH_baseline.json) so the perf trajectory is
-# tracked across PRs.
+# tracked across PRs. The route-server churn pipeline benchmark lands in
+# BENCH_routeserver.json the same way, diffed against the recorded
+# pre-batching baseline in BENCH_routeserver_baseline.json.
 bench-smoke:
 	$(GO) test -bench=Compile -benchtime=1x -run '^$$' .
 	$(GO) test -bench='BenchmarkSwitchForwarding|BenchmarkFlowTableLookup' -benchtime=2000x -run '^$$' . \
 		| $(GO) run ./cmd/sdx-benchjson -baseline BENCH_baseline.json -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json
+	$(GO) test -bench=BenchmarkChurnPipeline -benchtime=3x -run '^$$' . \
+		| $(GO) run ./cmd/sdx-benchjson -baseline BENCH_routeserver_baseline.json -out BENCH_routeserver.json
+	@cat BENCH_routeserver.json
 
 # The control-plane chaos test (both control channels killed and restored
 # mid-churn; final flow tables must converge byte-identically) runs once as

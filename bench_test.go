@@ -533,6 +533,24 @@ func BenchmarkRouteServerAdvertise(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnPipeline is the end-to-end churn measurement behind the
+// route-server scaling work: a Table-1-calibrated burst trace pushed over
+// live BGP sessions through frontend -> engine -> controller fast path,
+// timed until every re-advertisement reaches a monitor peer. The custom
+// metrics (sustained updates/s, p99 burst-reaction latency, UPDATE messages
+// emitted) land in BENCH_routeserver.json via make bench-smoke.
+func BenchmarkChurnPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Churn(experiments.Config{Seed: 42}, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UpdatesPerSec, "updates/s")
+		b.ReportMetric(float64(res.BurstP99.Microseconds()), "p99-µs")
+		b.ReportMetric(float64(res.MessagesOut), "msgs-out")
+	}
+}
+
 func BenchmarkFECComputation(b *testing.B) {
 	rng := rand.New(rand.NewSource(42))
 	ex := workload.GenerateExchange(rng, 200, 10000)

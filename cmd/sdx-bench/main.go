@@ -7,7 +7,7 @@
 //	sdx-bench -experiment fig8 -participants 100,200,300 -seed 7
 //
 // Experiments: table1, fig5a, fig5b, fig6, fig7 (alias fig8), fig9, fig10,
-// ablation, all. Scale multiplies the default prefix counts; 1.0 keeps the
+// ablation, churn, all. Scale multiplies the default prefix counts; 1.0 keeps the
 // laptop-sized defaults documented in EXPERIMENTS.md.
 package main
 
@@ -24,10 +24,11 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
+		bursts       = flag.Int("bursts", 200, "update bursts for the churn experiment")
 	)
 	flag.Parse()
 
@@ -78,6 +79,10 @@ func main() {
 	if want("fig10") {
 		any = true
 		run("fig10", func() error { _, err := experiments.Fig10(cfg, counts, 0); return err })
+	}
+	if want("churn") {
+		any = true
+		run("churn", func() error { _, err := experiments.Churn(cfg, *bursts); return err })
 	}
 	if want("ablation") {
 		any = true

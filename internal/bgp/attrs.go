@@ -84,10 +84,15 @@ func (a PathAttrs) ASPathString() string {
 	return strings.Join(parts, " ")
 }
 
-// FirstAS returns the neighboring AS (leftmost ASN), or 0 for an empty path.
+// FirstAS returns the neighboring AS: the leftmost ASN of the first
+// AS_SEQUENCE segment, or 0 when the path has none. AS_SET members are
+// deliberately skipped — an AS_SET is an unordered aggregate, so its first
+// element does not identify the neighbor, and MED comparability (RFC 4271
+// §9.1.2.2(c) applies MED only between routes from the same neighboring AS)
+// must not be inferred from it.
 func (a PathAttrs) FirstAS() uint16 {
 	for _, seg := range a.ASPath {
-		if len(seg.ASNs) > 0 {
+		if seg.Type == ASSequence && len(seg.ASNs) > 0 {
 			return seg.ASNs[0]
 		}
 	}

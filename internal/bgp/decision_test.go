@@ -1,0 +1,130 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func TestFirstASSkipsASSet(t *testing.T) {
+	cases := []struct {
+		name string
+		path []ASPathSegment
+		want uint16
+	}{
+		{"empty", nil, 0},
+		{"sequence", []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65002, 65003}}}, 65002},
+		{"set only", []ASPathSegment{{Type: ASSet, ASNs: []uint16{65004, 65005}}}, 0},
+		{"set then sequence",
+			[]ASPathSegment{
+				{Type: ASSet, ASNs: []uint16{65004, 65005}},
+				{Type: ASSequence, ASNs: []uint16{65002, 65003}},
+			}, 65002},
+		{"empty sequence then sequence",
+			[]ASPathSegment{
+				{Type: ASSequence},
+				{Type: ASSequence, ASNs: []uint16{65007}},
+			}, 65007},
+	}
+	for _, c := range cases {
+		if got := (PathAttrs{ASPath: c.path}).FirstAS(); got != c.want {
+			t.Errorf("%s: FirstAS() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMEDComparability is the decision table for RFC 4271 §9.1.2.2(c): MED
+// orders two routes only when both were learned from the same neighboring
+// AS, where "neighboring AS" is the first AS_SEQUENCE ASN — an AS_SET
+// aggregate identifies no neighbor, so its MED must be ignored.
+func TestMEDComparability(t *testing.T) {
+	seq := func(asns ...uint16) []ASPathSegment {
+		return []ASPathSegment{{Type: ASSequence, ASNs: asns}}
+	}
+	setThenSeq := func(set []uint16, seq []uint16) []ASPathSegment {
+		return []ASPathSegment{{Type: ASSet, ASNs: set}, {Type: ASSequence, ASNs: seq}}
+	}
+	mk := func(path []ASPathSegment, med uint32, peerID string) Route {
+		return Route{
+			Prefix: mp("10.0.0.0/8"),
+			Attrs:  PathAttrs{ASPath: path, MED: med, HasMED: true, NextHop: ma("192.0.2.1")},
+			PeerAS: 65001,
+			PeerID: ma(peerID),
+		}
+	}
+	cases := []struct {
+		name       string
+		a, b       Route
+		wantABest  bool
+		wantReason string
+	}{
+		{
+			name: "same neighbor AS: lower MED wins despite higher peer ID",
+			// Equal path lengths (the AS_SET counts 1, so both are 2 hops).
+			a:         mk(seq(65002, 65009), 10, "10.0.0.9"),
+			b:         mk(seq(65002, 65008), 20, "10.0.0.1"),
+			wantABest: true, wantReason: "MED",
+		},
+		{
+			name:      "different neighbor AS: MED ignored, peer ID decides",
+			a:         mk(seq(65002, 65009), 99, "10.0.0.1"),
+			b:         mk(seq(65003, 65008), 1, "10.0.0.9"),
+			wantABest: true, wantReason: "peer ID",
+		},
+		{
+			name:      "AS_SET-leading on both: no neighbor, MED ignored, peer ID decides",
+			a:         mk(setThenSeq([]uint16{65002, 65003}, nil), 99, "10.0.0.1"),
+			b:         mk(setThenSeq([]uint16{65004, 65005}, nil), 1, "10.0.0.9"),
+			wantABest: true, wantReason: "peer ID",
+		},
+		{
+			name: "AS_SET before the same sequence: neighbor visible through the set",
+			// FirstAS skips the leading AS_SET, so both identify 65002 and
+			// MED applies.
+			a:         mk(setThenSeq([]uint16{65009}, []uint16{65002}), 5, "10.0.0.9"),
+			b:         mk(setThenSeq([]uint16{65008}, []uint16{65002}), 6, "10.0.0.1"),
+			wantABest: true, wantReason: "MED through AS_SET",
+		},
+	}
+	for _, c := range cases {
+		if got := c.a.Better(c.b); got != c.wantABest {
+			t.Errorf("%s: a.Better(b) = %v, want %v (%s)", c.name, got, c.wantABest, c.wantReason)
+		}
+		if c.a.Better(c.b) == c.b.Better(c.a) {
+			t.Errorf("%s: Better is not antisymmetric", c.name)
+		}
+	}
+}
+
+// TestSelectBestOrderIndependent feeds SelectBest the same candidate set in
+// many permutations, including routes that tie on every attribute up to the
+// final tie-breaks (zero PeerIDs, as the SDX's Originate used to produce).
+// The winner must never depend on slice order.
+func TestSelectBestOrderIndependent(t *testing.T) {
+	var routes []Route
+	for i := 0; i < 8; i++ {
+		routes = append(routes, Route{
+			Prefix: mp("10.0.0.0/8"),
+			Attrs: PathAttrs{
+				ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(65010 + i%3)}}},
+				NextHop: netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}),
+			},
+			PeerAS: uint16(65010 + i%3),
+			// Zero PeerID for all: the PeerAS and NextHop tie-breaks must
+			// carry the full weight of determinism.
+		})
+	}
+	want, ok := SelectBest(routes)
+	if !ok {
+		t.Fatal("no best route")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		shuffled := append([]Route(nil), routes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, _ := SelectBest(shuffled)
+		if !routesEqual(got, want) {
+			t.Fatalf("trial %d: best = %v, want %v", trial, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 )
 
 // Port is the IANA-assigned BGP port.
@@ -107,6 +108,122 @@ func (u *Update) marshalBody(b []byte) ([]byte, error) {
 	b = append(b, attrs...)
 
 	return marshalPrefixes(b, u.NLRI)
+}
+
+// Advertisement pairs one NLRI prefix with the path attributes it should be
+// announced with — the input unit of PackUpdates.
+type Advertisement struct {
+	Prefix netip.Prefix
+	Attrs  PathAttrs
+}
+
+// prefixWireLen is the RFC 4271 NLRI encoding size of one prefix: a length
+// octet plus ceil(bits/8) address octets.
+func prefixWireLen(p netip.Prefix) int { return 1 + (p.Bits()+7)/8 }
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}
+
+// PackUpdates builds a minimal sequence of UPDATE messages carrying all the
+// given withdrawals and advertisements: prefixes sharing an identical path
+// attribute set are packed into common messages (RFC 4271 permits one
+// attribute set per UPDATE), withdrawals are packed together and may share
+// the first message with NLRI, and every message respects the 4096-byte
+// cap. Output is deterministic: withdrawals first, attribute groups in
+// canonical (marshaled-attribute) order, prefixes sorted within each group.
+// The caller must not repeat a prefix within withdrawn or within adverts.
+func PackUpdates(withdrawn []netip.Prefix, adverts []Advertisement) ([]*Update, error) {
+	// Budget for withdrawn+attrs+NLRI bytes: the fixed header and the two
+	// length fields are excluded.
+	const bodyBudget = maxMsgLen - headerLen - 4
+
+	wd := make([]netip.Prefix, len(withdrawn))
+	for i, p := range withdrawn {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("bgp: IPv4 NLRI only, got %v", p)
+		}
+		wd[i] = p.Masked()
+	}
+	sortPrefixes(wd)
+
+	type attrGroup struct {
+		attrs    PathAttrs
+		attrSize int
+		prefixes []netip.Prefix
+	}
+	groups := make(map[string]*attrGroup)
+	for _, ad := range adverts {
+		if !ad.Prefix.Addr().Is4() {
+			return nil, fmt.Errorf("bgp: IPv4 NLRI only, got %v", ad.Prefix)
+		}
+		key, err := ad.Attrs.marshal(nil)
+		if err != nil {
+			return nil, err
+		}
+		g := groups[string(key)]
+		if g == nil {
+			g = &attrGroup{attrs: ad.Attrs, attrSize: len(key)}
+			groups[string(key)] = g
+		}
+		g.prefixes = append(g.prefixes, ad.Prefix.Masked())
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []*Update
+	cur := &Update{}
+	curSize := 0
+	flush := func() {
+		if len(cur.Withdrawn) > 0 || len(cur.NLRI) > 0 {
+			out = append(out, cur)
+		}
+		cur = &Update{}
+		curSize = 0
+	}
+
+	for _, p := range wd {
+		sz := prefixWireLen(p)
+		if curSize+sz > bodyBudget {
+			flush()
+		}
+		cur.Withdrawn = append(cur.Withdrawn, p)
+		curSize += sz
+	}
+	for _, k := range keys {
+		g := groups[k]
+		sortPrefixes(g.prefixes)
+		for _, p := range g.prefixes {
+			need := prefixWireLen(p)
+			if len(cur.NLRI) == 0 {
+				need += g.attrSize // opening this message's attribute set
+			}
+			if curSize+need > bodyBudget && (len(cur.Withdrawn) > 0 || len(cur.NLRI) > 0) {
+				flush()
+				need = g.attrSize + prefixWireLen(p)
+			}
+			if curSize+need > bodyBudget {
+				return nil, fmt.Errorf("bgp: %d-byte attribute set cannot fit one NLRI in an UPDATE", g.attrSize)
+			}
+			if len(cur.NLRI) == 0 {
+				cur.Attrs = g.attrs
+			}
+			cur.NLRI = append(cur.NLRI, p)
+			curSize += need
+		}
+		// One attribute set per UPDATE: the next group starts fresh.
+		flush()
+	}
+	flush()
+	return out, nil
 }
 
 // Keepalive is the liveness message (RFC 4271 §4.4).

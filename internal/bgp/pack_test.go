@@ -1,0 +1,228 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func attrsFor(rank int) PathAttrs {
+	return PathAttrs{
+		Origin:  OriginIGP,
+		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(65001 + rank)}}},
+		NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(rank + 1)}),
+	}
+}
+
+// unpack reconstructs the withdrawal set and prefix→attrs map carried by a
+// message sequence, after a real marshal/decode round trip, verifying every
+// message respects the 4096-byte cap.
+func unpack(t *testing.T, msgs []*Update) (map[netip.Prefix]bool, map[netip.Prefix]PathAttrs) {
+	t.Helper()
+	wd := make(map[netip.Prefix]bool)
+	adv := make(map[netip.Prefix]PathAttrs)
+	for _, m := range msgs {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal packed update: %v", err)
+		}
+		if len(b) > 4096 {
+			t.Fatalf("packed update is %d bytes", len(b))
+		}
+		dec, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode packed update: %v", err)
+		}
+		u := dec.(*Update)
+		for _, p := range u.Withdrawn {
+			wd[p] = true
+		}
+		for _, p := range u.NLRI {
+			if _, dup := adv[p]; dup {
+				t.Errorf("prefix %v advertised twice", p)
+			}
+			adv[p] = u.Attrs
+		}
+	}
+	return wd, adv
+}
+
+func TestPackUpdatesSingleGroupSingleMessage(t *testing.T) {
+	// 900 /24 prefixes sharing one attribute set fit one UPDATE:
+	// 900 × 4 bytes of NLRI plus one attribute set is well under 4096.
+	var adverts []Advertisement
+	for i := 0; i < 900; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		adverts = append(adverts, Advertisement{Prefix: p, Attrs: attrsFor(0)})
+	}
+	msgs, err := PackUpdates(nil, adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("900 same-attribute prefixes packed into %d messages, want 1", len(msgs))
+	}
+	_, adv := unpack(t, msgs)
+	if len(adv) != 900 {
+		t.Fatalf("round trip lost prefixes: %d", len(adv))
+	}
+}
+
+func TestPackUpdatesOneAttrSetPerMessage(t *testing.T) {
+	adverts := []Advertisement{
+		{Prefix: mp("10.0.0.0/8"), Attrs: attrsFor(0)},
+		{Prefix: mp("20.0.0.0/8"), Attrs: attrsFor(1)},
+		{Prefix: mp("30.0.0.0/8"), Attrs: attrsFor(0)},
+	}
+	msgs, err := PackUpdates(nil, adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct attribute sets: exactly two messages, the shared set's
+	// two prefixes together.
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	_, adv := unpack(t, msgs)
+	for p, want := range map[netip.Prefix]uint16{
+		mp("10.0.0.0/8"): 65001, mp("20.0.0.0/8"): 65002, mp("30.0.0.0/8"): 65001,
+	} {
+		if got := adv[p].FirstAS(); got != want {
+			t.Errorf("%v advertised with first AS %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestPackUpdatesWithdrawalsShareFirstMessage(t *testing.T) {
+	withdrawn := []netip.Prefix{mp("40.0.0.0/8"), mp("50.0.0.0/8")}
+	adverts := []Advertisement{{Prefix: mp("10.0.0.0/8"), Attrs: attrsFor(0)}}
+	msgs, err := PackUpdates(withdrawn, adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages, want 1 (withdrawals share the NLRI message)", len(msgs))
+	}
+	if len(msgs[0].Withdrawn) != 2 || len(msgs[0].NLRI) != 1 {
+		t.Fatalf("message carries %d withdrawals and %d NLRI", len(msgs[0].Withdrawn), len(msgs[0].NLRI))
+	}
+}
+
+func TestPackUpdatesRespectsSizeCap(t *testing.T) {
+	// 3000 host routes under one attribute set: 3000 × 5 = 15000 NLRI
+	// bytes, forcing several messages. Every one must stay under the cap
+	// and the attribute set must be repeated in each.
+	var adverts []Advertisement
+	for i := 0; i < 3000; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32)
+		adverts = append(adverts, Advertisement{Prefix: p, Attrs: attrsFor(2)})
+	}
+	msgs, err := PackUpdates(nil, adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("15000 NLRI bytes packed into %d message(s)", len(msgs))
+	}
+	_, adv := unpack(t, msgs)
+	if len(adv) != 3000 {
+		t.Fatalf("round trip carried %d prefixes, want 3000", len(adv))
+	}
+	for p, a := range adv {
+		if a.FirstAS() != 65003 {
+			t.Fatalf("%v lost its attributes across a message split", p)
+		}
+	}
+}
+
+func TestPackUpdatesRejectsIPv6(t *testing.T) {
+	if _, err := PackUpdates([]netip.Prefix{netip.MustParsePrefix("2001:db8::/32")}, nil); err == nil {
+		t.Error("IPv6 withdrawal accepted")
+	}
+	if _, err := PackUpdates(nil, []Advertisement{{Prefix: netip.MustParsePrefix("2001:db8::/32")}}); err == nil {
+		t.Error("IPv6 advertisement accepted")
+	}
+}
+
+func TestPackUpdatesRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		wantWD := make(map[netip.Prefix]bool)
+		wantAdv := make(map[netip.Prefix]PathAttrs)
+		var withdrawn []netip.Prefix
+		var adverts []Advertisement
+		for i, n := 0, rng.Intn(400); i < n; i++ {
+			p := netip.PrefixFrom(netip.AddrFrom4(
+				[4]byte{byte(1 + rng.Intn(200)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0}),
+				8+rng.Intn(25)).Masked()
+			if wantWD[p] {
+				continue
+			}
+			if _, ok := wantAdv[p]; ok {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				wantWD[p] = true
+				withdrawn = append(withdrawn, p)
+			} else {
+				a := attrsFor(rng.Intn(5))
+				wantAdv[p] = a
+				adverts = append(adverts, Advertisement{Prefix: p, Attrs: a})
+			}
+		}
+		msgs, err := PackUpdates(withdrawn, adverts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotWD, gotAdv := unpack(t, msgs)
+		if len(gotWD) != len(wantWD) || len(gotAdv) != len(wantAdv) {
+			t.Fatalf("trial %d: %d/%d withdrawn, %d/%d advertised",
+				trial, len(gotWD), len(wantWD), len(gotAdv), len(wantAdv))
+		}
+		for p := range wantWD {
+			if !gotWD[p] {
+				t.Fatalf("trial %d: withdrawal of %v lost", trial, p)
+			}
+		}
+		for p, want := range wantAdv {
+			if !attrsEqual(gotAdv[p], want) {
+				t.Fatalf("trial %d: %v attrs changed across packing", trial, p)
+			}
+		}
+	}
+}
+
+func TestPackUpdatesDeterministic(t *testing.T) {
+	var adverts []Advertisement
+	for i := 0; i < 100; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 0}), 24)
+		adverts = append(adverts, Advertisement{Prefix: p, Attrs: attrsFor(i % 3)})
+	}
+	withdrawn := []netip.Prefix{mp("40.0.0.0/8"), mp("50.0.0.0/8")}
+
+	render := func(msgs []*Update) string {
+		s := ""
+		for _, m := range msgs {
+			s += fmt.Sprintf("%v|%v|%v\n", m.Withdrawn, m.Attrs.ASPathString(), m.NLRI)
+		}
+		return s
+	}
+	base, err := PackUpdates(withdrawn, adverts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(base)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(adverts), func(i, j int) { adverts[i], adverts[j] = adverts[j], adverts[i] })
+		rng.Shuffle(len(withdrawn), func(i, j int) { withdrawn[i], withdrawn[j] = withdrawn[j], withdrawn[i] })
+		msgs, err := PackUpdates(withdrawn, adverts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(msgs); got != want {
+			t.Fatalf("trial %d: packing depends on input order:\n%s\nvs\n%s", trial, got, want)
+		}
+	}
+}

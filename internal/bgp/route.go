@@ -26,8 +26,10 @@ func (r Route) String() string {
 
 // Better reports whether r is preferred over o by the BGP decision process:
 // highest LOCAL_PREF, shortest AS_PATH, lowest ORIGIN, lowest MED (between
-// routes from the same neighbor AS), lowest peer BGP identifier. Both routes
-// must be for the same prefix.
+// routes from the same neighbor AS), lowest peer BGP identifier, and — so
+// the order stays strict and deterministic even when both PeerIDs are unset
+// (routes the SDX originates on behalf of remote participants) — lowest
+// peer AS, then lowest next hop. Both routes must be for the same prefix.
 func (r Route) Better(o Route) bool {
 	lp := func(rt Route) uint32 {
 		if rt.Attrs.HasLocalPref {
@@ -44,7 +46,11 @@ func (r Route) Better(o Route) bool {
 	if r.Attrs.Origin != o.Attrs.Origin {
 		return r.Attrs.Origin < o.Attrs.Origin
 	}
-	if r.Attrs.FirstAS() == o.Attrs.FirstAS() {
+	// MED is comparable only between routes learned from the same
+	// neighboring AS (RFC 4271 §9.1.2.2(c)). FirstAS is 0 for paths with
+	// no AS_SEQUENCE (empty or AS_SET-leading); such routes identify no
+	// neighbor, so their MEDs must not be compared.
+	if fa := r.Attrs.FirstAS(); fa != 0 && fa == o.Attrs.FirstAS() {
 		med := func(rt Route) uint32 {
 			if rt.Attrs.HasMED {
 				return rt.Attrs.MED
@@ -55,7 +61,13 @@ func (r Route) Better(o Route) bool {
 			return a < b
 		}
 	}
-	return r.PeerID.Less(o.PeerID)
+	if r.PeerID != o.PeerID {
+		return r.PeerID.Less(o.PeerID)
+	}
+	if r.PeerAS != o.PeerAS {
+		return r.PeerAS < o.PeerAS
+	}
+	return r.Attrs.NextHop.Less(o.Attrs.NextHop)
 }
 
 // SelectBest returns the most preferred route of rs, or false when rs is
@@ -186,6 +198,10 @@ func (t *RIB) FilterCommunity(c uint32) []netip.Prefix {
 	}
 	return out
 }
+
+// Equal reports whether two attribute sets are semantically identical —
+// the comparison the RIB uses to suppress no-op updates.
+func (a PathAttrs) Equal(b PathAttrs) bool { return attrsEqual(a, b) }
 
 func routesEqual(a, b Route) bool {
 	if a.Prefix != b.Prefix || a.PeerAS != b.PeerAS || a.PeerID != b.PeerID {

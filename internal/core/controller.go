@@ -70,6 +70,10 @@ type Controller struct {
 	pool     *netutil.IPPool
 	fecs     *FECTable
 	fastPath *fastPathState
+	// fastCache memoizes quick-stage slice compilations by reachability
+	// signature; invalidated by any configuration change and by every
+	// full-compilation commit.
+	fastCache fastPathCache
 
 	// metrics and tracer are set at construction from Options and never
 	// mutated, so the compile paths read them without locking.
@@ -142,6 +146,7 @@ func (c *Controller) AddParticipant(p Participant) error {
 		c.portMACs[port.Number] = port.MAC
 		c.portOwner[port.Number] = p.ID
 	}
+	c.fastCache.invalidate()
 	return nil
 }
 
@@ -155,6 +160,7 @@ func (c *Controller) SetPolicies(id ID, inbound, outbound policy.Policy) error {
 		return fmt.Errorf("core: unknown participant %q", id)
 	}
 	p.Inbound, p.Outbound = inbound, outbound
+	c.fastCache.invalidate()
 	return nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,57 @@ type fastPathState struct {
 	mu    sync.Mutex
 	rules []policy.Rule
 	fecs  []*FEC
+}
+
+// fastTemplate is one memoized quick-stage compilation: the rules produced
+// for a prefix whose reachability signature (who advertises it, who the
+// best and backup next hops are) matched the key, together with the VMAC
+// they were compiled against. Under BGP churn the same few signatures recur
+// for thousands of prefixes, so reuse turns the per-prefix policy
+// compilation into a rule clone with the fresh FEC's tag substituted.
+type fastTemplate struct {
+	vmac  netutil.MAC
+	rules []policy.Rule
+}
+
+// fastPathCache memoizes quick-stage compilations by reachability
+// signature. Every input the compiled slice depends on beyond the signature
+// — participant policies, port maps, virtual port numbers — is controller
+// configuration, and any mutation of those invalidates the whole cache.
+type fastPathCache struct {
+	mu        sync.Mutex
+	templates map[string]*fastTemplate
+
+	hits, misses telemetry.Counter
+}
+
+func (fc *fastPathCache) lookup(key string) (*fastTemplate, bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	t, ok := fc.templates[key]
+	if ok {
+		fc.hits.Inc()
+	} else {
+		fc.misses.Inc()
+	}
+	return t, ok
+}
+
+func (fc *fastPathCache) store(key string, t *fastTemplate) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.templates == nil {
+		fc.templates = make(map[string]*fastTemplate)
+	}
+	fc.templates[key] = t
+}
+
+// invalidate drops every template. Called whenever controller configuration
+// that feeds the compiled slices changes.
+func (fc *fastPathCache) invalidate() {
+	fc.mu.Lock()
+	fc.templates = nil
+	fc.mu.Unlock()
 }
 
 func newFastPathState() *fastPathState { return &fastPathState{} }
@@ -85,18 +137,31 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 		}
 	}
 
+	// React to the batch's prefixes concurrently (large withdrawal bursts
+	// touch hundreds), writing into index-addressed slots so the merged
+	// output order stays the arrival order regardless of scheduling.
+	type slot struct {
+		fec   *FEC
+		rules []policy.Rule
+		err   error
+	}
+	slots := make([]slot, len(affected))
+	fanOut(snap.workers, len(affected), func(i int) {
+		fec, rules, err := snap.fastPathForPrefix(affected[i], &c.fastCache)
+		slots[i] = slot{fec: fec, rules: rules, err: err}
+	})
+
 	res := &FastPathResult{}
 	var newFecs []*FEC
-	for _, prefix := range affected {
-		fec, rules, err := snap.fastPathForPrefix(prefix)
-		if err != nil {
-			return nil, err
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
 		}
-		if fec != nil {
-			newFecs = append(newFecs, fec)
-			res.NewFECs = append(res.NewFECs, *fec)
+		if s.fec != nil {
+			newFecs = append(newFecs, s.fec)
+			res.NewFECs = append(res.NewFECs, *s.fec)
 		}
-		res.Rules = append(res.Rules, rules...)
+		res.Rules = append(res.Rules, s.rules...)
 	}
 	c.fastPath.record(res.Rules, newFecs)
 	res.Elapsed = time.Since(start)
@@ -110,9 +175,10 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 	return res, nil
 }
 
-// fastPathForPrefix assigns prefix a fresh singleton FEC and compiles the
-// slice of the global policy that concerns it.
-func (p *pipeline) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, error) {
+// fastPathForPrefix assigns prefix a fresh singleton FEC and produces the
+// slice of the global policy that concerns it — compiled once per
+// reachability signature and cloned from the template cache thereafter.
+func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) (*FEC, []policy.Rule, error) {
 	prefix = prefix.Masked()
 	first, second := p.rs.BestTwo(prefix)
 	if first == "" {
@@ -136,6 +202,24 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, 
 	}
 	p.fecs.add(fec)
 
+	// The compiled slice depends on the prefix only through its
+	// reachability signature: which participants advertise it (that is
+	// what rewriteForPrefix consults) and the best/backup next hops the
+	// default rules forward to. Everything else — policies, ports, virtual
+	// port numbers — is fixed controller configuration whose mutation
+	// invalidates the cache.
+	key := p.signatureKey(prefix, first, second)
+	if tpl, ok := cache.lookup(key); ok {
+		rules := make([]policy.Rule, len(tpl.rules))
+		for i, r := range tpl.rules {
+			if mac, ok := r.Match.GetDstMAC(); ok && mac == tpl.vmac {
+				r.Match = r.Match.DstMAC(fec.VMAC)
+			}
+			rules[i] = r
+		}
+		return fec, rules, nil
+	}
+
 	mini, err := p.buildPrefixSlicePolicy(prefix, fec)
 	if err != nil {
 		return nil, nil, err
@@ -153,7 +237,27 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix) (*FEC, []policy.Rule, 
 			rules = append(rules, r)
 		}
 	}
+	cache.store(key, &fastTemplate{vmac: fec.VMAC, rules: rules})
 	return fec, rules, nil
+}
+
+// signatureKey renders the reachability signature the quick-stage template
+// cache is keyed by: the participants currently advertising the prefix (in
+// registration order, so the rendering is canonical) plus the best and
+// backup next-hop participants.
+func (p *pipeline) signatureKey(prefix netip.Prefix, first, second ID) string {
+	var b strings.Builder
+	for _, part := range p.parts {
+		if _, ok := p.rs.AdvertisedRoute(part.ID, prefix); ok {
+			b.WriteString(string(part.ID))
+			b.WriteByte(0)
+		}
+	}
+	b.WriteByte(1)
+	b.WriteString(string(first))
+	b.WriteByte(0)
+	b.WriteString(string(second))
+	return b.String()
 }
 
 // buildPrefixSlicePolicy assembles the two-stage policy restricted to

@@ -62,6 +62,12 @@ func newCoreMetrics(reg *telemetry.Registry, c *Controller) *coreMetrics {
 		"Higher-priority rules added by the quick stage.")
 	m.fastpathDur = reg.Histogram("sdx_core_fastpath_duration_seconds",
 		"Wall-clock duration of quick-stage reactions.", nil)
+	reg.CounterFunc("sdx_core_fastpath_cache_hits_total",
+		"Quick-stage reactions served from the signature template cache.",
+		func() float64 { return float64(c.fastCache.hits.Value()) })
+	reg.CounterFunc("sdx_core_fastpath_cache_misses_total",
+		"Quick-stage reactions that compiled a fresh policy slice.",
+		func() float64 { return float64(c.fastCache.misses.Value()) })
 
 	reg.GaugeFunc("sdx_core_fecs",
 		"Live forwarding equivalence classes (base plus fast-path).",

@@ -114,4 +114,8 @@ func (c *Controller) commit(fecs []*FEC) {
 		}
 	}
 	c.fastPath.reset()
+	// Templates were cloned from FECs of the epoch just retired; they are
+	// keyed only by reachability signature, which survives the commit, but
+	// dropping them keeps the cache from pinning the old rule slices.
+	c.fastCache.invalidate()
 }

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/routeserver"
+	"sdx/internal/telemetry"
+	"sdx/internal/workload"
+)
+
+// ChurnResult reports the churn-pipeline experiment: a Table-1-calibrated
+// burst trace pushed through live BGP sessions into the route server, with
+// the controller's fast path reacting to every best-route change. It is the
+// end-to-end measurement behind Figures 9-10: how fast the SDX absorbs real
+// BGP churn and re-advertises the outcome.
+type ChurnResult struct {
+	Participants int
+	Prefixes     int
+	Bursts       int
+	// Events is the number of trace events (advertisements + withdrawals)
+	// pushed through the pipeline, excluding the per-burst sentinels.
+	Events int
+	// Elapsed covers the churn phase only (initial table load and session
+	// establishment excluded): first byte sent until the last
+	// re-advertisement reached the monitor peer.
+	Elapsed time.Duration
+	// UpdatesPerSec is Events/Elapsed: sustained end-to-end throughput
+	// with the pipeline kept full (bursts are sent back to back).
+	UpdatesPerSec float64
+	// BurstP50/BurstP99 are percentiles of per-burst reaction latency:
+	// burst handed to the senders' sessions -> last re-advertisement it
+	// caused observed at the monitor peer, measured under load.
+	BurstP50, BurstP99 time.Duration
+	// MessagesOut counts UPDATE messages the route server emitted during
+	// the churn phase (all peers); RoutesSeen counts NLRI prefixes the
+	// monitor peer received in them. Their ratio exposes RFC 4271 packing.
+	MessagesOut uint64
+	RoutesSeen  uint64
+}
+
+// churnClient is one participant's border router: a BGP speaker dialed into
+// the route server that records what it is re-advertised.
+type churnClient struct {
+	speaker *bgp.Speaker
+	peer    *bgp.Peer
+
+	mu sync.Mutex
+	// sentinelSeen records when each (sentinel prefix, sequence) pair was
+	// first observed; the MED carries the sequence.
+	sentinelSeen map[netip.Prefix]map[uint32]time.Time
+	nlri         uint64
+	notify       chan struct{}
+}
+
+func (c *churnClient) onUpdate(_ *bgp.Peer, u *bgp.Update) {
+	now := time.Now()
+	c.mu.Lock()
+	c.nlri += uint64(len(u.NLRI))
+	for _, p := range u.NLRI {
+		if !isSentinel(p) || !u.Attrs.HasMED {
+			continue
+		}
+		m := c.sentinelSeen[p]
+		if m == nil {
+			m = make(map[uint32]time.Time)
+			c.sentinelSeen[p] = m
+		}
+		if _, dup := m[u.Attrs.MED]; !dup {
+			m[u.Attrs.MED] = now
+		}
+	}
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+// seenAt returns when the monitor first observed member's sentinel at seq.
+func (c *churnClient) seenAt(member int, seq uint32) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.sentinelSeen[sentinelPrefix(member)][seq]
+	return t, ok
+}
+
+// Sentinel prefixes (198.18.0.0/16, the benchmarking range) mark burst
+// completion: in each burst, every sending member also advertises its
+// sentinel with the burst sequence number as MED. The attribute change
+// forces a best-route change, so the sentinel is re-advertised to the
+// monitor only after the member's preceding updates in that burst have been
+// fully processed and emitted — sessions deliver in order and emission to a
+// given peer is serialized.
+func sentinelPrefix(member int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 18, byte(member >> 8), byte(member)}), 32)
+}
+
+func isSentinel(p netip.Prefix) bool {
+	a := p.Addr().As4()
+	return a[0] == 198 && a[1] == 18
+}
+
+// Churn drives a live route server (frontend + speaker + controller fast
+// path) with a Table-1-calibrated burst trace and measures sustained
+// updates/sec and per-burst reaction latency. nBursts bounds the trace
+// length; <=0 uses a default sized for a benchmark iteration.
+func Churn(cfg Config, nBursts int) (*ChurnResult, error) {
+	if nBursts <= 0 {
+		nBursts = 200
+	}
+	const nParticipants = 10
+	nPrefixes := cfg.scale(2000)
+	rng := cfg.rng()
+
+	ex := workload.GenerateExchange(rng, nParticipants, nPrefixes)
+	ctrl := core.NewController(routeserver.New(nil), core.DefaultOptions())
+	if err := ex.Populate(ctrl); err != nil {
+		return nil, err
+	}
+	if _, err := workload.InstallPolicies(rng, ex, ctrl, workload.DefaultPolicyMix()); err != nil {
+		return nil, err
+	}
+	if _, err := ctrl.Compile(); err != nil {
+		return nil, err
+	}
+
+	// The route-server side: a speaker with message counters, fronted by
+	// the engine, with the controller's fast path on the change hook.
+	reg := telemetry.NewRegistry()
+	metrics := bgp.NewMetrics(reg)
+	speaker := bgp.NewSpeaker(bgp.SessionConfig{
+		LocalAS: 64999,
+		LocalID: netip.AddrFrom4([4]byte{10, 255, 255, 254}),
+		Metrics: metrics,
+	})
+	defer speaker.Close()
+	fe := routeserver.NewFrontend(ctrl.RouteServer(), speaker)
+	fe.NextHop = ctrl.NextHopFor
+	fe.OnChange = func(ch []routeserver.BestChange) { ctrl.HandleRouteChanges(ch) }
+	for _, m := range ex.Members {
+		if err := fe.RegisterPeer(m.Ports[0].RouterIP, m.ID); err != nil {
+			return nil, err
+		}
+	}
+	addr, err := speaker.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	// One client session per member. The last member is the monitor: under
+	// the Zipf announcement skew it announces the least, and the trace is
+	// remapped off it below so it only ever receives.
+	monitorIdx := nParticipants - 1
+	clients := make([]*churnClient, nParticipants)
+	for i, m := range ex.Members {
+		c := &churnClient{
+			sentinelSeen: make(map[netip.Prefix]map[uint32]time.Time),
+			notify:       make(chan struct{}, 1),
+		}
+		c.speaker = bgp.NewSpeaker(bgp.SessionConfig{LocalAS: m.AS, LocalID: m.Ports[0].RouterIP})
+		c.speaker.OnUpdate = c.onUpdate
+		peer, err := c.speaker.Dial(addr.String())
+		if err != nil {
+			return nil, fmt.Errorf("dialing member %d: %w", i, err)
+		}
+		c.peer = peer
+		defer c.speaker.Close()
+		clients[i] = c
+	}
+	monitor := clients[monitorIdx]
+
+	// Wait for the initial table dumps (onEstablished) to drain so they do
+	// not pollute the churn-phase message counts.
+	if err := quiesce(metrics, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Build the trace: Table-1 burst sizes over the exchange's updatable
+	// prefixes, truncated to nBursts, with the monitor's events remapped to
+	// another announcer (or dropped when it was the sole one).
+	rankOf := make(map[netip.Prefix]map[int]int, len(ex.Prefixes))
+	for p, anns := range ex.AnnouncersOf {
+		m := make(map[int]int, len(anns))
+		for rank, mi := range anns {
+			m[mi] = rank
+		}
+		rankOf[p] = m
+	}
+	bursts := workload.GenerateTrace(rng, ex, workload.DefaultTraceOptions())
+	if len(bursts) > nBursts {
+		bursts = bursts[:nBursts]
+	}
+	for bi := range bursts {
+		kept := bursts[bi].Updates[:0]
+		for _, ev := range bursts[bi].Updates {
+			if ev.Member == monitorIdx {
+				anns := ex.AnnouncersOf[ev.Prefix]
+				ev.Member = -1
+				for _, mi := range anns {
+					if mi != monitorIdx {
+						ev.Member = mi
+						break
+					}
+				}
+				if ev.Member < 0 {
+					continue
+				}
+			}
+			kept = append(kept, ev)
+		}
+		bursts[bi].Updates = kept
+	}
+
+	res := &ChurnResult{Participants: nParticipants, Prefixes: nPrefixes, Bursts: len(bursts)}
+	msgsBefore := metrics.UpdatesOut.Value()
+	monitor.mu.Lock()
+	routesBefore := monitor.nlri
+	monitor.mu.Unlock()
+
+	// Push the whole trace back to back — the pipeline stays full, so the
+	// measurement is processing-bound, not round-trip-bound — and record
+	// when each burst was handed to the senders' sessions.
+	type burstMark struct {
+		start   time.Time
+		senders []int
+	}
+	marks := make([]burstMark, len(bursts))
+	start := time.Now()
+	for bi, b := range bursts {
+		marks[bi].start = time.Now()
+		marks[bi].senders = sendBurst(ex, clients, rankOf, b.Updates, uint32(bi+1))
+		res.Events += len(b.Updates)
+	}
+
+	// Completion: per-session FIFO ordering means a member's sentinel for
+	// its LAST burst implies everything it sent before has been processed
+	// and re-advertised, so waiting for each member's final sentinel drains
+	// the whole trace.
+	lastSeq := make(map[int]uint32)
+	for bi := range marks {
+		for _, mi := range marks[bi].senders {
+			lastSeq[mi] = uint32(bi + 1)
+		}
+	}
+	if err := waitSentinels(monitor, lastSeq, 120*time.Second); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+
+	// Per-burst reaction latency from the monitor's arrival timestamps.
+	// The frontend's coalescing emitters collapse superseded sentinel
+	// states (a sentinel at sequence 7 makes sequences 5 and 6 moot), so
+	// only observed sentinels are sampled; each member's FINAL sequence is
+	// always observed (waitSentinels blocked on it), so every sampled
+	// latency is a true send-to-arrival measurement and the distribution
+	// covers the whole run.
+	var latencies []time.Duration
+	for bi := range marks {
+		var done time.Time
+		observed := false
+		for _, mi := range marks[bi].senders {
+			t, ok := monitor.seenAt(mi, uint32(bi+1))
+			if !ok {
+				continue
+			}
+			observed = true
+			if t.After(done) {
+				done = t
+			}
+		}
+		if observed {
+			latencies = append(latencies, done.Sub(marks[bi].start))
+		}
+	}
+
+	if res.Elapsed > 0 {
+		res.UpdatesPerSec = float64(res.Events) / res.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		res.BurstP50 = latencies[n/2]
+		res.BurstP99 = latencies[n*99/100]
+	}
+	res.MessagesOut = metrics.UpdatesOut.Value() - msgsBefore
+	monitor.mu.Lock()
+	res.RoutesSeen = monitor.nlri - routesBefore
+	monitor.mu.Unlock()
+
+	fmt.Fprintf(cfg.out(), "churn: %d members, %d prefixes, %d bursts / %d events\n",
+		res.Participants, res.Prefixes, res.Bursts, res.Events)
+	fmt.Fprintf(cfg.out(), "churn: %.0f updates/s sustained, burst reaction p50 %v p99 %v\n",
+		res.UpdatesPerSec, res.BurstP50, res.BurstP99)
+	fmt.Fprintf(cfg.out(), "churn: %d UPDATE messages out, %d routes at monitor\n",
+		res.MessagesOut, res.RoutesSeen)
+	return res, nil
+}
+
+// sendBurst pushes one burst's events over the senders' sessions — grouped
+// per member, withdrawals packed together and advertisements grouped by
+// identical attribute sets (rank), as a real border router would emit them —
+// then fires each sender's sentinel. Returns the members that sent.
+func sendBurst(ex *workload.Exchange, clients []*churnClient, rankOf map[netip.Prefix]map[int]int, events []workload.UpdateEvent, seq uint32) []int {
+	const chunk = 500 // prefixes per UPDATE, comfortably under the 4096-byte cap
+	byMember := make(map[int][]workload.UpdateEvent)
+	for _, ev := range events {
+		byMember[ev.Member] = append(byMember[ev.Member], ev)
+	}
+	senders := make([]int, 0, len(byMember))
+	for mi := range byMember {
+		senders = append(senders, mi)
+	}
+	sort.Ints(senders)
+	for _, mi := range senders {
+		var withdrawn []netip.Prefix
+		byRank := make(map[int][]netip.Prefix)
+		for _, ev := range byMember[mi] {
+			if ev.Withdraw {
+				withdrawn = append(withdrawn, ev.Prefix)
+			} else {
+				rank := rankOf[ev.Prefix][mi]
+				byRank[rank] = append(byRank[rank], ev.Prefix)
+			}
+		}
+		peer := clients[mi].peer
+		for len(withdrawn) > 0 {
+			n := min(len(withdrawn), chunk)
+			peer.Send(&bgp.Update{Withdrawn: withdrawn[:n]})
+			withdrawn = withdrawn[n:]
+		}
+		ranks := make([]int, 0, len(byRank))
+		for r := range byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, rank := range ranks {
+			nlri := byRank[rank]
+			attrs := ex.RouteFor(mi, nlri[0], rank).Attrs
+			for len(nlri) > 0 {
+				n := min(len(nlri), chunk)
+				peer.Send(&bgp.Update{Attrs: attrs, NLRI: nlri[:n]})
+				nlri = nlri[n:]
+			}
+		}
+		// The sentinel: an attribute change (MED = sequence) that must
+		// cause a best-route change and hence a re-advertisement.
+		m := ex.Members[mi]
+		peer.Send(&bgp.Update{
+			Attrs: bgp.PathAttrs{
+				NextHop: m.Ports[0].RouterIP,
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{m.AS}}},
+				MED:     seq,
+				HasMED:  true,
+			},
+			NLRI: []netip.Prefix{sentinelPrefix(mi)},
+		})
+	}
+	return senders
+}
+
+// waitSentinels blocks until the monitor has observed every member's
+// sentinel at its final sequence number.
+func waitSentinels(monitor *churnClient, lastSeq map[int]uint32, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for mi, seq := range lastSeq {
+			if _, ok := monitor.seenAt(mi, seq); !ok {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("trace did not drain within %v", timeout)
+		}
+		select {
+		case <-monitor.notify:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// quiesce waits until the route server's UPDATE-out counter stops moving:
+// the initial table dumps have drained.
+func quiesce(metrics *bgp.Metrics, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	last := metrics.UpdatesOut.Value()
+	stableSince := time.Now()
+	for {
+		time.Sleep(25 * time.Millisecond)
+		cur := metrics.UpdatesOut.Value()
+		if cur != last {
+			last, stableSince = cur, time.Now()
+		} else if time.Since(stableSince) > 250*time.Millisecond {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("route server did not quiesce within %v", timeout)
+		}
+	}
+}

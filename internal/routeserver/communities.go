@@ -5,14 +5,15 @@ import "sdx/internal/bgp"
 // RouteExportFilter decides whether advertiser's concrete route may be
 // exported to receiver (whose AS number is supplied, since community
 // conventions name peers by AS). Unlike ExportFilter it sees the whole
-// route. The filter is called with the Server's lock held: it must not call
+// route. The filter is called with Server locks held: it must not call
 // back into the Server.
 type RouteExportFilter func(advertiser, receiver ID, receiverAS uint16, route bgp.Route) bool
 
 // SetRouteExportPolicy installs a route-level export filter, evaluated in
 // addition to any prefix-level ExportFilter. It affects best-route
 // computation, ReachableVia (and therefore the SDX policy reach filters),
-// and re-advertisement.
+// and re-advertisement. Installing a filter drops every cached
+// per-receiver decision, since the filter changes who may see what.
 //
 // Caveat: the equivalence-class default next hops (BestTwo) remain computed
 // from the unfiltered candidate set; deployments mixing per-pair route
@@ -20,9 +21,17 @@ type RouteExportFilter func(advertiser, receiver ID, receiverAS uint16, route bg
 // accept that a hidden best route still attracts default traffic, as at any
 // route-server IXP where participants also keep direct sessions.
 func (s *Server) SetRouteExportPolicy(f RouteExportFilter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
 	s.routeExport = f
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for p := range sh.perRecv {
+			delete(sh.perRecv, p)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // CommunityExportPolicy returns the conventional RFC 1997 route-server
@@ -68,9 +77,9 @@ func Community(upper, lower uint16) uint32 {
 	return uint32(upper)<<16 | uint32(lower)
 }
 
-// routeExportAllows applies the optional route-level filter. Called with
-// s.mu held (read or write); resolves the receiver's AS directly.
-func (s *Server) routeExportAllows(adv, recv ID, route bgp.Route) bool {
+// routeExportAllowsLocked applies the optional route-level filter. Called
+// with partMu held (read or write); resolves the receiver's AS directly.
+func (s *Server) routeExportAllowsLocked(adv, recv ID, route bgp.Route) bool {
 	if s.routeExport == nil {
 		return true
 	}

@@ -1,0 +1,123 @@
+package routeserver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"sdx/internal/bgp"
+)
+
+// TestBestForOrderIndependent inserts the same candidate routes — ties
+// broken only by the final decision steps — in shuffled orders into fresh
+// engines and requires the same winner every time. Before candidates were
+// kept in per-advertiser sorted order, the winner of a full tie depended on
+// map iteration.
+func TestBestForOrderIndependent(t *testing.T) {
+	ids := []ID{"A", "B", "C", "D", "E"}
+	routes := make(map[ID]bgp.Route, len(ids))
+	for i, id := range ids {
+		routes[id] = bgp.Route{
+			Prefix: mp("10.0.0.0/8"),
+			Attrs: bgp.PathAttrs{
+				// Identical AS-path LENGTH everywhere; peer identifiers
+				// alone decide.
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{uint16(65001 + i)}}},
+				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}),
+			},
+			PeerAS: uint16(65001 + i),
+			PeerID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+		}
+	}
+	build := func(order []ID) *Server {
+		s := New(nil)
+		for i, id := range ids {
+			if err := s.AddParticipant(id, uint16(65001+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AddParticipant("X", 65099); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range order {
+			if _, err := s.Advertise(id, routes[id]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	want, ok := build([]ID{"A", "B", "C", "D", "E"}).BestFor("X", mp("10.0.0.0/8"))
+	if !ok {
+		t.Fatal("no best route")
+	}
+	rng := rand.New(rand.NewSource(5))
+	order := append([]ID(nil), ids...)
+	for trial := 0; trial < 30; trial++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got, ok := build(order).BestFor("X", mp("10.0.0.0/8"))
+		if !ok || got.PeerID != want.PeerID {
+			t.Fatalf("insertion order %v: best from %v, want %v", order, got.PeerID, want.PeerID)
+		}
+	}
+}
+
+// TestOriginateDeterministicTieBreak reproduces the old nondeterminism:
+// several participants originate the same prefix through the frontend,
+// which used to leave PeerID zero so every decision step tied and the
+// winner followed map iteration order. With synthesized origin identifiers
+// the same participant must win under every insertion order.
+func TestOriginateDeterministicTieBreak(t *testing.T) {
+	ids := []ID{"P1", "P2", "P3", "P4"}
+	build := func(order []ID) *Frontend {
+		s := New(nil)
+		for i, id := range ids {
+			if err := s.AddParticipant(id, uint16(65011+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AddParticipant("X", 65099); err != nil {
+			t.Fatal(err)
+		}
+		fe := NewFrontend(s, bgp.NewSpeaker(bgp.SessionConfig{LocalAS: 65000, LocalID: ma("10.0.0.100")}))
+		for _, id := range order {
+			// Identical next hop on purpose: nothing but the synthesized
+			// origin identifier can break the tie.
+			if err := fe.Originate(id, mp("74.125.0.0/16"), ma("203.0.113.50")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fe
+	}
+
+	want, ok := build(ids).Server.BestFor("X", mp("74.125.0.0/16"))
+	if !ok {
+		t.Fatal("no best route")
+	}
+	if !want.PeerID.IsValid() || want.PeerID == (netip.Addr{}) {
+		t.Fatalf("originated route has no peer ID: %+v", want)
+	}
+	rng := rand.New(rand.NewSource(9))
+	order := append([]ID(nil), ids...)
+	for trial := 0; trial < 30; trial++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got, ok := build(order).Server.BestFor("X", mp("74.125.0.0/16"))
+		if !ok || got.PeerAS != want.PeerAS {
+			t.Fatalf("insertion order %v: best from AS%d, want AS%d", order, got.PeerAS, want.PeerAS)
+		}
+	}
+}
+
+// TestOriginPeerIDsDistinct guards the synthesized identifier scheme: two
+// different origin ASes must never share an identifier, or their routes
+// would tie all the way to the next-hop comparison again.
+func TestOriginPeerIDsDistinct(t *testing.T) {
+	seen := make(map[netip.Addr]uint16)
+	for as := uint16(64512); as < 64512+1000; as++ {
+		id := originPeerID(as)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("AS%d and AS%d share origin peer ID %v", prev, as, id)
+		}
+		seen[id] = as
+	}
+}

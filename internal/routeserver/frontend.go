@@ -3,6 +3,7 @@ package routeserver
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 
 	"sdx/internal/bgp"
@@ -22,6 +23,17 @@ type OwnershipChecker func(participant ID, prefix netip.Prefix) bool
 // Frontend glues a Server to live BGP sessions: it maps peers to
 // participants, feeds their UPDATEs into the engine, and re-advertises
 // best-route changes with rewritten next hops.
+//
+// Ordering. Ingestion is naturally serialized per session (each session's
+// callbacks run on its own read goroutine), the engine shards its apply
+// path by prefix, and emission is serialized per RECEIVING peer: every
+// re-advertisement re-reads the engine's current best route under the
+// receiver's emit lock before being sent. Two sessions' bursts may
+// therefore interleave in the engine, but whichever emission runs last for
+// a given receiver carries the freshest decision, so a peer can never be
+// left holding a stale route — the invariant the old global processing
+// lock enforced, without cross-session serialization. Emissions pack NLRI
+// sharing identical attributes into minimal UPDATE messages (RFC 4271).
 type Frontend struct {
 	Server  *Server
 	Speaker *bgp.Speaker
@@ -29,11 +41,15 @@ type Frontend struct {
 	// NextHop, when set, rewrites advertised next hops (VNH installation).
 	NextHop NextHopResolver
 	// OnChange, when set, is invoked with each batch of best-route changes
-	// after they have been re-advertised; the SDX controller recompiles
-	// policies from here.
+	// BEFORE they are re-advertised (the paper's §5.1 ordering: the policy
+	// compiler computes fresh virtual next hops first); batches are
+	// serialized so the controller observes them in a consistent order.
 	OnChange func([]BestChange)
 	// Ownership gates Originate; nil allows everything (test/demo mode).
 	Ownership OwnershipChecker
+	// Tracer, when set, records rejected updates and other noteworthy
+	// events. A nil tracer is a no-op.
+	Tracer *telemetry.Tracer
 
 	mu      sync.Mutex
 	byBGPID map[netip.Addr]ID
@@ -41,28 +57,35 @@ type Frontend struct {
 	// adjOut tracks what has been advertised to each participant, so
 	// withdrawals are only sent for routes the peer actually holds.
 	adjOut map[ID]map[netip.Prefix]bool
+	// emitLocks serializes emission per receiving peer; entries are
+	// created lazily and never removed (a participant's lock survives its
+	// session, so a displaced session and its replacement contend on the
+	// same lock).
+	emitLocks map[ID]*sync.Mutex
+	// emitters holds one live coalescing emitter per connected peer.
+	emitters map[ID]*peerEmitter
+
+	// changeMu serializes OnChange batches.
+	changeMu sync.Mutex
 
 	// Intrusive instruments, exported via EnableTelemetry.
-	mUpdatesOut     telemetry.Counter
-	mWithdrawalsOut telemetry.Counter
-
-	// procMu serializes the decision-and-readvertisement path across
-	// sessions: without it, two peers' updates could interleave so that a
-	// stale best route is re-advertised after a fresher one. A conventional
-	// route server (the paper used ExaBGP) processes updates sequentially
-	// for the same reason.
-	procMu sync.Mutex
+	mUpdatesOut      telemetry.Counter
+	mWithdrawalsOut  telemetry.Counter
+	mMessagesOut     telemetry.Counter
+	mRejectedUpdates telemetry.Counter
 }
 
 // NewFrontend wires a Server to a Speaker. The Speaker's callbacks are
 // installed here, so create the Frontend before any session is accepted.
 func NewFrontend(server *Server, speaker *bgp.Speaker) *Frontend {
 	f := &Frontend{
-		Server:  server,
-		Speaker: speaker,
-		byBGPID: make(map[netip.Addr]ID),
-		peers:   make(map[ID]*bgp.Peer),
-		adjOut:  make(map[ID]map[netip.Prefix]bool),
+		Server:    server,
+		Speaker:   speaker,
+		byBGPID:   make(map[netip.Addr]ID),
+		peers:     make(map[ID]*bgp.Peer),
+		adjOut:    make(map[ID]map[netip.Prefix]bool),
+		emitLocks: make(map[ID]*sync.Mutex),
+		emitters:  make(map[ID]*peerEmitter),
 	}
 	speaker.OnEstablished = f.onEstablished
 	speaker.OnUpdate = f.onUpdate
@@ -90,33 +113,59 @@ func (f *Frontend) participantFor(p *bgp.Peer) (ID, bool) {
 	return id, ok
 }
 
+// emitLock returns the participant's emission lock, creating it on first
+// use.
+func (f *Frontend) emitLock(id ID) *sync.Mutex {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l := f.emitLocks[id]
+	if l == nil {
+		l = new(sync.Mutex)
+		f.emitLocks[id] = l
+	}
+	return l
+}
+
 func (f *Frontend) onEstablished(p *bgp.Peer) {
 	id, ok := f.participantFor(p)
 	if !ok {
 		p.Session.Close() // unknown router; an IXP would alarm here
 		return
 	}
+	e := &peerEmitter{
+		id:      id,
+		peer:    p,
+		lock:    f.emitLock(id),
+		pending: make(map[netip.Prefix]bool),
+		wake:    make(chan struct{}, 1),
+	}
 	f.mu.Lock()
 	f.peers[id] = p
+	// Registering the emitter before the dump means changes landing during
+	// the dump queue on it and are re-emitted once its goroutine starts.
+	f.emitters[id] = e
 	f.mu.Unlock()
 
-	// Late joiner: advertise the current best route for every prefix,
-	// serialized against in-flight updates so the snapshot is consistent.
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
-	var updates []*bgp.Update
+	// Late joiner: advertise the current best route for every prefix, as
+	// packed UPDATEs, under the peer's emit lock so in-flight
+	// re-advertisements cannot interleave with the dump. Each BestFor
+	// re-reads the live decision, so routes that change while the dump is
+	// being assembled are re-emitted by their own change's propagation
+	// afterwards — the dump can be momentarily stale but never finally so.
+	e.lock.Lock()
+	f.mu.Lock()
+	f.adjOut[id] = make(map[netip.Prefix]bool)
+	f.mu.Unlock()
+	var adverts []bgp.Advertisement
 	for _, prefix := range f.Server.Prefixes() {
 		if best, ok := f.Server.BestFor(id, prefix); ok {
-			updates = append(updates, f.buildUpdate(id, prefix, best))
-		}
-	}
-	for _, u := range updates {
-		p.Send(u)
-		f.mUpdatesOut.Inc()
-		for _, prefix := range u.NLRI {
+			adverts = append(adverts, bgp.Advertisement{Prefix: prefix, Attrs: f.resolveAttrs(id, prefix, best)})
 			f.recordSent(id, prefix, true)
 		}
 	}
+	f.sendPacked(id, p, nil, adverts)
+	e.lock.Unlock()
+	go f.runEmitter(e)
 }
 
 // recordSent updates the Adj-RIB-Out bookkeeping for one peer.
@@ -154,6 +203,9 @@ func (f *Frontend) onDown(p *bgp.Peer, _ error) {
 		// The peer's RIB died with its session; a reconnecting router
 		// starts from an empty table and is re-fed by onEstablished.
 		delete(f.adjOut, id)
+		if e := f.emitters[id]; e != nil && e.peer == p {
+			delete(f.emitters, id)
+		}
 	}
 	f.mu.Unlock()
 	if !current {
@@ -173,8 +225,6 @@ func (f *Frontend) onDown(p *bgp.Peer, _ error) {
 	// best routes: the fabric keeps forwarding on installed rules, but new
 	// best-route decisions must stop preferring a next hop that can no
 	// longer speak for itself.
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
 	f.propagate(f.Server.FlushParticipant(id))
 }
 
@@ -183,27 +233,40 @@ func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 	if !ok {
 		return
 	}
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
-	var changes []BestChange
-	for _, w := range u.Withdrawn {
-		ch, err := f.Server.Withdraw(id, w)
-		if err == nil {
-			changes = append(changes, ch...)
-		}
-	}
-	for _, nlri := range u.NLRI {
-		ch, err := f.Server.Advertise(id, bgp.Route{
+	routes := make([]bgp.Route, len(u.NLRI))
+	for i, nlri := range u.NLRI {
+		routes[i] = bgp.Route{
 			Prefix: nlri,
 			Attrs:  u.Attrs,
 			PeerAS: p.Session.PeerAS(),
 			PeerID: p.Session.PeerID(),
-		})
-		if err == nil {
-			changes = append(changes, ch...)
 		}
 	}
+	changes, err := f.Server.ApplyUpdate(id, u.Withdrawn, routes)
+	if err != nil {
+		// A rejected update must not vanish silently: count it and leave
+		// a trace naming the peer, so an operator can see routes being
+		// dropped (e.g. a session racing its participant's deprovisioning).
+		f.mRejectedUpdates.Inc()
+		f.Tracer.Emit("routeserver.update_rejected",
+			telemetry.Str("participant", string(id)),
+			telemetry.Str("peer", p.Session.PeerID().String()),
+			telemetry.Int("nlri", len(u.NLRI)),
+			telemetry.Int("withdrawn", len(u.Withdrawn)),
+			telemetry.Str("error", err.Error()))
+		return
+	}
 	f.propagate(changes)
+}
+
+// originPeerID synthesizes a deterministic router identifier for routes the
+// SDX originates on behalf of a participant with no physical router at the
+// exchange. Without one, two originated routes for the same prefix tie on
+// every decision step with zero PeerIDs, and selection would hinge on map
+// iteration order. The 100.64.0.0/10 (CGN) range cannot collide with a
+// participant router's LAN address.
+func originPeerID(as uint16) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, 64, byte(as >> 8), byte(as)})
 }
 
 // Originate injects a route on behalf of a participant that may have no
@@ -213,8 +276,6 @@ func (f *Frontend) Originate(participant ID, prefix netip.Prefix, nextHop netip.
 	if f.Ownership != nil && !f.Ownership(participant, prefix) {
 		return fmt.Errorf("routeserver: %q does not own %v", participant, prefix)
 	}
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
 	as, ok := f.Server.AS(participant)
 	if !ok {
 		return fmt.Errorf("routeserver: unknown participant %q", participant)
@@ -227,6 +288,7 @@ func (f *Frontend) Originate(participant ID, prefix netip.Prefix, nextHop netip.
 			NextHop: nextHop,
 		},
 		PeerAS: as,
+		PeerID: originPeerID(as),
 	})
 	if err != nil {
 		return err
@@ -237,8 +299,6 @@ func (f *Frontend) Originate(participant ID, prefix netip.Prefix, nextHop netip.
 
 // WithdrawOrigin retracts a route previously injected with Originate.
 func (f *Frontend) WithdrawOrigin(participant ID, prefix netip.Prefix) error {
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
 	changes, err := f.Server.Withdraw(participant, prefix)
 	if err != nil {
 		return err
@@ -247,79 +307,188 @@ func (f *Frontend) WithdrawOrigin(participant ID, prefix netip.Prefix) error {
 	return nil
 }
 
+// peerEmitter coalesces re-advertisement work for one receiving peer. Route
+// changes enqueue the affected prefixes into a pending set; a dedicated
+// goroutine drains the whole set at once, re-reads the engine's best route
+// for each prefix, and sends one packed batch. Prefixes touched many times
+// while the emitter is busy are emitted once with the freshest decision —
+// batching across senders is what lets RFC 4271 packing collapse the
+// message count under churn.
+type peerEmitter struct {
+	id   ID
+	peer *bgp.Peer
+	lock *sync.Mutex // shared per-participant emit lock
+
+	mu      sync.Mutex
+	pending map[netip.Prefix]bool
+	wake    chan struct{} // capacity 1: a retained signal per drain
+}
+
+// enqueue adds prefixes to the pending set and nudges the drain goroutine.
+func (e *peerEmitter) enqueue(prefixes []netip.Prefix) {
+	e.mu.Lock()
+	for _, p := range prefixes {
+		e.pending[p] = true
+	}
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take removes and returns the whole pending set, sorted for deterministic
+// emission, or nil if there is nothing to do.
+func (e *peerEmitter) take() []netip.Prefix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pending) == 0 {
+		return nil
+	}
+	out := make([]netip.Prefix, 0, len(e.pending))
+	for p := range e.pending {
+		out = append(out, p)
+		delete(e.pending, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr().Less(out[j].Addr()) })
+	return out
+}
+
+// runEmitter is the per-peer drain loop. It exits when the session dies;
+// a displaced emitter (the participant reconnected and onEstablished
+// installed a replacement) also stops touching the shared Adj-RIB-Out.
+func (f *Frontend) runEmitter(e *peerEmitter) {
+	for {
+		select {
+		case <-e.peer.Session.Done():
+			return
+		case <-e.wake:
+		}
+		for {
+			prefixes := e.take()
+			if len(prefixes) == 0 {
+				break
+			}
+			f.mu.Lock()
+			displaced := f.emitters[e.id] != e
+			f.mu.Unlock()
+			if displaced {
+				return
+			}
+			f.emitPrefixes(e, prefixes)
+		}
+	}
+}
+
+// connectedEmitters snapshots the live per-peer emitters.
+func (f *Frontend) connectedEmitters() []*peerEmitter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*peerEmitter, 0, len(f.emitters))
+	for _, e := range f.emitters {
+		out = append(out, e)
+	}
+	return out
+}
+
 // propagate hands best-route changes to the controller FIRST — the paper's
 // §5.1 ordering: the policy compiler computes fresh virtual next hops and
 // forwarding rules, "then sends the updated next-hop information to the
 // route server, which marshals the corresponding BGP updates" — and then
 // re-advertises to the affected participants through the NextHop resolver.
 func (f *Frontend) propagate(changes []BestChange) {
-	if f.OnChange != nil && len(changes) > 0 {
+	if len(changes) == 0 {
+		return
+	}
+	if f.OnChange != nil {
+		f.changeMu.Lock()
 		f.OnChange(changes)
+		f.changeMu.Unlock()
 	}
 	// A change to a prefix's candidate routes can move its VIRTUAL next hop
 	// for every participant, not only those whose best path flipped: the
 	// fast path mints a fresh VNH for the prefix, and a next-hop change is
 	// a BGP UPDATE even when the AS path is unchanged. So each affected
 	// prefix is re-advertised to every connected participant.
-	f.mu.Lock()
-	peers := make(map[ID]*bgp.Peer, len(f.peers))
-	for id, p := range f.peers {
-		peers[id] = p
-	}
-	f.mu.Unlock()
-
 	seen := make(map[netip.Prefix]bool, len(changes))
+	prefixes := make([]netip.Prefix, 0, len(changes))
 	for _, ch := range changes {
-		if seen[ch.Prefix] {
-			continue
+		if !seen[ch.Prefix] {
+			seen[ch.Prefix] = true
+			prefixes = append(prefixes, ch.Prefix)
 		}
-		seen[ch.Prefix] = true
-		for id, peer := range peers {
-			if best, ok := f.Server.BestFor(id, ch.Prefix); ok {
-				peer.Send(f.buildUpdate(id, ch.Prefix, best))
-				f.mUpdatesOut.Inc()
-				f.recordSent(id, ch.Prefix, true)
-			} else if f.hasSent(id, ch.Prefix) {
-				peer.Send(&bgp.Update{Withdrawn: []netip.Prefix{ch.Prefix}})
-				f.mWithdrawalsOut.Inc()
-				f.recordSent(id, ch.Prefix, false)
-			}
-		}
+	}
+	for _, e := range f.connectedEmitters() {
+		e.enqueue(prefixes)
 	}
 }
 
-func (f *Frontend) buildUpdate(receiver ID, prefix netip.Prefix, best bgp.Route) *bgp.Update {
+// emitPrefixes re-reads the current best route for each prefix and sends
+// the receiver one packed batch of advertisements and withdrawals. The
+// whole read-decide-send sequence runs under the receiver's emit lock:
+// concurrent emissions for the same receiver serialize, and each one
+// re-reads the engine state, so the last writer is always the freshest.
+func (f *Frontend) emitPrefixes(e *peerEmitter, prefixes []netip.Prefix) {
+	e.lock.Lock()
+	defer e.lock.Unlock()
+	var withdrawn []netip.Prefix
+	adverts := make([]bgp.Advertisement, 0, len(prefixes))
+	for _, prefix := range prefixes {
+		if best, ok := f.Server.BestFor(e.id, prefix); ok {
+			adverts = append(adverts, bgp.Advertisement{Prefix: prefix, Attrs: f.resolveAttrs(e.id, prefix, best)})
+			f.recordSent(e.id, prefix, true)
+		} else if f.hasSent(e.id, prefix) {
+			withdrawn = append(withdrawn, prefix)
+			f.recordSent(e.id, prefix, false)
+		}
+	}
+	f.sendPacked(e.id, e.peer, withdrawn, adverts)
+}
+
+// sendPacked packs one receiver's withdrawals and advertisements into
+// minimal UPDATE messages and sends them. Caller holds the emit lock.
+func (f *Frontend) sendPacked(id ID, peer *bgp.Peer, withdrawn []netip.Prefix, adverts []bgp.Advertisement) {
+	if len(withdrawn) == 0 && len(adverts) == 0 {
+		return
+	}
+	msgs, err := bgp.PackUpdates(withdrawn, adverts)
+	if err != nil {
+		// Unpackable output (non-IPv4 NLRI, oversized attribute set)
+		// cannot come from routes the engine accepted; trace and drop
+		// rather than crash the session goroutine.
+		f.Tracer.Emit("routeserver.pack_failed",
+			telemetry.Str("participant", string(id)),
+			telemetry.Str("error", err.Error()))
+		return
+	}
+	for _, u := range msgs {
+		peer.Send(u)
+		f.mMessagesOut.Inc()
+	}
+	f.mUpdatesOut.Add(uint64(len(adverts)))
+	f.mWithdrawalsOut.Add(uint64(len(withdrawn)))
+}
+
+// resolveAttrs applies the NextHop resolver to one advertisement.
+func (f *Frontend) resolveAttrs(receiver ID, prefix netip.Prefix, best bgp.Route) bgp.PathAttrs {
 	attrs := best.Attrs
 	if f.NextHop != nil {
 		if nh := f.NextHop(receiver, prefix, best); nh.IsValid() {
 			attrs = attrs.WithNextHop(nh)
 		}
 	}
-	return &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{prefix}}
+	return attrs
 }
 
 // ReadvertiseAll re-sends the current best route for every prefix to every
-// connected participant, applying the NextHop resolver afresh. The SDX
-// controller calls this after a background recompilation so participants
-// whose virtual next hops moved pick up the new mapping; participants whose
-// routes are byte-identical simply refresh their RIBs (BGP updates are
-// idempotent).
+// connected participant, applying the NextHop resolver afresh, packed into
+// minimal UPDATEs. The SDX controller calls this after a background
+// recompilation so participants whose virtual next hops moved pick up the
+// new mapping; participants whose routes are byte-identical simply refresh
+// their RIBs (BGP updates are idempotent).
 func (f *Frontend) ReadvertiseAll() {
-	f.procMu.Lock()
-	defer f.procMu.Unlock()
-	f.mu.Lock()
-	peers := make(map[ID]*bgp.Peer, len(f.peers))
-	for id, p := range f.peers {
-		peers[id] = p
-	}
-	f.mu.Unlock()
-	for _, prefix := range f.Server.Prefixes() {
-		for id, peer := range peers {
-			if best, ok := f.Server.BestFor(id, prefix); ok {
-				peer.Send(f.buildUpdate(id, prefix, best))
-				f.mUpdatesOut.Inc()
-				f.recordSent(id, prefix, true)
-			}
-		}
+	prefixes := f.Server.Prefixes()
+	for _, e := range f.connectedEmitters() {
+		e.enqueue(prefixes)
 	}
 }

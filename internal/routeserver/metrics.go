@@ -11,8 +11,11 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	reg.CounterFunc("sdx_routeserver_best_recomputations_total",
-		"Per-participant best-route computations.",
+		"Decision-process runs that could not be served from the shard caches.",
 		func() float64 { return float64(s.mBestRecomputations.Value()) })
+	reg.CounterFunc("sdx_routeserver_best_cache_hits_total",
+		"Best-route lookups served from the shard decision caches.",
+		func() float64 { return float64(s.mBestCacheHits.Value()) })
 	reg.CounterFunc("sdx_routeserver_best_changes_total",
 		"Best-route changes produced by advertisements and withdrawals.",
 		func() float64 { return float64(s.mBestChanges.Value()) })
@@ -28,15 +31,20 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sdx_routeserver_prefixes",
 		"Prefixes with at least one candidate route.",
 		func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return float64(len(s.candidates))
+			n := 0
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.RLock()
+				n += len(sh.candidates)
+				sh.mu.RUnlock()
+			}
+			return float64(n)
 		})
 	reg.GaugeFunc("sdx_routeserver_participants",
 		"Registered participants.",
 		func() float64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
+			s.partMu.RLock()
+			defer s.partMu.RUnlock()
 			return float64(len(s.participants))
 		})
 }
@@ -54,4 +62,10 @@ func (f *Frontend) EnableTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("sdx_routeserver_withdrawals_out_total",
 		"Withdrawals re-exported to participants.",
 		func() float64 { return float64(f.mWithdrawalsOut.Value()) })
+	reg.CounterFunc("sdx_routeserver_messages_out_total",
+		"Packed BGP UPDATE messages sent to participants.",
+		func() float64 { return float64(f.mMessagesOut.Value()) })
+	reg.CounterFunc("sdx_routeserver_rejected_updates_total",
+		"Inbound UPDATEs the engine refused (e.g. unknown participant).",
+		func() float64 { return float64(f.mRejectedUpdates.Value()) })
 }

@@ -38,10 +38,10 @@ func TestFrontendPeerDownFlushesRoutes(t *testing.T) {
 	advertise(t, c, "10.0.0.0/8", 65003, 65099) // longer path: backup
 
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8") && u.Attrs.FirstAS() == 65002
+		return hasNLRI(u, mp("10.0.0.0/8")) && u.Attrs.FirstAS() == 65002
 	})
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.NLRI) == 1 && u.NLRI[0] == mp("30.0.0.0/8")
+		return hasNLRI(u, mp("30.0.0.0/8"))
 	})
 
 	// B's router dies. The frontend must flush B's routes and recompute.
@@ -61,10 +61,10 @@ func TestFrontendPeerDownFlushesRoutes(t *testing.T) {
 
 	// A is re-advertised C's backup for 10/8 and sent a withdrawal for 30/8.
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8") && u.Attrs.FirstAS() == 65003
+		return hasNLRI(u, mp("10.0.0.0/8")) && u.Attrs.FirstAS() == 65003
 	})
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.Withdrawn) == 1 && u.Withdrawn[0] == mp("30.0.0.0/8")
+		return hasWithdrawn(u, mp("30.0.0.0/8"))
 	})
 }
 
@@ -80,7 +80,7 @@ func TestFrontendDisplacedSessionKeepsRoutes(t *testing.T) {
 
 	advertise(t, b1, "10.0.0.0/8", 65002)
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.NLRI) == 1 && u.NLRI[0] == mp("10.0.0.0/8")
+		return hasNLRI(u, mp("10.0.0.0/8"))
 	})
 
 	// B reconnects under the same identifier: the fresh session displaces
@@ -111,7 +111,7 @@ func TestFrontendDisplacedSessionKeepsRoutes(t *testing.T) {
 	// The replacement session is live: routes it advertises still flow.
 	advertise(t, b2, "20.0.0.0/8", 65002)
 	a.waitForUpdate(t, func(u *bgp.Update) bool {
-		return len(u.NLRI) == 1 && u.NLRI[0] == mp("20.0.0.0/8")
+		return hasNLRI(u, mp("20.0.0.0/8"))
 	})
 }
 

@@ -7,6 +7,16 @@
 // The Server type is the pure routing engine (no sockets), which the
 // benchmarks drive directly; Frontend glues a Server to a bgp.Speaker for
 // live deployments.
+//
+// Concurrency. The candidate table is split into hash shards keyed by
+// prefix, each with its own lock, so sessions churning disjoint prefixes
+// proceed in parallel. The participant registry has a separate lock
+// (partMu), always acquired before a shard lock, never after. Each shard
+// caches decision-process results — a receiver-independent (best,
+// second-best) pair when no export policy is installed, a per-(prefix,
+// receiver) entry when one is — invalidated whenever the prefix's
+// candidates change, so the hot read path (BestFor during
+// re-advertisement and policy compilation) stops rescanning SelectBest.
 package routeserver
 
 import (
@@ -45,20 +55,78 @@ type participant struct {
 	advertised *bgp.RIB
 }
 
+// numShards is the candidate-table fan-out. 64 keeps per-shard maps small
+// and lets every session goroutine plus the compiler make progress
+// simultaneously on commodity core counts.
+const numShards = 64
+
+// bestPair caches the decision process for one prefix when no export
+// policy is installed: the globally best route and the best route not from
+// the same advertiser. Every receiver's best is derivable from the pair —
+// the first route, unless the receiver IS the first advertiser, in which
+// case the second (a participant never learns its own route back). Ties
+// between byte-identical routes resolve to the lowest advertiser ID, so
+// the derivation is insertion-order independent.
+type bestPair struct {
+	first, second     bgp.Route
+	firstID, secondID ID
+}
+
+// derive resolves the cached pair for one receiver.
+func (pr bestPair) derive(id ID) (bgp.Route, bool) {
+	if pr.firstID == "" {
+		return bgp.Route{}, false
+	}
+	if id != pr.firstID {
+		return pr.first, true
+	}
+	if pr.secondID == "" {
+		return bgp.Route{}, false
+	}
+	return pr.second, true
+}
+
+// recvBest is one per-(prefix, receiver) cached decision, used when an
+// export policy makes the result receiver-dependent. ok is false when the
+// policy hides every candidate from the receiver.
+type recvBest struct {
+	route bgp.Route
+	ok    bool
+}
+
+// shard is one slice of the candidate table with its decision caches.
+// pair and perRecv entries for a prefix are deleted whenever that prefix's
+// candidates change; they are refilled lazily on the next read.
+type shard struct {
+	mu         sync.RWMutex
+	candidates map[netip.Prefix]map[ID]bgp.Route
+	pair       map[netip.Prefix]bestPair
+	perRecv    map[netip.Prefix]map[ID]recvBest
+}
+
 // Server is the route-server engine.
 type Server struct {
-	mu           sync.RWMutex
+	// export is the optional per-pair prefix-level filter, immutable
+	// after New.
+	export ExportFilter
+
+	// partMu guards the participant registry and routeExport. Lock order:
+	// partMu before any shard.mu, never the reverse.
+	partMu       sync.RWMutex
 	participants map[ID]*participant
-	// candidates holds, per prefix, each advertiser's current route.
-	candidates map[netip.Prefix]map[ID]bgp.Route
-	export     ExportFilter
+	// sorted is the registry ordered by ID, rebuilt on add/remove; the
+	// diff path iterates it so change batches are deterministic.
+	sorted []*participant
 	// routeExport is the optional route-level export filter
 	// (SetRouteExportPolicy); it sees communities and other attributes.
 	routeExport RouteExportFilter
 
+	shards [numShards]shard
+
 	// Intrusive instruments: always counted, exported only once
 	// EnableTelemetry has registered scrape-time readers for them.
 	mBestRecomputations telemetry.Counter
+	mBestCacheHits      telemetry.Counter
 	mBestChanges        telemetry.Counter
 	mAdvertisements     telemetry.Counter
 	mWithdrawals        telemetry.Counter
@@ -68,39 +136,66 @@ type Server struct {
 // New returns an empty Server with the given export policy (nil = export
 // everything).
 func New(export ExportFilter) *Server {
-	return &Server{
+	s := &Server{
 		participants: make(map[ID]*participant),
-		candidates:   make(map[netip.Prefix]map[ID]bgp.Route),
 		export:       export,
 	}
+	for i := range s.shards {
+		s.shards[i].candidates = make(map[netip.Prefix]map[ID]bgp.Route)
+		s.shards[i].pair = make(map[netip.Prefix]bestPair)
+		s.shards[i].perRecv = make(map[netip.Prefix]map[ID]recvBest)
+	}
+	return s
+}
+
+// shardOf hashes a prefix to its shard (FNV-1a over address and length).
+func (s *Server) shardOf(p netip.Prefix) *shard {
+	return &s.shards[s.shardIndex(p)]
+}
+
+// filteredLocked reports whether best routes are receiver-dependent.
+// Called with partMu held (routeExport is guarded by it).
+func (s *Server) filteredLocked() bool { return s.export != nil || s.routeExport != nil }
+
+func (s *Server) rebuildSortedLocked() {
+	s.sorted = s.sorted[:0]
+	for _, p := range s.participants {
+		s.sorted = append(s.sorted, p)
+	}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].id < s.sorted[j].id })
 }
 
 // AddParticipant registers a participant AS. Adding an existing ID is an
 // error: participant identity is structural for the SDX controller.
 func (s *Server) AddParticipant(id ID, as uint16) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
 	if _, dup := s.participants[id]; dup {
 		return fmt.Errorf("routeserver: participant %q already registered", id)
 	}
 	s.participants[id] = &participant{id: id, as: as, advertised: bgp.NewRIB()}
+	s.rebuildSortedLocked()
 	return nil
 }
 
 // RemoveParticipant withdraws everything the participant advertised and
 // unregisters it, returning the resulting best-route changes.
 func (s *Server) RemoveParticipant(id ID) []BestChange {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.partMu.RLock()
 	p, ok := s.participants[id]
+	var prefixes []netip.Prefix
+	if ok {
+		prefixes = p.advertised.Prefixes()
+	}
+	s.partMu.RUnlock()
 	if !ok {
 		return nil
 	}
-	var changes []BestChange
-	for _, prefix := range p.advertised.Prefixes() {
-		changes = append(changes, s.withdrawLocked(id, prefix)...)
-	}
+	changes, _ := s.ApplyUpdate(id, prefixes, nil)
+	s.partMu.Lock()
 	delete(s.participants, id)
+	s.rebuildSortedLocked()
+	s.partMu.Unlock()
 	return changes
 }
 
@@ -110,36 +205,36 @@ func (s *Server) RemoveParticipant(id ID) []BestChange {
 // keeping the participant registered for its return. It returns the
 // best-route changes the flush caused across the other participants.
 func (s *Server) FlushParticipant(id ID) []BestChange {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.partMu.RLock()
 	p, ok := s.participants[id]
+	var prefixes []netip.Prefix
+	if ok {
+		s.mPeerFlushes.Inc()
+		prefixes = p.advertised.Prefixes()
+	}
+	s.partMu.RUnlock()
 	if !ok {
 		return nil
 	}
-	s.mPeerFlushes.Inc()
-	var changes []BestChange
-	for _, prefix := range p.advertised.Prefixes() {
-		changes = append(changes, s.withdrawLocked(id, prefix)...)
-	}
+	changes, _ := s.ApplyUpdate(id, prefixes, nil)
 	return changes
 }
 
 // Participants returns the registered IDs in sorted order.
 func (s *Server) Participants() []ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ID, 0, len(s.participants))
-	for id := range s.participants {
-		out = append(out, id)
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	out := make([]ID, len(s.sorted))
+	for i, p := range s.sorted {
+		out[i] = p.id
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // AS returns the participant's AS number.
 func (s *Server) AS(id ID) (uint16, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[id]
 	if !ok {
 		return 0, false
@@ -147,36 +242,267 @@ func (s *Server) AS(id ID) (uint16, bool) {
 	return p.as, true
 }
 
-// Advertise installs or replaces from's route and returns the best-route
-// changes it caused across participants.
-func (s *Server) Advertise(from ID, route bgp.Route) ([]BestChange, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// applyOp is the net effect of one UPDATE on one prefix.
+type applyOp struct {
+	prefix   netip.Prefix
+	withdraw bool
+	route    bgp.Route
+}
+
+// ApplyUpdate applies a whole UPDATE (or a coalesced burst) from one
+// participant in a single pass: all withdrawals and advertisements land
+// under one lock acquisition per touched shard, with one before/after
+// decision diff per touched prefix, instead of a full table scan per NLRI.
+// When the same prefix appears in both lists, the advertisement wins (RFC
+// 4271 §3.1: NLRI supersedes a withdrawal carried by the same message).
+// The returned changes are ordered by shard, then prefix, then receiver.
+func (s *Server) ApplyUpdate(from ID, withdrawn []netip.Prefix, advertised []bgp.Route) ([]BestChange, error) {
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[from]
 	if !ok {
 		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
 	}
-	route.Prefix = route.Prefix.Masked()
-	s.mAdvertisements.Inc()
-
-	before := s.bestAllLocked(route.Prefix)
-	p.advertised.Set(route)
-	cands := s.candidates[route.Prefix]
-	if cands == nil {
-		cands = make(map[ID]bgp.Route)
-		s.candidates[route.Prefix] = cands
+	if len(withdrawn) == 0 && len(advertised) == 0 {
+		return nil, nil
 	}
-	cands[from] = route
-	return s.diffLocked(route.Prefix, before), nil
+	s.mWithdrawals.Add(uint64(len(withdrawn)))
+	s.mAdvertisements.Add(uint64(len(advertised)))
+
+	ops := make(map[netip.Prefix]applyOp, len(withdrawn)+len(advertised))
+	for _, w := range withdrawn {
+		w = w.Masked()
+		ops[w] = applyOp{prefix: w, withdraw: true}
+	}
+	for _, r := range advertised {
+		r.Prefix = r.Prefix.Masked()
+		ops[r.Prefix] = applyOp{prefix: r.Prefix, route: r}
+	}
+
+	// Adj-RIB-In first, then the shared candidate table shard by shard.
+	var byShard [numShards][]applyOp
+	for _, op := range ops {
+		if op.withdraw {
+			p.advertised.Remove(op.prefix)
+		} else {
+			p.advertised.Set(op.route)
+		}
+		si := s.shardIndex(op.prefix)
+		byShard[si] = append(byShard[si], op)
+	}
+
+	var changes []BestChange
+	for si := range byShard {
+		list := byShard[si]
+		if len(list) == 0 {
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool { return prefixLess(list[i].prefix, list[j].prefix) })
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, op := range list {
+			changes = append(changes, s.applyOneLocked(sh, from, op)...)
+		}
+		sh.mu.Unlock()
+	}
+	return changes, nil
+}
+
+func (s *Server) shardIndex(p netip.Prefix) uint32 {
+	a := p.Addr().As4()
+	h := uint32(2166136261)
+	for _, b := range a {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(p.Bits())) * 16777619
+	return h % numShards
+}
+
+func prefixLess(a, b netip.Prefix) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Bits() < b.Bits()
+}
+
+// applyOneLocked mutates one prefix's candidates and diffs every
+// participant's best route across the mutation. partMu (read) and the
+// shard's write lock are held.
+func (s *Server) applyOneLocked(sh *shard, from ID, op applyOp) []BestChange {
+	prefix := op.prefix
+	before := s.bestAllShardLocked(sh, prefix)
+	cands := sh.candidates[prefix]
+	if op.withdraw {
+		if cands == nil {
+			return nil // withdrawing a route that was never there
+		}
+		if _, had := cands[from]; !had {
+			return nil
+		}
+		delete(cands, from)
+		if len(cands) == 0 {
+			delete(sh.candidates, prefix)
+		}
+	} else {
+		if cands == nil {
+			cands = make(map[ID]bgp.Route)
+			sh.candidates[prefix] = cands
+		}
+		cands[from] = op.route
+	}
+	delete(sh.pair, prefix)
+	delete(sh.perRecv, prefix)
+	after := s.bestAllShardLocked(sh, prefix)
+
+	var changes []BestChange
+	for i, part := range s.sorted {
+		if !routePtrEqual(before[i], after[i]) {
+			s.mBestChanges.Inc()
+			changes = append(changes, BestChange{Participant: part.id, Prefix: prefix, Old: before[i], New: after[i]})
+		}
+	}
+	return changes
+}
+
+// bestAllShardLocked snapshots every participant's best route for prefix,
+// indexed like s.sorted. Without an export policy the snapshot is derived
+// from the cached pair in O(1) per receiver; with one it falls back to the
+// per-receiver cache. partMu (read) and the shard's write lock are held.
+func (s *Server) bestAllShardLocked(sh *shard, prefix netip.Prefix) []*bgp.Route {
+	out := make([]*bgp.Route, len(s.sorted))
+	if s.filteredLocked() {
+		for i, part := range s.sorted {
+			if r, ok := s.bestForShardLocked(sh, part.id, prefix); ok {
+				rc := r
+				out[i] = &rc
+			}
+		}
+		return out
+	}
+	pr, ok := s.pairLocked(sh, prefix)
+	if !ok {
+		return out
+	}
+	for i, part := range s.sorted {
+		if r, ok := pr.derive(part.id); ok {
+			rc := r
+			out[i] = &rc
+		}
+	}
+	return out
+}
+
+// sortedAdvertisers returns the candidate advertisers in ID order — the
+// canonical scan order that makes tie-breaking deterministic.
+func sortedAdvertisers(cands map[ID]bgp.Route) []ID {
+	advs := make([]ID, 0, len(cands))
+	for adv := range cands {
+		advs = append(advs, adv)
+	}
+	sort.Slice(advs, func(i, j int) bool { return advs[i] < advs[j] })
+	return advs
+}
+
+// pairLocked returns the (best, second-best-advertiser) pair for prefix,
+// computing and caching it on miss. The shard's write lock is held.
+func (s *Server) pairLocked(sh *shard, prefix netip.Prefix) (bestPair, bool) {
+	if pr, hit := sh.pair[prefix]; hit {
+		s.mBestCacheHits.Inc()
+		return pr, true
+	}
+	cands := sh.candidates[prefix]
+	if len(cands) == 0 {
+		return bestPair{}, false
+	}
+	s.mBestRecomputations.Inc()
+	pr := computePair(cands)
+	sh.pair[prefix] = pr
+	return pr, true
+}
+
+// computePair runs the decision process over the candidates in canonical
+// advertiser order: a later route replaces the leader only when strictly
+// better, so equal routes resolve to the lowest advertiser ID.
+func computePair(cands map[ID]bgp.Route) bestPair {
+	advs := sortedAdvertisers(cands)
+	var pr bestPair
+	for _, adv := range advs {
+		if r := cands[adv]; pr.firstID == "" || r.Better(pr.first) {
+			pr.firstID, pr.first = adv, r
+		}
+	}
+	for _, adv := range advs {
+		if adv == pr.firstID {
+			continue
+		}
+		if r := cands[adv]; pr.secondID == "" || r.Better(pr.second) {
+			pr.secondID, pr.second = adv, r
+		}
+	}
+	return pr
+}
+
+// bestForShardLocked is the receiver-dependent decision with its cache:
+// the export-policy path. partMu (read) and the shard's write lock are
+// held.
+func (s *Server) bestForShardLocked(sh *shard, id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	if m := sh.perRecv[prefix]; m != nil {
+		if rb, hit := m[id]; hit {
+			s.mBestCacheHits.Inc()
+			return rb.route, rb.ok
+		}
+	}
+	r, ok := s.computeBestLocked(sh, id, prefix)
+	m := sh.perRecv[prefix]
+	if m == nil {
+		m = make(map[ID]recvBest)
+		sh.perRecv[prefix] = m
+	}
+	m[id] = recvBest{route: r, ok: ok}
+	return r, ok
+}
+
+// computeBestLocked runs the filtered decision process from scratch, in
+// canonical advertiser order. partMu (read) and a shard lock are held.
+func (s *Server) computeBestLocked(sh *shard, id ID, prefix netip.Prefix) (bgp.Route, bool) {
+	s.mBestRecomputations.Inc()
+	cands := sh.candidates[prefix]
+	if len(cands) == 0 {
+		return bgp.Route{}, false
+	}
+	var best bgp.Route
+	found := false
+	for _, adv := range sortedAdvertisers(cands) {
+		if adv == id {
+			continue // a participant never learns its own route back
+		}
+		r := cands[adv]
+		if s.export != nil && !s.export(adv, id, prefix) {
+			continue
+		}
+		if !s.routeExportAllowsLocked(adv, id, r) {
+			continue
+		}
+		if !found || r.Better(best) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Advertise installs or replaces from's route and returns the best-route
+// changes it caused across participants.
+func (s *Server) Advertise(from ID, route bgp.Route) ([]BestChange, error) {
+	return s.ApplyUpdate(from, nil, []bgp.Route{route})
 }
 
 // Load installs a route without computing best-route changes: the bulk
 // path for initial table transfer, where the caller compiles once afterward
-// anyway. Per-update change tracking (Advertise) costs O(participants) per
+// anyway. Per-update change tracking (Advertise) costs a decision diff per
 // route, which matters when loading hundreds of thousands of routes.
 func (s *Server) Load(from ID, route bgp.Route) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[from]
 	if !ok {
 		return fmt.Errorf("routeserver: unknown participant %q", from)
@@ -184,75 +510,24 @@ func (s *Server) Load(from ID, route bgp.Route) error {
 	route.Prefix = route.Prefix.Masked()
 	s.mAdvertisements.Inc()
 	p.advertised.Set(route)
-	cands := s.candidates[route.Prefix]
+	sh := s.shardOf(route.Prefix)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cands := sh.candidates[route.Prefix]
 	if cands == nil {
 		cands = make(map[ID]bgp.Route)
-		s.candidates[route.Prefix] = cands
+		sh.candidates[route.Prefix] = cands
 	}
 	cands[from] = route
+	delete(sh.pair, route.Prefix)
+	delete(sh.perRecv, route.Prefix)
 	return nil
 }
 
 // Withdraw removes from's route for prefix and returns the resulting
 // best-route changes.
 func (s *Server) Withdraw(from ID, prefix netip.Prefix) ([]BestChange, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.participants[from]; !ok {
-		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
-	}
-	return s.withdrawLocked(from, prefix), nil
-}
-
-func (s *Server) withdrawLocked(from ID, prefix netip.Prefix) []BestChange {
-	prefix = prefix.Masked()
-	s.mWithdrawals.Inc()
-	p := s.participants[from]
-	before := s.bestAllLocked(prefix)
-	p.advertised.Remove(prefix)
-	if cands := s.candidates[prefix]; cands != nil {
-		delete(cands, from)
-		if len(cands) == 0 {
-			delete(s.candidates, prefix)
-		}
-	}
-	return s.diffLocked(prefix, before)
-}
-
-// bestAllLocked snapshots every participant's best route for prefix.
-func (s *Server) bestAllLocked(prefix netip.Prefix) map[ID]*bgp.Route {
-	out := make(map[ID]*bgp.Route, len(s.participants))
-	for id := range s.participants {
-		if r, ok := s.bestForLocked(id, prefix); ok {
-			rc := r
-			out[id] = &rc
-		} else {
-			out[id] = nil
-		}
-	}
-	return out
-}
-
-func (s *Server) diffLocked(prefix netip.Prefix, before map[ID]*bgp.Route) []BestChange {
-	var changes []BestChange
-	ids := make([]ID, 0, len(before))
-	for id := range before {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		old := before[id]
-		var cur *bgp.Route
-		if r, ok := s.bestForLocked(id, prefix); ok {
-			rc := r
-			cur = &rc
-		}
-		if !routePtrEqual(old, cur) {
-			s.mBestChanges.Inc()
-			changes = append(changes, BestChange{Participant: id, Prefix: prefix, Old: old, New: cur})
-		}
-	}
-	return changes
+	return s.ApplyUpdate(from, []netip.Prefix{prefix}, nil)
 }
 
 func routePtrEqual(a, b *bgp.Route) bool {
@@ -270,45 +545,57 @@ func routePtrEqual(a, b *bgp.Route) bool {
 
 // BestFor returns participant id's best route for prefix: the decision
 // process over every other participant's advertised route that the export
-// policy lets id see.
+// policy lets id see. The result is served from the shard's decision cache
+// when the prefix's candidates have not changed since the last call.
 func (s *Server) BestFor(id ID, prefix netip.Prefix) (bgp.Route, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bestForLocked(id, prefix.Masked())
-}
+	prefix = prefix.Masked()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	sh := s.shardOf(prefix)
+	filtered := s.filteredLocked()
 
-func (s *Server) bestForLocked(id ID, prefix netip.Prefix) (bgp.Route, bool) {
-	s.mBestRecomputations.Inc()
-	cands := s.candidates[prefix]
-	if len(cands) == 0 {
+	// Fast path: a read lock suffices on a cache hit.
+	sh.mu.RLock()
+	if filtered {
+		if m := sh.perRecv[prefix]; m != nil {
+			if rb, hit := m[id]; hit {
+				sh.mu.RUnlock()
+				s.mBestCacheHits.Inc()
+				return rb.route, rb.ok
+			}
+		}
+	} else if pr, hit := sh.pair[prefix]; hit {
+		sh.mu.RUnlock()
+		s.mBestCacheHits.Inc()
+		return pr.derive(id)
+	}
+	sh.mu.RUnlock()
+
+	// Miss: recompute and fill the cache under the write lock.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if filtered {
+		return s.bestForShardLocked(sh, id, prefix)
+	}
+	pr, ok := s.pairLocked(sh, prefix)
+	if !ok {
 		return bgp.Route{}, false
 	}
-	var eligible []bgp.Route
-	for adv, r := range cands {
-		if adv == id {
-			continue // a participant never learns its own route back
-		}
-		if s.export != nil && !s.export(adv, id, prefix) {
-			continue
-		}
-		if !s.routeExportAllows(adv, id, r) {
-			continue
-		}
-		eligible = append(eligible, r)
-	}
-	return bgp.SelectBest(eligible)
+	return pr.derive(id)
 }
 
 // BestNextHopParticipant returns the participant whose route is id's best
 // for prefix — the default forwarding neighbor the SDX falls back to.
 func (s *Server) BestNextHopParticipant(id ID, prefix netip.Prefix) (ID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	best, ok := s.bestForLocked(id, prefix.Masked())
+	prefix = prefix.Masked()
+	best, ok := s.BestFor(id, prefix)
 	if !ok {
 		return "", false
 	}
-	for adv, r := range s.candidates[prefix.Masked()] {
+	sh := s.shardOf(prefix)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for adv, r := range sh.candidates[prefix] {
 		if r.PeerID == best.PeerID && r.Attrs.NextHop == best.Attrs.NextHop && adv != id {
 			return adv, true
 		}
@@ -320,7 +607,11 @@ func (s *Server) BestNextHopParticipant(id ID, prefix netip.Prefix) (ID, bool) {
 // Without one, the prefixes reachable via a hop are the same for every
 // receiver, which lets the SDX compiler share one BGP filter per hop across
 // all participants' policies (the §4.3.1 idiom-reuse optimization).
-func (s *Server) HasExportPolicy() bool { return s.export != nil || s.routeExport != nil }
+func (s *Server) HasExportPolicy() bool {
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	return s.filteredLocked()
+}
 
 // BestTwo returns the advertisers of the globally best and second-best
 // routes for prefix, ignoring receiver-side exclusions. Every participant's
@@ -328,53 +619,41 @@ func (s *Server) HasExportPolicy() bool { return s.export != nil || s.routeExpor
 // that is the participant itself, in which case the second. The SDX FEC
 // computation keys on this pair. Empty IDs mean "no such route".
 func (s *Server) BestTwo(prefix netip.Prefix) (first, second ID) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cands := s.candidates[prefix.Masked()]
-	if len(cands) == 0 {
+	prefix = prefix.Masked()
+	sh := s.shardOf(prefix)
+	sh.mu.RLock()
+	if pr, hit := sh.pair[prefix]; hit {
+		sh.mu.RUnlock()
+		s.mBestCacheHits.Inc()
+		return pr.firstID, pr.secondID
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pr, ok := s.pairLocked(sh, prefix)
+	if !ok {
 		return "", ""
 	}
-	// Deterministic scan order so equal routes resolve identically run to run.
-	advs := make([]ID, 0, len(cands))
-	for adv := range cands {
-		advs = append(advs, adv)
-	}
-	sort.Slice(advs, func(i, j int) bool { return advs[i] < advs[j] })
-	for _, adv := range advs {
-		r := cands[adv]
-		if first == "" || r.Better(cands[first]) {
-			first = adv
-		}
-	}
-	for _, adv := range advs {
-		if adv == first {
-			continue
-		}
-		r := cands[adv]
-		if second == "" || r.Better(cands[second]) {
-			second = adv
-		}
-	}
-	return first, second
+	return pr.firstID, pr.secondID
 }
 
 // ReachableVia returns the prefixes that hop exported to id: the set the
 // SDX restricts id's fwd(hop) policies to (§4.1 "enforcing consistency with
 // BGP advertisements"). The result is a fresh set the caller may retain.
 func (s *Server) ReachableVia(id, hop ID) *netutil.PrefixSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := netutil.NewPrefixSet()
 	if id == hop {
 		return out
 	}
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[hop]
 	if !ok {
 		return out
 	}
 	p.advertised.Walk(func(r bgp.Route) bool {
 		if (s.export == nil || s.export(hop, id, r.Prefix)) &&
-			s.routeExportAllows(hop, id, r) {
+			s.routeExportAllowsLocked(hop, id, r) {
 			out.Add(r.Prefix)
 		}
 		return true
@@ -384,8 +663,8 @@ func (s *Server) ReachableVia(id, hop ID) *netutil.PrefixSet {
 
 // Advertised returns the prefixes a participant currently advertises.
 func (s *Server) Advertised(id ID) []netip.Prefix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[id]
 	if !ok {
 		return nil
@@ -397,8 +676,8 @@ func (s *Server) Advertised(id ID) []netip.Prefix {
 
 // AdvertisedRoute returns id's advertised route for prefix.
 func (s *Server) AdvertisedRoute(id ID, prefix netip.Prefix) (bgp.Route, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	p, ok := s.participants[id]
 	if !ok {
 		return bgp.Route{}, false
@@ -408,11 +687,14 @@ func (s *Server) AdvertisedRoute(id ID, prefix netip.Prefix) (bgp.Route, bool) {
 
 // Prefixes returns every prefix with at least one candidate route, sorted.
 func (s *Server) Prefixes() []netip.Prefix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]netip.Prefix, 0, len(s.candidates))
-	for p := range s.candidates {
-		out = append(out, p)
+	var out []netip.Prefix
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for p := range sh.candidates {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
 	}
 	netutil.SortPrefixes(out)
 	return out
@@ -426,16 +708,19 @@ func (s *Server) FilterASPath(expr string) ([]netip.Prefix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("routeserver: bad as-path filter: %w", err)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []netip.Prefix
-	for prefix, cands := range s.candidates {
-		for _, r := range cands {
-			if re.MatchString(r.Attrs.ASPathString()) {
-				out = append(out, prefix)
-				break
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for prefix, cands := range sh.candidates {
+			for _, r := range cands {
+				if re.MatchString(r.Attrs.ASPathString()) {
+					out = append(out, prefix)
+					break
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	netutil.SortPrefixes(out)
 	return out, nil
