@@ -30,7 +30,11 @@ bench:
 # pre-cache baseline in BENCH_baseline.json) so the perf trajectory is
 # tracked across PRs. The route-server churn pipeline benchmark lands in
 # BENCH_routeserver.json the same way, diffed against the recorded
-# pre-batching baseline in BENCH_routeserver_baseline.json.
+# pre-batching baseline in BENCH_routeserver_baseline.json. The full-DFZ
+# scale experiment (1M-prefix synthetic table: load time, steady-state
+# churn, resident footprint) lands in BENCH_fullscale.json; sdx-bench
+# exits nonzero — failing this target — if resident memory exceeds the
+# 2 GB ceiling.
 bench-smoke:
 	$(GO) test -bench=Compile -benchtime=1x -run '^$$' .
 	$(GO) test -bench='BenchmarkSwitchForwarding|BenchmarkFlowTableLookup' -benchtime=2000x -run '^$$' . \
@@ -39,6 +43,8 @@ bench-smoke:
 	$(GO) test -bench=BenchmarkChurnPipeline -benchtime=3x -run '^$$' . \
 		| $(GO) run ./cmd/sdx-benchjson -baseline BENCH_routeserver_baseline.json -out BENCH_routeserver.json
 	@cat BENCH_routeserver.json
+	$(GO) run ./cmd/sdx-bench -experiment fullscale -json BENCH_fullscale.json
+	@cat BENCH_fullscale.json
 
 # The control-plane chaos test (both control channels killed and restored
 # mid-churn; final flow tables must converge byte-identically) runs once as

@@ -466,13 +466,13 @@ func BenchmarkFlowTableLookup(b *testing.B) {
 
 func BenchmarkBGPUpdateRoundTrip(b *testing.B) {
 	u := &bgp.Update{
-		Attrs: bgp.PathAttrs{
+		Attrs: *bgp.Intern(bgp.PathAttrs{
 			NextHop:      netip.MustParseAddr("192.0.2.1"),
-			ASPath:       []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65001, 3356, 43515}}},
+			ASPath:       []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65001, 3356, 43515}}},
 			LocalPref:    200,
 			HasLocalPref: true,
 			Communities:  []uint32{0x00010002},
-		},
+		}),
 		NLRI: []netip.Prefix{
 			netip.MustParsePrefix("10.0.0.0/8"),
 			netip.MustParsePrefix("172.16.0.0/12"),
@@ -511,15 +511,15 @@ func BenchmarkFlowModEncode(b *testing.B) {
 func BenchmarkRouteServerAdvertise(b *testing.B) {
 	rs := routeserver.New(nil)
 	for i := 0; i < 100; i++ {
-		rs.AddParticipant(routeserver.ID(rune('A'+i%26))+routeserver.ID(rune('a'+i/26)), uint16(65000-i))
+		rs.AddParticipant(routeserver.ID(rune('A'+i%26))+routeserver.ID(rune('a'+i/26)), uint32(65000-i))
 	}
 	ids := rs.Participants()
 	route := bgp.Route{
 		Prefix: netip.MustParsePrefix("10.0.0.0/8"),
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: netip.MustParseAddr("192.0.2.1"),
-			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65001}}},
-		},
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65001}}},
+		}),
 		PeerAS: 65001,
 		PeerID: netip.MustParseAddr("10.9.9.9"),
 	}

@@ -7,11 +7,14 @@
 //	sdx-bench -experiment fig8 -participants 100,200,300 -seed 7
 //
 // Experiments: table1, fig5a, fig5b, fig6, fig7 (alias fig8), fig9, fig10,
-// ablation, churn, all. Scale multiplies the default prefix counts; 1.0 keeps the
-// laptop-sized defaults documented in EXPERIMENTS.md.
+// ablation, churn, fullscale, all. Scale multiplies the default prefix
+// counts; 1.0 keeps the laptop-sized defaults documented in EXPERIMENTS.md
+// (except fullscale, whose default IS the 1M-prefix DFZ table and which
+// must be selected explicitly; -json writes its result file).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +27,12 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
 		bursts       = flag.Int("bursts", 200, "update bursts for the churn experiment")
+		jsonOut      = flag.String("json", "", "write the fullscale result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -88,10 +92,32 @@ func main() {
 		any = true
 		run("ablation", func() error { _, err := experiments.Ablation(cfg, 0, 0); return err })
 	}
+	// The full-DFZ scale experiment is explicit-only: at the default scale
+	// it loads a 1M-prefix table, which does not belong in "all".
+	if *experiment == "fullscale" {
+		any = true
+		run("fullscale", func() error {
+			res, err := experiments.FullScale(cfg, 0, 0, 0)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			return err
+		})
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseCounts(s string) ([]int, error) {

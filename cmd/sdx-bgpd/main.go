@@ -82,7 +82,7 @@ func main() {
 	}
 
 	sessCfg := bgp.SessionConfig{
-		LocalAS:  uint16(*asn),
+		LocalAS:  uint32(*asn),
 		LocalID:  id,
 		HoldTime: bgp.DefaultHoldTime,
 	}
@@ -117,9 +117,9 @@ func main() {
 			return
 		}
 		for _, a := range announces.routes {
-			asns := make([]uint16, a.pathLen)
+			asns := make([]uint32, a.pathLen)
 			for i := range asns {
-				asns[i] = uint16(*asn)
+				asns[i] = uint32(*asn)
 			}
 			u := &bgp.Update{
 				Attrs: bgp.PathAttrs{

@@ -103,7 +103,7 @@ func main() {
 		}
 		return false
 	}
-	fe.OnChange = d.onRouteChanges
+	fe.OnPrefixes = d.onRoutePrefixes
 	d.frontend = fe
 	for _, pc := range cfg.Participants {
 		for _, port := range pc.Ports {
@@ -182,11 +182,13 @@ func (d *daemon) recompile() (*core.CompileResult, error) {
 	return res, nil
 }
 
-// onRouteChanges is the two-stage reaction of §4.3.2: the quick stage
+// onRoutePrefixes is the two-stage reaction of §4.3.2: the quick stage
 // compiles and installs rules for the affected prefixes immediately; the
 // background stage reruns the full pipeline once the burst has quiesced.
-func (d *daemon) onRouteChanges(changes []routeserver.BestChange) {
-	fast, err := d.ctrl.HandleRouteChanges(changes)
+// Prefix-keyed (not per-receiver BestChange): the frontend skips the
+// O(participants) change diff on every update this way.
+func (d *daemon) onRoutePrefixes(prefixes []netip.Prefix) {
+	fast, err := d.ctrl.FastReact(prefixes)
 	if err != nil {
 		log.Printf("fast path: %v", err)
 		return

@@ -145,17 +145,17 @@ func main() {
 
 func mbps(bytes uint64) float64 { return float64(bytes) * 8 / 1e6 }
 
-func advertise(rs *sdx.RouteServer, id sdx.ID, as uint16, router string, prefix netip.Prefix, pathLen int) {
-	asns := make([]uint16, pathLen)
+func advertise(rs *sdx.RouteServer, id sdx.ID, as uint32, router string, prefix netip.Prefix, pathLen int) {
+	asns := make([]uint32, pathLen)
 	for i := range asns {
-		asns[i] = as + uint16(i)
+		asns[i] = as + uint32(i)
 	}
 	if _, err := rs.Advertise(id, sdx.BGPRoute{
 		Prefix: prefix,
-		Attrs: sdx.PathAttrs{
+		Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 			NextHop: netip.MustParseAddr(router),
 			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: asns}},
-		},
+		}),
 		PeerAS: as,
 		PeerID: netip.MustParseAddr(router),
 	}); err != nil {

@@ -49,10 +49,10 @@ func main() {
 	bPrefix := netip.MustParsePrefix("203.0.0.0/8")
 	if _, err := rs.Advertise("B", sdx.BGPRoute{
 		Prefix: bPrefix,
-		Attrs: sdx.PathAttrs{
+		Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 			NextHop: netip.MustParseAddr("172.31.0.2"),
-			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: []uint16{65002}}},
-		},
+			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: []uint32{65002}}},
+		}),
 		PeerAS: 65002,
 		PeerID: netip.MustParseAddr("172.31.0.2"),
 	}); err != nil {

@@ -47,11 +47,11 @@ func main() {
 	}
 
 	// B carries routes for several origins; 43515 is YouTube's AS.
-	advertise(rs, "B", "172.31.0.2", "208.65.152.0/22", []uint16{65002, 3356, 43515})
-	advertise(rs, "B", "172.31.0.2", "208.117.224.0/19", []uint16{65002, 43515})
-	advertise(rs, "B", "172.31.0.2", "151.101.0.0/16", []uint16{65002, 54113}) // Fastly: not matched
+	advertise(rs, "B", "172.31.0.2", "208.65.152.0/22", []uint32{65002, 3356, 43515})
+	advertise(rs, "B", "172.31.0.2", "208.117.224.0/19", []uint32{65002, 43515})
+	advertise(rs, "B", "172.31.0.2", "151.101.0.0/16", []uint32{65002, 54113}) // Fastly: not matched
 	// A announces its own eyeball prefix so return traffic has somewhere to go.
-	advertise(rs, "A", "172.31.0.1", "198.51.0.0/16", []uint16{65001})
+	advertise(rs, "A", "172.31.0.1", "198.51.0.0/16", []uint32{65001})
 
 	// The paper's RIB filter: prefixes whose AS path ends in 43515.
 	ytPrefixes, err := rs.FilterASPath(`(^|.* )43515$`)
@@ -128,13 +128,13 @@ func portName(p uint16) string {
 	return "?"
 }
 
-func advertise(rs *sdx.RouteServer, id sdx.ID, router, prefix string, asns []uint16) {
+func advertise(rs *sdx.RouteServer, id sdx.ID, router, prefix string, asns []uint32) {
 	if _, err := rs.Advertise(id, sdx.BGPRoute{
 		Prefix: netip.MustParsePrefix(prefix),
-		Attrs: sdx.PathAttrs{
+		Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 			NextHop: netip.MustParseAddr(router),
 			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: asns}},
-		},
+		}),
 		PeerAS: asns[0],
 		PeerID: netip.MustParseAddr(router),
 	}); err != nil {

@@ -43,20 +43,20 @@ func main() {
 	content := netip.MustParsePrefix("93.184.0.0/16")
 	for _, adv := range []struct {
 		id      sdx.ID
-		as      uint16
+		as      uint32
 		router  string
 		pathLen int
 	}{{"B", 65002, "172.31.0.2", 2}, {"C", 65003, "172.31.0.3", 1}} {
-		asns := make([]uint16, adv.pathLen)
+		asns := make([]uint32, adv.pathLen)
 		for i := range asns {
 			asns[i] = adv.as
 		}
 		if _, err := rs.Advertise(adv.id, sdx.BGPRoute{
 			Prefix: content,
-			Attrs: sdx.PathAttrs{
+			Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 				NextHop: netip.MustParseAddr(adv.router),
 				ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: asns}},
-			},
+			}),
 			PeerAS: adv.as,
 			PeerID: netip.MustParseAddr(adv.router),
 		}); err != nil {

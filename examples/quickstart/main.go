@@ -107,17 +107,17 @@ func main() {
 	fmt.Println("BGP's default — C, the shorter AS path — exactly as §3.1 describes.")
 }
 
-func advertise(rs *sdx.RouteServer, id sdx.ID, as uint16, router string, prefix netip.Prefix, pathLen int) {
-	asns := make([]uint16, pathLen)
+func advertise(rs *sdx.RouteServer, id sdx.ID, as uint32, router string, prefix netip.Prefix, pathLen int) {
+	asns := make([]uint32, pathLen)
 	for i := range asns {
-		asns[i] = as + uint16(i)
+		asns[i] = as + uint32(i)
 	}
 	_, err := rs.Advertise(id, sdx.BGPRoute{
 		Prefix: prefix,
-		Attrs: sdx.PathAttrs{
+		Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 			NextHop: netip.MustParseAddr(router),
 			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: asns}},
-		},
+		}),
 		PeerAS: as,
 		PeerID: netip.MustParseAddr(router),
 	})

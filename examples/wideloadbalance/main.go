@@ -53,10 +53,10 @@ func main() {
 	// provides the actual connectivity toward the instances' network.
 	if _, err := rs.Advertise("AWS", sdx.BGPRoute{
 		Prefix: anycast,
-		Attrs: sdx.PathAttrs{
+		Attrs: sdx.InternPathAttrs(sdx.PathAttrs{
 			NextHop: netip.MustParseAddr("172.31.0.99"),
-			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: []uint16{65100}}},
-		},
+			ASPath:  []sdx.ASPathSegment{{Type: 2, ASNs: []uint32{65100}}},
+		}),
 		PeerAS: 65100,
 	}); err != nil {
 		log.Fatal(err)

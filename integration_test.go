@@ -164,7 +164,7 @@ func TestLiveExchange(t *testing.T) {
 		mu      sync.Mutex
 		routes  map[netip.Prefix]bgp.PathAttrs
 	}
-	dial := func(as uint16, id netip.Addr) *client {
+	dial := func(as uint32, id netip.Addr) *client {
 		c := &client{routes: make(map[netip.Prefix]bgp.PathAttrs)}
 		c.speaker = bgp.NewSpeaker(bgp.SessionConfig{LocalAS: as, LocalID: id})
 		c.speaker.OnUpdate = func(_ *bgp.Peer, u *bgp.Update) {
@@ -200,16 +200,16 @@ func TestLiveExchange(t *testing.T) {
 		t.Fatalf("route server has %d sessions, want 3", got)
 	}
 
-	announce := func(cl *client, as uint16, nh netip.Addr, pathLen int) {
-		asns := make([]uint16, pathLen)
+	announce := func(cl *client, as uint32, nh netip.Addr, pathLen int) {
+		asns := make([]uint32, pathLen)
 		for i := range asns {
 			asns[i] = as
 		}
 		if err := cl.peer.Send(&bgp.Update{
-			Attrs: bgp.PathAttrs{
+			Attrs: *bgp.Intern(bgp.PathAttrs{
 				NextHop: nh,
 				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-			},
+			}),
 			NLRI: []netip.Prefix{prefix},
 		}); err != nil {
 			t.Fatal(err)

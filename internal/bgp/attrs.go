@@ -31,10 +31,26 @@ const (
 	ASSequence uint8 = 2
 )
 
-// ASPathSegment is one segment of an AS_PATH attribute.
+// ASTrans is the reserved 2-octet AS number (RFC 6793) substituted on the
+// wire for any ASN that does not fit the 2-octet AS_PATH and OPEN encodings.
+// Internally ASNs are uint32 throughout; AS_TRANS appears only at the codec
+// boundary.
+const ASTrans uint32 = 23456
+
+// wireAS maps an internal 4-octet ASN to its 2-octet wire representation.
+func wireAS(as uint32) uint16 {
+	if as > 0xffff {
+		return uint16(ASTrans)
+	}
+	return uint16(as)
+}
+
+// ASPathSegment is one segment of an AS_PATH attribute. ASNs are 4-octet
+// (RFC 6793); values above 65535 are emitted as AS_TRANS in the 2-octet
+// wire encoding.
 type ASPathSegment struct {
 	Type uint8
-	ASNs []uint16
+	ASNs []uint32
 }
 
 // PathAttrs is the decoded attribute set of an UPDATE. HasMED/HasLocalPref
@@ -65,8 +81,8 @@ func (a PathAttrs) ASPathLength() int {
 }
 
 // FlatASPath returns the concatenated ASNs of all segments, first hop first.
-func (a PathAttrs) FlatASPath() []uint16 {
-	var out []uint16
+func (a PathAttrs) FlatASPath() []uint32 {
+	var out []uint32
 	for _, seg := range a.ASPath {
 		out = append(out, seg.ASNs...)
 	}
@@ -79,7 +95,7 @@ func (a PathAttrs) ASPathString() string {
 	asns := a.FlatASPath()
 	parts := make([]string, len(asns))
 	for i, as := range asns {
-		parts[i] = strconv.Itoa(int(as))
+		parts[i] = strconv.FormatUint(uint64(as), 10)
 	}
 	return strings.Join(parts, " ")
 }
@@ -90,7 +106,7 @@ func (a PathAttrs) ASPathString() string {
 // element does not identify the neighbor, and MED comparability (RFC 4271
 // §9.1.2.2(c) applies MED only between routes from the same neighboring AS)
 // must not be inferred from it.
-func (a PathAttrs) FirstAS() uint16 {
+func (a PathAttrs) FirstAS() uint32 {
 	for _, seg := range a.ASPath {
 		if seg.Type == ASSequence && len(seg.ASNs) > 0 {
 			return seg.ASNs[0]
@@ -100,7 +116,7 @@ func (a PathAttrs) FirstAS() uint16 {
 }
 
 // OriginAS returns the originating AS (rightmost ASN), or 0 for an empty path.
-func (a PathAttrs) OriginAS() uint16 {
+func (a PathAttrs) OriginAS() uint32 {
 	for i := len(a.ASPath) - 1; i >= 0; i-- {
 		if n := len(a.ASPath[i].ASNs); n > 0 {
 			return a.ASPath[i].ASNs[n-1]
@@ -111,13 +127,13 @@ func (a PathAttrs) OriginAS() uint16 {
 
 // PrependAS returns a copy of the attributes with as prepended to the AS
 // path, as a router does when propagating a route to an eBGP neighbor.
-func (a PathAttrs) PrependAS(as uint16) PathAttrs {
+func (a PathAttrs) PrependAS(as uint32) PathAttrs {
 	out := a
 	if len(a.ASPath) > 0 && a.ASPath[0].Type == ASSequence && len(a.ASPath[0].ASNs) < 255 {
-		seg := ASPathSegment{Type: ASSequence, ASNs: append([]uint16{as}, a.ASPath[0].ASNs...)}
+		seg := ASPathSegment{Type: ASSequence, ASNs: append([]uint32{as}, a.ASPath[0].ASNs...)}
 		out.ASPath = append([]ASPathSegment{seg}, a.ASPath[1:]...)
 	} else {
-		out.ASPath = append([]ASPathSegment{{Type: ASSequence, ASNs: []uint16{as}}}, a.ASPath...)
+		out.ASPath = append([]ASPathSegment{{Type: ASSequence, ASNs: []uint32{as}}}, a.ASPath...)
 	}
 	return out
 }
@@ -161,7 +177,7 @@ func (a PathAttrs) marshal(b []byte) ([]byte, error) {
 		}
 		path = append(path, seg.Type, byte(len(seg.ASNs)))
 		for _, as := range seg.ASNs {
-			path = binary.BigEndian.AppendUint16(path, as)
+			path = binary.BigEndian.AppendUint16(path, wireAS(as))
 		}
 	}
 	b = appendAttr(b, flagTransitive, attrASPath, path)
@@ -228,9 +244,9 @@ func parsePathAttrs(b []byte) (PathAttrs, error) {
 				if len(val) < 2+2*n {
 					return a, fmt.Errorf("bgp: AS_PATH segment truncated")
 				}
-				seg := ASPathSegment{Type: segType, ASNs: make([]uint16, n)}
+				seg := ASPathSegment{Type: segType, ASNs: make([]uint32, n)}
 				for i := 0; i < n; i++ {
-					seg.ASNs[i] = binary.BigEndian.Uint16(val[2+2*i : 4+2*i])
+					seg.ASNs[i] = uint32(binary.BigEndian.Uint16(val[2+2*i : 4+2*i]))
 				}
 				a.ASPath = append(a.ASPath, seg)
 				val = val[2+2*n:]

@@ -10,20 +10,20 @@ func TestFirstASSkipsASSet(t *testing.T) {
 	cases := []struct {
 		name string
 		path []ASPathSegment
-		want uint16
+		want uint32
 	}{
 		{"empty", nil, 0},
-		{"sequence", []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65002, 65003}}}, 65002},
-		{"set only", []ASPathSegment{{Type: ASSet, ASNs: []uint16{65004, 65005}}}, 0},
+		{"sequence", []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65002, 65003}}}, 65002},
+		{"set only", []ASPathSegment{{Type: ASSet, ASNs: []uint32{65004, 65005}}}, 0},
 		{"set then sequence",
 			[]ASPathSegment{
-				{Type: ASSet, ASNs: []uint16{65004, 65005}},
-				{Type: ASSequence, ASNs: []uint16{65002, 65003}},
+				{Type: ASSet, ASNs: []uint32{65004, 65005}},
+				{Type: ASSequence, ASNs: []uint32{65002, 65003}},
 			}, 65002},
 		{"empty sequence then sequence",
 			[]ASPathSegment{
 				{Type: ASSequence},
-				{Type: ASSequence, ASNs: []uint16{65007}},
+				{Type: ASSequence, ASNs: []uint32{65007}},
 			}, 65007},
 	}
 	for _, c := range cases {
@@ -38,16 +38,16 @@ func TestFirstASSkipsASSet(t *testing.T) {
 // AS, where "neighboring AS" is the first AS_SEQUENCE ASN — an AS_SET
 // aggregate identifies no neighbor, so its MED must be ignored.
 func TestMEDComparability(t *testing.T) {
-	seq := func(asns ...uint16) []ASPathSegment {
+	seq := func(asns ...uint32) []ASPathSegment {
 		return []ASPathSegment{{Type: ASSequence, ASNs: asns}}
 	}
-	setThenSeq := func(set []uint16, seq []uint16) []ASPathSegment {
+	setThenSeq := func(set []uint32, seq []uint32) []ASPathSegment {
 		return []ASPathSegment{{Type: ASSet, ASNs: set}, {Type: ASSequence, ASNs: seq}}
 	}
 	mk := func(path []ASPathSegment, med uint32, peerID string) Route {
 		return Route{
 			Prefix: mp("10.0.0.0/8"),
-			Attrs:  PathAttrs{ASPath: path, MED: med, HasMED: true, NextHop: ma("192.0.2.1")},
+			Attrs:  Intern(PathAttrs{ASPath: path, MED: med, HasMED: true, NextHop: ma("192.0.2.1")}),
 			PeerAS: 65001,
 			PeerID: ma(peerID),
 		}
@@ -73,16 +73,16 @@ func TestMEDComparability(t *testing.T) {
 		},
 		{
 			name:      "AS_SET-leading on both: no neighbor, MED ignored, peer ID decides",
-			a:         mk(setThenSeq([]uint16{65002, 65003}, nil), 99, "10.0.0.1"),
-			b:         mk(setThenSeq([]uint16{65004, 65005}, nil), 1, "10.0.0.9"),
+			a:         mk(setThenSeq([]uint32{65002, 65003}, nil), 99, "10.0.0.1"),
+			b:         mk(setThenSeq([]uint32{65004, 65005}, nil), 1, "10.0.0.9"),
 			wantABest: true, wantReason: "peer ID",
 		},
 		{
 			name: "AS_SET before the same sequence: neighbor visible through the set",
 			// FirstAS skips the leading AS_SET, so both identify 65002 and
 			// MED applies.
-			a:         mk(setThenSeq([]uint16{65009}, []uint16{65002}), 5, "10.0.0.9"),
-			b:         mk(setThenSeq([]uint16{65008}, []uint16{65002}), 6, "10.0.0.1"),
+			a:         mk(setThenSeq([]uint32{65009}, []uint32{65002}), 5, "10.0.0.9"),
+			b:         mk(setThenSeq([]uint32{65008}, []uint32{65002}), 6, "10.0.0.1"),
 			wantABest: true, wantReason: "MED through AS_SET",
 		},
 	}
@@ -105,11 +105,11 @@ func TestSelectBestOrderIndependent(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		routes = append(routes, Route{
 			Prefix: mp("10.0.0.0/8"),
-			Attrs: PathAttrs{
-				ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(65010 + i%3)}}},
+			Attrs: Intern(PathAttrs{
+				ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{uint32(65010 + i%3)}}},
 				NextHop: netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}),
-			},
-			PeerAS: uint16(65010 + i%3),
+			}),
+			PeerAS: uint32(65010 + i%3),
 			// Zero PeerID for all: the PeerAS and NextHop tie-breaks must
 			// carry the full weight of determinism.
 		})

@@ -1,0 +1,126 @@
+package bgp
+
+import (
+	"sync"
+)
+
+// Path-attribute interning (flyweight). A full default-free-zone table of a
+// million routes shares a few thousand distinct attribute sets: AS paths,
+// MEDs, and community lists repeat massively across prefixes learned from
+// the same peer. Interning hash-conses each distinct PathAttrs value into a
+// single canonical *PathAttrs, so a candidate route carries one pointer
+// instead of an inlined ~100-byte struct with three backing slices, and
+// equality on the hot RIB.Set path is a pointer compare.
+//
+// Interned values are immutable: every path that derives new attributes
+// (PrependAS, WithNextHop, the wire decoder) operates on value copies and
+// re-interns the result. The table is append-only and refcount-free — the
+// distinct-combination count is bounded by what routers actually emit, so
+// entries are simply kept for the life of the process.
+
+// internShards splits the table to keep lock contention off the session
+// goroutines; sharding by hash means two sessions interning different
+// combos rarely collide.
+const internShards = 64
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*PathAttrs
+}
+
+var internTable [internShards]internShard
+
+// Intern returns the canonical pointer for the given attribute value:
+// semantically equal inputs always yield the same pointer. The stored copy
+// has its slices cloned, so later mutation of the argument's backing arrays
+// cannot corrupt the table.
+func Intern(a PathAttrs) *PathAttrs {
+	// Canonicalize: empty slices and nil compare equal under attrsEqual, so
+	// they must hash equal and land on one representative.
+	if len(a.ASPath) == 0 {
+		a.ASPath = nil
+	}
+	if len(a.Communities) == 0 {
+		a.Communities = nil
+	}
+	h := a.hash()
+	sh := &internTable[h%internShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, cand := range sh.m[h] {
+		if attrsEqual(*cand, a) {
+			return cand
+		}
+	}
+	// First sighting: store a deep copy so the interned value is immune to
+	// caller-side slice mutation.
+	cp := a
+	if a.ASPath != nil {
+		cp.ASPath = make([]ASPathSegment, len(a.ASPath))
+		for i, seg := range a.ASPath {
+			cp.ASPath[i] = ASPathSegment{Type: seg.Type, ASNs: append([]uint32(nil), seg.ASNs...)}
+		}
+	}
+	if a.Communities != nil {
+		cp.Communities = append([]uint32(nil), a.Communities...)
+	}
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*PathAttrs)
+	}
+	p := &cp
+	sh.m[h] = append(sh.m[h], p)
+	return p
+}
+
+// InternedAttrs returns the number of distinct attribute sets interned so
+// far — a direct measure of attribute reuse in the loaded table.
+func InternedAttrs() int {
+	n := 0
+	for i := range internTable {
+		sh := &internTable[i]
+		sh.mu.Lock()
+		for _, bucket := range sh.m {
+			n += len(bucket)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// hash is FNV-1a over every field that participates in attrsEqual.
+func (a PathAttrs) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(a.Origin))
+	if a.NextHop.IsValid() {
+		b := a.NextHop.As16()
+		for _, x := range b {
+			h = (h ^ uint64(x)) * prime64
+		}
+	}
+	if a.HasMED {
+		mix(uint64(a.MED) | 1<<32)
+	}
+	if a.HasLocalPref {
+		mix(uint64(a.LocalPref) | 1<<33)
+	}
+	for _, seg := range a.ASPath {
+		mix(uint64(seg.Type) | 1<<34)
+		for _, as := range seg.ASNs {
+			mix(uint64(as))
+		}
+	}
+	for _, c := range a.Communities {
+		mix(uint64(c) | 1<<35)
+	}
+	return h
+}

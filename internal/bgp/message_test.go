@@ -57,8 +57,8 @@ func fullAttrs() PathAttrs {
 	return PathAttrs{
 		Origin: OriginIGP,
 		ASPath: []ASPathSegment{
-			{Type: ASSequence, ASNs: []uint16{65001, 65002}},
-			{Type: ASSet, ASNs: []uint16{65100, 65101}},
+			{Type: ASSequence, ASNs: []uint32{65001, 65002}},
+			{Type: ASSet, ASNs: []uint32{65100, 65101}},
 		},
 		NextHop:      ma("192.0.2.1"),
 		MED:          50,
@@ -102,8 +102,8 @@ func TestNLRIPrefixLengths(t *testing.T) {
 		mp("10.128.0.0/9"), mp("192.168.0.0/16"), mp("192.168.128.0/17"),
 		mp("203.0.113.0/24"), mp("203.0.113.128/25"), mp("203.0.113.7/32"),
 	}
-	in := &Update{Attrs: PathAttrs{NextHop: ma("1.1.1.1"),
-		ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{1}}}}, NLRI: ps}
+	in := &Update{Attrs: *Intern(PathAttrs{NextHop: ma("1.1.1.1"),
+		ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint32{1}}}}), NLRI: ps}
 	got := roundTrip(t, in).(*Update)
 	if len(got.NLRI) != len(ps) {
 		t.Fatalf("NLRI count = %d, want %d", len(got.NLRI), len(ps))
@@ -132,7 +132,7 @@ func TestUpdateRandomRoundTrip(t *testing.T) {
 		attrs := PathAttrs{
 			Origin:  uint8(rng.Intn(3)),
 			NextHop: netip.AddrFrom4([4]byte{byte(rng.Intn(256)), 1, 2, 3}),
-			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(rng.Intn(65535) + 1)}}},
+			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{uint32(rng.Intn(65535) + 1)}}},
 		}
 		if rng.Intn(2) == 0 {
 			attrs.MED, attrs.HasMED = rng.Uint32(), true
@@ -188,7 +188,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodeBadNLRI(t *testing.T) {
-	u := &Update{Attrs: PathAttrs{NextHop: ma("1.1.1.1")}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}}
+	u := &Update{Attrs: *Intern(PathAttrs{NextHop: ma("1.1.1.1")}), NLRI: []netip.Prefix{mp("10.0.0.0/8")}}
 	b, _ := Marshal(u)
 	b[len(b)-2] = 60 // prefix length 60 > 32
 	if _, err := Decode(b); err == nil {
@@ -198,7 +198,7 @@ func TestDecodeBadNLRI(t *testing.T) {
 
 func TestMarshalRejectsIPv6(t *testing.T) {
 	u := &Update{
-		Attrs: PathAttrs{NextHop: ma("1.1.1.1")},
+		Attrs: *Intern(PathAttrs{NextHop: ma("1.1.1.1")}),
 		NLRI:  []netip.Prefix{netip.MustParsePrefix("2001:db8::/32")},
 	}
 	if _, err := Marshal(u); err == nil {
@@ -258,13 +258,13 @@ func TestAttrHelpers(t *testing.T) {
 }
 
 func TestPrependASIntoExistingSegment(t *testing.T) {
-	a := PathAttrs{ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{2, 3}}}}
+	a := PathAttrs{ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint32{2, 3}}}}
 	b := a.PrependAS(1)
 	if len(b.ASPath) != 1 || len(b.ASPath[0].ASNs) != 3 || b.ASPath[0].ASNs[0] != 1 {
 		t.Errorf("PrependAS = %+v", b.ASPath)
 	}
 	// Prepending before an AS_SET starts a new segment.
-	s := PathAttrs{ASPath: []ASPathSegment{{Type: ASSet, ASNs: []uint16{5}}}}
+	s := PathAttrs{ASPath: []ASPathSegment{{Type: ASSet, ASNs: []uint32{5}}}}
 	b2 := s.PrependAS(1)
 	if len(b2.ASPath) != 2 || b2.ASPath[0].Type != ASSequence {
 		t.Errorf("PrependAS before set = %+v", b2.ASPath)

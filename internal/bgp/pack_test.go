@@ -10,7 +10,7 @@ import (
 func attrsFor(rank int) PathAttrs {
 	return PathAttrs{
 		Origin:  OriginIGP,
-		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{uint16(65001 + rank)}}},
+		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{uint32(65001 + rank)}}},
 		NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(rank + 1)}),
 	}
 }
@@ -85,7 +85,7 @@ func TestPackUpdatesOneAttrSetPerMessage(t *testing.T) {
 		t.Fatalf("got %d messages, want 2", len(msgs))
 	}
 	_, adv := unpack(t, msgs)
-	for p, want := range map[netip.Prefix]uint16{
+	for p, want := range map[netip.Prefix]uint32{
 		mp("10.0.0.0/8"): 65001, mp("20.0.0.0/8"): 65002, mp("30.0.0.0/8"): 65001,
 	} {
 		if got := adv[p].FirstAS(); got != want {

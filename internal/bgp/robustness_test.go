@@ -12,15 +12,15 @@ func validUpdateWire(t testing.TB) []byte {
 	t.Helper()
 	msg, err := Marshal(&Update{
 		Withdrawn: []netip.Prefix{mp("198.51.100.0/24")},
-		Attrs: PathAttrs{
+		Attrs: *Intern(PathAttrs{
 			NextHop:      ma("192.0.2.1"),
-			ASPath:       []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65001, 65002}}},
+			ASPath:       []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65001, 65002}}},
 			LocalPref:    200,
 			HasLocalPref: true,
 			MED:          5,
 			HasMED:       true,
 			Communities:  []uint32{1, 2, 3},
-		},
+		}),
 		NLRI: []netip.Prefix{mp("10.0.0.0/8"), mp("172.16.0.0/12")},
 	})
 	if err != nil {

@@ -9,19 +9,39 @@ import (
 
 // Route is one path to a prefix as learned from a specific peer: the unit
 // the decision process ranks and the route server hands to the SDX policy
-// compiler.
+// compiler. Attrs points at an interned attribute set (see Intern): routes
+// sharing a combo share one canonical *PathAttrs, which is what keeps a
+// full-table RIB at ~2 words of attribute state per route and makes
+// same-attrs detection a pointer compare.
 type Route struct {
 	Prefix netip.Prefix
-	Attrs  PathAttrs
+	Attrs  *PathAttrs
 	// PeerAS and PeerID identify the session the route was learned on;
 	// PeerID breaks final ties exactly as RFC 4271 §9.1.2.2(f) prescribes.
-	PeerAS uint16
+	// PeerAS is a 4-octet ASN (RFC 6793).
+	PeerAS uint32
 	PeerID netip.Addr
 }
 
+// zeroAttrs stands in for a nil Attrs pointer so zero-value Routes stay
+// comparable without nil checks at every field access.
+var zeroAttrs PathAttrs
+
+// attrs returns the route's attribute set, treating nil as empty.
+func (r Route) attrs() *PathAttrs {
+	if r.Attrs == nil {
+		return &zeroAttrs
+	}
+	return r.Attrs
+}
+
+// NextHop returns the route's NEXT_HOP attribute, nil-safe.
+func (r Route) NextHop() netip.Addr { return r.attrs().NextHop }
+
 func (r Route) String() string {
-	return fmt.Sprintf("%v via %v as-path [%s] from AS%d", r.Prefix, r.Attrs.NextHop,
-		r.Attrs.ASPathString(), r.PeerAS)
+	a := r.attrs()
+	return fmt.Sprintf("%v via %v as-path [%s] from AS%d", r.Prefix, a.NextHop,
+		a.ASPathString(), r.PeerAS)
 }
 
 // Better reports whether r is preferred over o by the BGP decision process:
@@ -31,33 +51,34 @@ func (r Route) String() string {
 // (routes the SDX originates on behalf of remote participants) — lowest
 // peer AS, then lowest next hop. Both routes must be for the same prefix.
 func (r Route) Better(o Route) bool {
-	lp := func(rt Route) uint32 {
-		if rt.Attrs.HasLocalPref {
-			return rt.Attrs.LocalPref
+	ra, oa := r.attrs(), o.attrs()
+	lp := func(a *PathAttrs) uint32 {
+		if a.HasLocalPref {
+			return a.LocalPref
 		}
 		return 100 // RFC 4271 default
 	}
-	if a, b := lp(r), lp(o); a != b {
+	if a, b := lp(ra), lp(oa); a != b {
 		return a > b
 	}
-	if a, b := r.Attrs.ASPathLength(), o.Attrs.ASPathLength(); a != b {
+	if a, b := ra.ASPathLength(), oa.ASPathLength(); a != b {
 		return a < b
 	}
-	if r.Attrs.Origin != o.Attrs.Origin {
-		return r.Attrs.Origin < o.Attrs.Origin
+	if ra.Origin != oa.Origin {
+		return ra.Origin < oa.Origin
 	}
 	// MED is comparable only between routes learned from the same
 	// neighboring AS (RFC 4271 §9.1.2.2(c)). FirstAS is 0 for paths with
 	// no AS_SEQUENCE (empty or AS_SET-leading); such routes identify no
 	// neighbor, so their MEDs must not be compared.
-	if fa := r.Attrs.FirstAS(); fa != 0 && fa == o.Attrs.FirstAS() {
-		med := func(rt Route) uint32 {
-			if rt.Attrs.HasMED {
-				return rt.Attrs.MED
+	if fa := ra.FirstAS(); fa != 0 && fa == oa.FirstAS() {
+		med := func(a *PathAttrs) uint32 {
+			if a.HasMED {
+				return a.MED
 			}
 			return 0
 		}
-		if a, b := med(r), med(o); a != b {
+		if a, b := med(ra), med(oa); a != b {
 			return a < b
 		}
 	}
@@ -67,7 +88,7 @@ func (r Route) Better(o Route) bool {
 	if r.PeerAS != o.PeerAS {
 		return r.PeerAS < o.PeerAS
 	}
-	return r.Attrs.NextHop.Less(o.Attrs.NextHop)
+	return ra.NextHop.Less(oa.NextHop)
 }
 
 // SelectBest returns the most preferred route of rs, or false when rs is
@@ -91,8 +112,9 @@ func SelectBest(rs []Route) (Route, bool) {
 // a BGP session implicitly replaces earlier advertisements. RIB is safe for
 // concurrent use: session goroutines write while the controller reads.
 type RIB struct {
-	mu     sync.RWMutex
-	routes map[netip.Prefix]Route
+	mu      sync.RWMutex
+	routes  map[netip.Prefix]Route
+	version uint64
 }
 
 // NewRIB returns an empty RIB.
@@ -101,7 +123,8 @@ func NewRIB() *RIB {
 }
 
 // Set installs or replaces the route for its prefix and reports whether the
-// entry changed.
+// entry changed. With interned attributes the unchanged-re-advertisement
+// case (the bulk of BGP refresh traffic) is detected by pointer compare.
 func (t *RIB) Set(r Route) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -111,6 +134,7 @@ func (t *RIB) Set(r Route) bool {
 		return false
 	}
 	t.routes[r.Prefix] = r
+	t.version++
 	return true
 }
 
@@ -123,7 +147,17 @@ func (t *RIB) Remove(p netip.Prefix) bool {
 		return false
 	}
 	delete(t.routes, p)
+	t.version++
 	return true
+}
+
+// Version returns a counter that advances on every effective mutation, so
+// callers caching derived views (the route server's reachability sets) can
+// detect staleness without diffing contents.
+func (t *RIB) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // Get returns the route for prefix.
@@ -166,32 +200,52 @@ func (t *RIB) Walk(fn func(Route) bool) {
 // FilterASPath returns the prefixes whose AS path (rendered as
 // space-separated ASNs) matches the regular expression — the paper's
 // RIB.filter('as_path', ".*43515$") idiom for grouping traffic by BGP
-// attributes.
+// attributes. The routes are snapshotted under the read lock and matched
+// outside it: a full-table regexp scan must not stall session writers.
 func (t *RIB) FilterASPath(expr string) ([]netip.Prefix, error) {
 	re, err := regexp.Compile(expr)
 	if err != nil {
 		return nil, fmt.Errorf("bgp: bad as-path filter: %w", err)
 	}
+	type cand struct {
+		prefix netip.Prefix
+		attrs  *PathAttrs
+	}
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []netip.Prefix
+	snap := make([]cand, 0, len(t.routes))
 	for p, r := range t.routes {
-		if re.MatchString(r.Attrs.ASPathString()) {
-			out = append(out, p)
+		snap = append(snap, cand{p, r.attrs()})
+	}
+	t.mu.RUnlock()
+	var out []netip.Prefix
+	for _, c := range snap {
+		// Interned attribute sets are immutable, so matching outside the
+		// lock reads stable data.
+		if re.MatchString(c.attrs.ASPathString()) {
+			out = append(out, c.prefix)
 		}
 	}
 	return out, nil
 }
 
 // FilterCommunity returns the prefixes carrying the given community value.
+// Like FilterASPath, the scan snapshots under the lock and matches outside.
 func (t *RIB) FilterCommunity(c uint32) []netip.Prefix {
+	type cand struct {
+		prefix netip.Prefix
+		attrs  *PathAttrs
+	}
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []netip.Prefix
+	snap := make([]cand, 0, len(t.routes))
 	for p, r := range t.routes {
-		for _, rc := range r.Attrs.Communities {
+		snap = append(snap, cand{p, r.attrs()})
+	}
+	t.mu.RUnlock()
+	var out []netip.Prefix
+	for _, cd := range snap {
+		for _, rc := range cd.attrs.Communities {
 			if rc == c {
-				out = append(out, p)
+				out = append(out, cd.prefix)
 				break
 			}
 		}
@@ -203,11 +257,28 @@ func (t *RIB) FilterCommunity(c uint32) []netip.Prefix {
 // the comparison the RIB uses to suppress no-op updates.
 func (a PathAttrs) Equal(b PathAttrs) bool { return attrsEqual(a, b) }
 
+// AttrsEqual compares two attribute pointers: identical pointers (the
+// interned fast path) short-circuit, nil is treated as empty, and distinct
+// pointers fall back to the structural compare so routes built outside the
+// interning table still compare correctly.
+func AttrsEqual(a, b *PathAttrs) bool {
+	if a == b {
+		return true
+	}
+	if a == nil {
+		a = &zeroAttrs
+	}
+	if b == nil {
+		b = &zeroAttrs
+	}
+	return attrsEqual(*a, *b)
+}
+
 func routesEqual(a, b Route) bool {
 	if a.Prefix != b.Prefix || a.PeerAS != b.PeerAS || a.PeerID != b.PeerID {
 		return false
 	}
-	return attrsEqual(a.Attrs, b.Attrs)
+	return AttrsEqual(a.Attrs, b.Attrs)
 }
 
 func attrsEqual(a, b PathAttrs) bool {

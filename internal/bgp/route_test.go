@@ -6,11 +6,13 @@ import (
 )
 
 func route(prefix string, opts ...func(*Route)) Route {
+	// Build against a private attribute copy — interned sets are shared and
+	// immutable, so the options must not write through an interned pointer.
 	r := Route{
 		Prefix: mp(prefix),
-		Attrs: PathAttrs{
+		Attrs: &PathAttrs{
 			NextHop: ma("192.0.2.1"),
-			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65001}}},
+			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65001}}},
 		},
 		PeerAS: 65001,
 		PeerID: ma("10.0.0.1"),
@@ -18,10 +20,11 @@ func route(prefix string, opts ...func(*Route)) Route {
 	for _, o := range opts {
 		o(&r)
 	}
+	r.Attrs = Intern(*r.Attrs)
 	return r
 }
 
-func withASPath(asns ...uint16) func(*Route) {
+func withASPath(asns ...uint32) func(*Route) {
 	return func(r *Route) {
 		r.Attrs.ASPath = []ASPathSegment{{Type: ASSequence, ASNs: asns}}
 		if len(asns) > 0 {
@@ -123,7 +126,7 @@ func TestRIBSetGetRemove(t *testing.T) {
 		t.Error("identical Set should report no change")
 	}
 	r2 := r
-	r2.Attrs = r.Attrs.WithNextHop(ma("9.9.9.9"))
+	r2.Attrs = Intern(r.Attrs.WithNextHop(ma("9.9.9.9")))
 	if !rib.Set(r2) {
 		t.Error("Set with new attrs should report change")
 	}
@@ -165,8 +168,9 @@ func TestRIBFilterASPath(t *testing.T) {
 
 func TestRIBFilterCommunity(t *testing.T) {
 	rib := NewRIB()
-	withComm := route("10.0.0.0/8")
-	withComm.Attrs.Communities = []uint32{0x00010002}
+	withComm := route("10.0.0.0/8", func(r *Route) {
+		r.Attrs.Communities = []uint32{0x00010002}
+	})
 	rib.Set(withComm)
 	rib.Set(route("20.0.0.0/8"))
 	got := rib.FilterCommunity(0x00010002)

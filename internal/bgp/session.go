@@ -48,17 +48,21 @@ func (s State) String() string {
 // implicitly: a zero HoldTime means a zero hold time on the wire.
 const DefaultHoldTime = 90 * time.Second
 
-// SessionConfig parameterizes one side of a BGP session.
+// SessionConfig parameterizes one side of a BGP session. ASNs are 4-octet
+// internally; values above 65535 appear on the wire as AS_TRANS (the OPEN
+// message's AS field is 2-octet, and this implementation does not negotiate
+// the RFC 6793 four-octet capability).
 type SessionConfig struct {
-	LocalAS uint16
+	LocalAS uint32
 	LocalID netip.Addr
 	// HoldTime is the hold time proposed in our OPEN. Zero disables
 	// keepalives and the hold timer, as RFC 4271 §4.2 permits — liveness
 	// then rests on the transport alone. Callers wanting the conventional
 	// timer must say so explicitly, e.g. with DefaultHoldTime.
 	HoldTime time.Duration
-	// PeerAS, when nonzero, is enforced against the peer's OPEN.
-	PeerAS uint16
+	// PeerAS, when nonzero, is enforced against the peer's OPEN (after
+	// mapping through AS_TRANS, since the OPEN carries only 2 octets).
+	PeerAS uint32
 	// Metrics, when non-nil, receives session FSM and message counts. The
 	// instrument set is shared: every session created from this config
 	// contributes to the same gauges and counters.
@@ -112,8 +116,10 @@ func (s *Session) State() State { return State(s.state.Load()) }
 // PeerOpen returns the peer's OPEN message; valid once Established.
 func (s *Session) PeerOpen() Open { return s.peerOpen }
 
-// PeerAS returns the peer's AS number; valid once Established.
-func (s *Session) PeerAS() uint16 { return s.peerOpen.AS }
+// PeerAS returns the peer's AS number as seen in its OPEN; valid once
+// Established. A peer behind AS_TRANS reports 23456 here — the wire format
+// cannot recover the true 4-octet value.
+func (s *Session) PeerAS() uint32 { return uint32(s.peerOpen.AS) }
 
 // PeerID returns the peer's BGP identifier; valid once Established.
 func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
@@ -126,7 +132,7 @@ func (s *Session) HoldTime() time.Duration { return s.holdTime }
 // confirming KEEPALIVEs, driving the FSM to Established.
 func (s *Session) Handshake() error {
 	holdSecs := uint16(s.cfg.HoldTime / time.Second)
-	open := &Open{AS: s.cfg.LocalAS, HoldTime: holdSecs, BGPID: s.cfg.LocalID}
+	open := &Open{AS: wireAS(s.cfg.LocalAS), HoldTime: holdSecs, BGPID: s.cfg.LocalID}
 	if err := s.send(open); err != nil {
 		s.abort()
 		return fmt.Errorf("bgp: sending OPEN: %w", err)
@@ -143,7 +149,7 @@ func (s *Session) Handshake() error {
 		s.notifyAndClose(NotifFSMError, 0)
 		return fmt.Errorf("bgp: expected OPEN, got %v", msg.Type())
 	}
-	if s.cfg.PeerAS != 0 && peerOpen.AS != s.cfg.PeerAS {
+	if s.cfg.PeerAS != 0 && peerOpen.AS != wireAS(s.cfg.PeerAS) {
 		s.notifyAndClose(NotifOpenMessageError, 2 /* bad peer AS */)
 		return fmt.Errorf("bgp: peer AS %d, want %d", peerOpen.AS, s.cfg.PeerAS)
 	}

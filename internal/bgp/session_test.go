@@ -139,10 +139,10 @@ func TestSessionUpdateExchange(t *testing.T) {
 	go sa.Run(func(u *Update) {})
 
 	u := &Update{
-		Attrs: PathAttrs{
+		Attrs: *Intern(PathAttrs{
 			NextHop: ma("192.0.2.1"),
-			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65001}}},
-		},
+			ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65001}}},
+		}),
 		NLRI: []netip.Prefix{mp("10.0.0.0/8"), mp("20.0.0.0/8")},
 	}
 	if err := sa.Send(u); err != nil {
@@ -245,8 +245,8 @@ func TestSpeakerListenDial(t *testing.T) {
 	}
 
 	u := &Update{
-		Attrs: PathAttrs{NextHop: ma("192.0.2.9"),
-			ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65001}}}},
+		Attrs: *Intern(PathAttrs{NextHop: ma("192.0.2.9"),
+			ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65001}}}}),
 		NLRI: []netip.Prefix{mp("10.0.0.0/8")},
 	}
 	if err := peer.Send(u); err != nil {
@@ -298,7 +298,7 @@ func TestSpeakerBroadcast(t *testing.T) {
 	for i := range clients {
 		got := make(chan *Update, 4)
 		c := NewSpeaker(SessionConfig{
-			LocalAS: uint16(65001 + i),
+			LocalAS: uint32(65001 + i),
 			LocalID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
 		})
 		c.OnUpdate = func(p *Peer, u *Update) { got <- u }
@@ -318,8 +318,8 @@ func TestSpeakerBroadcast(t *testing.T) {
 	}
 
 	u := &Update{
-		Attrs: PathAttrs{NextHop: ma("203.0.113.1"),
-			ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint16{65000}}}},
+		Attrs: *Intern(PathAttrs{NextHop: ma("203.0.113.1"),
+			ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65000}}}}),
 		NLRI: []netip.Prefix{mp("74.125.0.0/16")},
 	}
 	if err := server.Broadcast(u); err != nil {

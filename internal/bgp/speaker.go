@@ -258,10 +258,16 @@ func (s *Speaker) applyUpdate(p *Peer, u *Update) {
 	for _, w := range u.Withdrawn {
 		p.In.Remove(w)
 	}
+	// One UPDATE carries one attribute set for all its NLRI; intern it once
+	// so the routes share a single canonical pointer.
+	var attrs *PathAttrs
+	if len(u.NLRI) > 0 {
+		attrs = Intern(u.Attrs)
+	}
 	for _, nlri := range u.NLRI {
 		p.In.Set(Route{
 			Prefix: nlri,
-			Attrs:  u.Attrs,
+			Attrs:  attrs,
 			PeerAS: p.Session.PeerAS(),
 			PeerID: p.Session.PeerID(),
 		})

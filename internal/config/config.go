@@ -26,7 +26,8 @@ type File struct {
 	// classifier is byte-identical at every setting.
 	Parallelism int `json:"parallelism,omitempty"`
 	// LocalAS and RouterID identify the route server's BGP speaker.
-	LocalAS  uint16 `json:"localAS"`
+	// 4-octet ASNs are accepted (RFC 6793).
+	LocalAS  uint32 `json:"localAS"`
 	RouterID string `json:"routerID"`
 
 	Participants []ParticipantConfig `json:"participants"`
@@ -35,7 +36,7 @@ type File struct {
 // ParticipantConfig declares one AS at the exchange.
 type ParticipantConfig struct {
 	ID    string       `json:"id"`
-	AS    uint16       `json:"as"`
+	AS    uint32       `json:"as"`
 	Ports []PortConfig `json:"ports,omitempty"`
 	// Prefixes the participant is authorized to originate remotely
 	// (the ownership check for announce()).

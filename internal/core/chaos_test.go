@@ -135,10 +135,10 @@ func TestChaosControlPlaneConvergence(t *testing.T) {
 		defer annMu.Unlock()
 		for _, pfx := range announced {
 			p.Send(&bgp.Update{
-				Attrs: bgp.PathAttrs{
+				Attrs: *bgp.Intern(bgp.PathAttrs{
 					NextHop: netip.MustParseAddr("172.31.0.2"),
-					ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65002}}},
-				},
+					ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65002}}},
+				}),
 				NLRI: []netip.Prefix{pfx},
 			})
 		}
@@ -152,10 +152,10 @@ func TestChaosControlPlaneConvergence(t *testing.T) {
 		announced = append(announced, pfx)
 		annMu.Unlock()
 		router.Broadcast(&bgp.Update{
-			Attrs: bgp.PathAttrs{
+			Attrs: *bgp.Intern(bgp.PathAttrs{
 				NextHop: netip.MustParseAddr("172.31.0.2"),
-				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65002}}},
-			},
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65002}}},
+			}),
 			NLRI: []netip.Prefix{pfx},
 		})
 	}

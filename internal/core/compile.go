@@ -25,6 +25,13 @@ type CompileStats struct {
 	// equivalence-class computation and policy composition (Figure 8).
 	VNHTime    time.Duration
 	PolicyTime time.Duration
+	// Incremental reports whether the equivalence-class pass reused the
+	// cached MDS state — re-signing only route-server-journaled prefixes —
+	// rather than rebuilding every signature from scratch.
+	Incremental bool
+	// ResignedPrefixes is how many prefixes that pass re-signed (the whole
+	// universe on a full rebuild).
+	ResignedPrefixes int
 }
 
 // CompileResult is one full compilation of the exchange.
@@ -84,7 +91,9 @@ func (c *Controller) Compile() (*CompileResult, error) {
 		telemetry.Int("fecs", res.Stats.PrefixGroups),
 		telemetry.Int("participants", res.Stats.Participants),
 		telemetry.Int("parallel", res.Stats.Parallel),
-		telemetry.Int("memo_hits", res.Stats.MemoHits))
+		telemetry.Int("memo_hits", res.Stats.MemoHits),
+		telemetry.Bool("incremental", res.Stats.Incremental),
+		telemetry.Int("resigned", res.Stats.ResignedPrefixes))
 	return res, nil
 }
 
@@ -97,12 +106,19 @@ func (p *pipeline) run() (*CompileResult, []*FEC, []netip.Addr, error) {
 	res.Stats.Participants = len(p.parts)
 
 	vnhStart := time.Now()
-	sets := p.collectReachSets()
+	if p.mds == nil {
+		// Pipelines built outside a Controller (tests) get a throwaway
+		// state; the first refresh is then simply a full pass.
+		p.mds = newFECState()
+	}
+	sets, full, resigned := p.mds.refresh(p)
+	res.Stats.Incremental = !full
+	res.Stats.ResignedPrefixes = resigned
 	var fecs []*FEC
 	var fresh []netip.Addr
 	if p.opts.VNHEncoding {
 		var err error
-		fecs, fresh, err = p.computeFECs(sets)
+		fecs, fresh, err = p.computeFECs()
 		if err != nil {
 			return nil, nil, fresh, err
 		}

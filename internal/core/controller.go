@@ -70,6 +70,10 @@ type Controller struct {
 	pool     *netutil.IPPool
 	fecs     *FECTable
 	fastPath *fastPathState
+	// mds caches the incremental MDS inputs (reach sets, universe,
+	// signatures) between background passes; invalidated alongside
+	// fastCache on configuration changes.
+	mds *fecState
 	// fastCache memoizes quick-stage slice compilations by reachability
 	// signature; invalidated by any configuration change and by every
 	// full-compilation commit.
@@ -101,6 +105,7 @@ func NewController(rs *routeserver.Server, opts Options) *Controller {
 		pool:         pool,
 		fecs:         newFECTable(),
 		fastPath:     newFastPathState(),
+		mds:          newFECState(),
 		tracer:       opts.Tracer,
 	}
 	c.metrics = newCoreMetrics(opts.Telemetry, c)
@@ -147,6 +152,7 @@ func (c *Controller) AddParticipant(p Participant) error {
 		c.portOwner[port.Number] = p.ID
 	}
 	c.fastCache.invalidate()
+	c.mds.invalidate()
 	return nil
 }
 
@@ -161,6 +167,7 @@ func (c *Controller) SetPolicies(id ID, inbound, outbound policy.Policy) error {
 	}
 	p.Inbound, p.Outbound = inbound, outbound
 	c.fastCache.invalidate()
+	c.mds.invalidate()
 	return nil
 }
 
@@ -198,7 +205,7 @@ func (c *Controller) NextHopFor(receiver routeserver.ID, prefix netip.Prefix, ro
 	if fec, ok := c.fecs.ByPrefix(prefix); ok {
 		return fec.VNH
 	}
-	return route.Attrs.NextHop
+	return route.NextHop()
 }
 
 // VMACFor returns the virtual MAC tagging prefix's equivalence class, if

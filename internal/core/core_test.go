@@ -28,17 +28,17 @@ var (
 	p5 = netip.MustParsePrefix("15.0.0.0/8")
 )
 
-func routeFrom(as uint16, routerIP string, prefix netip.Prefix, pathLen int) bgp.Route {
-	asns := make([]uint16, pathLen)
+func routeFrom(as uint32, routerIP string, prefix netip.Prefix, pathLen int) bgp.Route {
+	asns := make([]uint32, pathLen)
 	for i := range asns {
-		asns[i] = as + uint16(i)
+		asns[i] = as + uint32(i)
 	}
 	return bgp.Route{
 		Prefix: prefix,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: netip.MustParseAddr(routerIP),
 			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-		},
+		}),
 		PeerAS: as,
 		PeerID: netip.MustParseAddr(routerIP),
 	}
@@ -68,7 +68,7 @@ func figure1(t *testing.T, opts Options) *Controller {
 	add(Participant{ID: "C", AS: 65003, Ports: []Port{
 		{Number: 4, MAC: macC1, RouterIP: netip.MustParseAddr("172.31.0.4")}}})
 
-	adv := func(id ID, as uint16, ip string, prefix netip.Prefix, plen int) {
+	adv := func(id ID, as uint32, ip string, prefix netip.Prefix, plen int) {
 		t.Helper()
 		if _, err := rs.Advertise(id, routeFrom(as, ip, prefix, plen)); err != nil {
 			t.Fatal(err)
@@ -444,10 +444,10 @@ func TestRemoteParticipant(t *testing.T) {
 	anycast := netip.MustParsePrefix("74.125.1.0/24")
 	if _, err := c.RouteServer().Advertise("D", bgp.Route{
 		Prefix: anycast,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: netip.MustParseAddr("172.31.0.99"),
-			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65004}}},
-		},
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65004}}},
+		}),
 		PeerAS: 65004,
 	}); err != nil {
 		t.Fatal(err)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
-	"strings"
 	"sync"
 
 	"sdx/internal/netutil"
@@ -40,6 +39,10 @@ func (f *FEC) DefaultNextHop(receiver ID) (ID, bool) {
 	return "", false
 }
 
+// maxFECID bounds the class-ID space: VMAC embeds the ID in its low 24
+// bits, so IDs past 2^24-1 would alias earlier tags in the data plane.
+const maxFECID = 1<<24 - 1
+
 // FECTable is the controller's current class assignment, replaced wholesale
 // by the background pass and appended to by the fast path.
 type FECTable struct {
@@ -47,6 +50,10 @@ type FECTable struct {
 	byPrefix map[netip.Prefix]*FEC
 	list     []*FEC
 	nextID   uint32
+	// freeIDs holds IDs retired by replace(), sorted ascending so reuse is
+	// deterministic (lowest first). Reclaiming keeps long-lived exchanges
+	// from marching nextID into the 24-bit ceiling.
+	freeIDs []uint32
 }
 
 func newFECTable() *FECTable {
@@ -80,17 +87,40 @@ func (t *FECTable) Len() int {
 	return len(t.list)
 }
 
-func (t *FECTable) allocID() uint32 {
+// allocID hands out the next class ID, reusing retired IDs first and
+// failing once the 24-bit VMAC tag space is exhausted — silently wrapping
+// here would hand two live classes colliding VMACs.
+func (t *FECTable) allocID() (uint32, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if len(t.freeIDs) > 0 {
+		id := t.freeIDs[0]
+		t.freeIDs = t.freeIDs[1:]
+		return id, nil
+	}
+	if t.nextID >= maxFECID {
+		return 0, fmt.Errorf("core: FEC ID space exhausted (%d classes live)", maxFECID)
+	}
 	t.nextID++
-	return t.nextID
+	return t.nextID, nil
 }
 
-// replace installs a fresh class list (the background pass).
+// replace installs a fresh class list (the background pass) and reclaims
+// the IDs of classes not carried over, so the tag space is bounded by the
+// number of live classes rather than the total ever allocated.
 func (t *FECTable) replace(fecs []*FEC) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	kept := make(map[uint32]bool, len(fecs))
+	for _, f := range fecs {
+		kept[f.ID] = true
+	}
+	for _, f := range t.list {
+		if !kept[f.ID] {
+			t.freeIDs = append(t.freeIDs, f.ID)
+		}
+	}
+	sort.Slice(t.freeIDs, func(i, j int) bool { return t.freeIDs[i] < t.freeIDs[j] })
 	t.list = fecs
 	t.byPrefix = make(map[netip.Prefix]*FEC)
 	for _, f := range fecs {
@@ -118,47 +148,6 @@ type reachSet struct {
 	participant ID
 	hop         ID
 	set         *netutil.PrefixSet
-}
-
-// collectReachSets walks every participant's outbound policy for fwd()
-// targets that are virtual ports and resolves each to the corresponding
-// export set from the route server, in deterministic order. Participants
-// are resolved in parallel (the route server is internally synchronized)
-// and merged in registration order.
-func (p *pipeline) collectReachSets() []reachSet {
-	perPart := make([][]reachSet, len(p.parts))
-	fanOut(p.workers, len(p.parts), func(i int) {
-		part := p.parts[i]
-		if part.Outbound == nil {
-			return
-		}
-		targets := map[uint16]bool{}
-		collectFwdTargets(part.Outbound, targets)
-		var hops []ID
-		for loc := range targets {
-			if !IsVirtual(loc) {
-				continue
-			}
-			for id, v := range p.vports {
-				if v == loc {
-					hops = append(hops, id)
-				}
-			}
-		}
-		sort.Slice(hops, func(a, b int) bool { return hops[a] < hops[b] })
-		for _, hop := range hops {
-			perPart[i] = append(perPart[i], reachSet{
-				participant: part.ID,
-				hop:         hop,
-				set:         p.rs.ReachableVia(part.ID, hop),
-			})
-		}
-	})
-	var out []reachSet
-	for _, sets := range perPart {
-		out = append(out, sets...)
-	}
-	return out
 }
 
 // collectFwdTargets accumulates every location assigned by a SetPort mod
@@ -189,112 +178,102 @@ func collectFwdTargets(pol policy.Policy, into map[uint16]bool) {
 	}
 }
 
-// computeFECs runs the three-pass Minimum Disjoint Subset construction of
-// §4.2: prefixes are keyed by (a) their membership across every policy
-// reach set and (b) the advertisers of their best and second-best routes;
-// each distinct key is one equivalence class. The paper's polynomial MDS
-// algorithm reduces to this single bucketing pass. The pass stays
-// sequential on purpose: VNH and class-ID assignment must follow the
-// sorted prefix order exactly for recompilations to be deterministic.
-// Alongside the classes it returns the freshly allocated VNHs (those not
-// carried over from the previous table) so an abandoned compilation can
-// return them to the pool.
-func (p *pipeline) computeFECs(sets []reachSet) ([]*FEC, []netip.Addr, error) {
-	// Universe: prefixes whose default behaviour at least one policy
-	// overrides. Prefixes outside it keep plain route-server handling.
-	universe := netutil.NewPrefixSet()
-	for _, rs := range sets {
-		for _, pfx := range rs.set.Prefixes() {
-			universe.Add(pfx)
-		}
-	}
-	// Prefixes announced by remote participants (no physical ports) have no
-	// router MAC to attract their traffic; they always need a tag so the
-	// fabric can steer them to the announcer's virtual switch — the
-	// wide-area load-balancing shape (§3.2 "originating BGP routes from the
-	// SDX").
-	for _, part := range p.parts {
-		if len(part.Ports) > 0 {
-			continue
-		}
-		for _, prefix := range p.rs.Advertised(part.ID) {
-			universe.Add(prefix)
-		}
-	}
-	prefixes := universe.Prefixes() // sorted
-
-	groups := make(map[string][]netip.Prefix)
-	keys := make([]string, 0)
-	meta := make(map[string][2]ID)
-	var keyBuf strings.Builder
-	for _, pfx := range prefixes {
-		keyBuf.Reset()
-		for _, rs := range sets {
-			if rs.set.Contains(pfx) {
-				keyBuf.WriteByte('1')
-			} else {
-				keyBuf.WriteByte('0')
-			}
-		}
-		first, second := p.rs.BestTwo(pfx)
-		keyBuf.WriteByte('|')
-		keyBuf.WriteString(string(first))
-		keyBuf.WriteByte('|')
-		keyBuf.WriteString(string(second))
-		k := keyBuf.String()
-		if _, seen := groups[k]; !seen {
-			keys = append(keys, k)
-			meta[k] = [2]ID{first, second}
-		}
-		groups[k] = append(groups[k], pfx)
-	}
+// computeFECs materializes the Minimum Disjoint Subset classes of §4.2
+// from the (already refreshed) fecState grouping: each distinct signature
+// — reach-set membership plus best/second-best advertisers — is one
+// equivalence class. The pass stays sequential on purpose: VNH and
+// class-ID assignment must follow the sorted prefix order exactly for
+// recompilations to be deterministic. Alongside the classes it returns
+// the freshly allocated VNHs (those not carried over from the previous
+// table) so an abandoned compilation can return them to the pool.
+func (p *pipeline) computeFECs() ([]*FEC, []netip.Addr, error) {
+	order, groups := p.mds.grouping()
 
 	// Preserve tags across recompilations: a group whose membership and
 	// default next hops are unchanged keeps its VNH and VMAC, so the route
 	// server need not churn BGP advertisements (and routers need not re-ARP)
-	// for prefixes the background pass did not actually move.
-	old := make(map[string]*FEC)
+	// for prefixes the background pass did not actually move. Classes are
+	// bucketed by a hashed identity and verified by exact prefix compare, so
+	// a hash collision can at worst miss a reuse, never alias two classes.
+	old := make(map[fecIdentKey][]*FEC)
 	for _, f := range p.fecs.All() {
 		fc := f
-		old[fecIdentity(&fc)] = &fc
+		k := fecIdentity(&fc)
+		old[k] = append(old[k], &fc)
 	}
-	fecs := make([]*FEC, 0, len(keys))
+	fecs := make([]*FEC, 0, len(order))
 	var fresh []netip.Addr
-	for _, k := range keys {
+	for _, sig := range order {
 		candidate := &FEC{
-			Prefixes: groups[k],
-			First:    meta[k][0],
-			Second:   meta[k][1],
+			Prefixes: groups[sig],
+			First:    sig.first,
+			Second:   sig.second,
 		}
-		if prev, ok := old[fecIdentity(candidate)]; ok {
-			candidate.ID, candidate.VNH, candidate.VMAC = prev.ID, prev.VNH, prev.VMAC
-			delete(old, fecIdentity(candidate)) // consume: no double reuse
-		} else {
+		k := fecIdentity(candidate)
+		reused := false
+		bucket := old[k]
+		for bi, prev := range bucket {
+			if prefixesEqual(prev.Prefixes, candidate.Prefixes) {
+				candidate.ID, candidate.VNH, candidate.VMAC = prev.ID, prev.VNH, prev.VMAC
+				old[k] = append(bucket[:bi], bucket[bi+1:]...) // consume: no double reuse
+				reused = true
+				break
+			}
+		}
+		if !reused {
 			vnh, err := p.pool.Alloc()
 			if err != nil {
 				return nil, fresh, fmt.Errorf("core: allocating VNH: %w", err)
 			}
 			fresh = append(fresh, vnh)
-			candidate.ID = p.fecs.allocID()
+			id, err := p.fecs.allocID()
+			if err != nil {
+				return nil, fresh, err
+			}
+			candidate.ID = id
 			candidate.VNH = vnh
-			candidate.VMAC = netutil.VMAC(candidate.ID)
+			candidate.VMAC = netutil.VMAC(id)
 		}
 		fecs = append(fecs, candidate)
 	}
 	return fecs, fresh, nil
 }
 
+// fecIdentKey is the hashed identity of a class: the advertiser pair, the
+// member count, and an FNV-1a digest of the member prefixes. Buckets, not
+// proofs — matches are verified with prefixesEqual before reuse.
+type fecIdentKey struct {
+	first, second ID
+	n             int
+	hash          uint64
+}
+
 // fecIdentity keys a class by its full behaviour: member prefixes plus the
 // default next-hop pair.
-func fecIdentity(f *FEC) string {
-	var b strings.Builder
+func fecIdentity(f *FEC) fecIdentKey {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, p := range f.Prefixes {
-		b.WriteString(p.String())
-		b.WriteByte(' ')
+		a := p.Addr().As16()
+		for _, b := range a {
+			h = (h ^ uint64(b)) * prime64
+		}
+		h = (h ^ uint64(uint8(p.Bits()))) * prime64
 	}
-	b.WriteByte('|')
-	b.WriteString(string(f.First))
-	b.WriteByte('|')
-	b.WriteString(string(f.Second))
-	return b.String()
+	return fecIdentKey{first: f.First, second: f.Second, n: len(f.Prefixes), hash: h}
+}
+
+func prefixesEqual(a, b []netip.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -117,16 +117,6 @@ type FastPathResult struct {
 // rules go in at higher priority than the base table; Reoptimize later
 // recomputes the optimal tables in the background.
 func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*FastPathResult, error) {
-	start := time.Now()
-	// The read lock is held for the whole reaction: it keeps the quick
-	// stage's allocate-compile-record sequence atomic with respect to a
-	// background compilation's commit, which takes the write lock. It does
-	// NOT serialize against the compile's compute phase, which runs
-	// lock-free on its own snapshot.
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	snap := c.snapshotLocked()
-
 	// Dedupe to affected prefixes, preserving arrival order.
 	seen := make(map[netip.Prefix]bool)
 	var affected []netip.Prefix
@@ -136,6 +126,23 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 			affected = append(affected, ch.Prefix)
 		}
 	}
+	return c.FastReact(affected)
+}
+
+// FastReact is HandleRouteChanges keyed on prefixes alone: the form the
+// route server's ApplyUpdateTouched feeds at full-table scale, where
+// materializing per-receiver BestChange lists would dominate the pipeline.
+// The prefix list must already be deduplicated.
+func (c *Controller) FastReact(affected []netip.Prefix) (*FastPathResult, error) {
+	start := time.Now()
+	// The read lock is held for the whole reaction: it keeps the quick
+	// stage's allocate-compile-record sequence atomic with respect to a
+	// background compilation's commit, which takes the write lock. It does
+	// NOT serialize against the compile's compute phase, which runs
+	// lock-free on its own snapshot.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := c.snapshotLocked()
 
 	// React to the batch's prefixes concurrently (large withdrawal bursts
 	// touch hundreds), writing into index-addressed slots so the merged
@@ -168,7 +175,6 @@ func (c *Controller) HandleRouteChanges(changes []routeserver.BestChange) (*Fast
 	c.metrics.fastpathDone(res)
 	c.tracer.Emit("fastpath",
 		telemetry.Dur("dur", res.Elapsed),
-		telemetry.Int("changes", len(changes)),
 		telemetry.Int("prefixes", len(affected)),
 		telemetry.Int("rules", len(res.Rules)),
 		telemetry.Int("fecs", len(res.NewFECs)))
@@ -187,10 +193,14 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) 
 		// it. (Stale base rules are retired by the background pass.)
 		return nil, nil, nil
 	}
-	id := p.fecs.allocID()
 	vnh, err := p.pool.Alloc()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: fast path VNH: %w", err)
+	}
+	id, err := p.fecs.allocID()
+	if err != nil {
+		p.pool.Release(vnh)
+		return nil, nil, fmt.Errorf("core: fast path: %w", err)
 	}
 	fec := &FEC{
 		ID:       id,

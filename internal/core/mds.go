@@ -1,0 +1,305 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdx/internal/netutil"
+)
+
+// Incremental Minimum Disjoint Subset (§4.2) input maintenance. The
+// background pass groups every policy-relevant prefix by a signature —
+// its membership across the policy reach sets plus the advertisers of its
+// best and second-best routes — and each distinct signature is one
+// forwarding equivalence class. Rebuilding those signatures from scratch
+// is O(prefixes × reach sets) per pass, which is what full-table scale
+// makes unaffordable. fecState caches the reach sets, the prefix
+// universe, and one interned signature pointer per prefix, and between
+// passes re-signs only the prefixes the route server journaled as touched
+// (DrainTouched). The grouping pass itself stays a single ordered sweep
+// over the sorted universe, so the incremental path produces classes
+// byte-identical to a from-scratch computation — the determinism
+// invariant the equivalence tests pin down.
+
+// reachKey names one pass-1 grouping input: hop's exports to participant,
+// relevant because the participant's outbound policy forwards there.
+type reachKey struct {
+	participant ID
+	hop         ID
+}
+
+// fecSig is one interned membership signature. Prefixes sharing a pointer
+// are in the same equivalence class; the grouping sweep compares pointers
+// only.
+type fecSig struct {
+	key           string
+	first, second ID
+}
+
+// fecState is the controller's cached MDS input, shared by reference into
+// every compilation pipeline. All mutation happens under compileMu (only
+// the background pass refreshes it); the mutex exists for invalidate(),
+// which configuration changes call from outside the compile path.
+type fecState struct {
+	mu    sync.Mutex
+	valid bool
+
+	// epoch is the route server's export epoch as of the last refresh;
+	// a mismatch means export visibility changed in ways the touched
+	// journal does not record, forcing a full rebuild.
+	epoch uint64
+	// keys/sets are the reach sets in deterministic (participant, hop)
+	// order; sets are patched in place for touched prefixes.
+	keys []reachKey
+	sets []*netutil.PrefixSet
+	// portless lists the participants with no physical ports, whose
+	// advertised prefixes always need a tag (remote origination).
+	portless []ID
+
+	// universe maps every policy-relevant prefix to its interned
+	// signature; sorted is the same key set in canonical prefix order.
+	universe map[netip.Prefix]*fecSig
+	sorted   []netip.Prefix
+
+	// sigs hash-conses signatures so the grouping sweep is pointer-based.
+	sigs map[string]*fecSig
+}
+
+func newFECState() *fecState { return &fecState{} }
+
+// invalidate forces the next background pass to rebuild from scratch.
+// Called on any configuration change that feeds the signatures:
+// participant registration, policy replacement.
+func (st *fecState) invalidate() {
+	st.mu.Lock()
+	st.valid = false
+	st.mu.Unlock()
+}
+
+// refresh brings the cached reach sets, universe, and signatures up to
+// date, incrementally when the cache is valid and only journaled prefixes
+// changed. It returns the reach sets in deterministic order (the same
+// slice contents a from-scratch collectReachSets would produce), whether
+// a full rebuild ran, and how many prefixes were re-signed.
+func (st *fecState) refresh(p *pipeline) ([]reachSet, bool, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := p.reachSetKeys()
+	epoch := p.rs.ExportEpoch()
+	// The journal is drained unconditionally so it cannot grow without
+	// bound; a full rebuild simply ignores its contents.
+	touched := p.rs.DrainTouched()
+	full := !st.valid || epoch != st.epoch || !reachKeysEqual(keys, st.keys)
+	resigned := 0
+	if full {
+		st.rebuildLocked(p, keys, epoch)
+		resigned = len(st.sorted)
+	} else {
+		st.epoch = epoch
+		if len(touched) > 0 {
+			st.patchLocked(p, touched)
+			resigned = len(touched)
+		}
+	}
+	sets := make([]reachSet, len(st.keys))
+	for i, k := range st.keys {
+		sets[i] = reachSet{participant: k.participant, hop: k.hop, set: st.sets[i]}
+	}
+	return sets, full, resigned
+}
+
+// grouping returns the equivalence groups over the cached universe:
+// signatures in first-appearance order along the sorted prefixes, and the
+// member prefixes of each. The member slices alias the sweep's appends and
+// are in sorted order, exactly as the from-scratch pass produced them.
+func (st *fecState) grouping() ([]*fecSig, map[*fecSig][]netip.Prefix) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	groups := make(map[*fecSig][]netip.Prefix)
+	order := make([]*fecSig, 0, 64)
+	for _, pfx := range st.sorted {
+		sig := st.universe[pfx]
+		if _, seen := groups[sig]; !seen {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], pfx)
+	}
+	return order, groups
+}
+
+// rebuildLocked recomputes everything from the route server: the shape a
+// first pass, a configuration change, or an export-epoch bump requires.
+func (st *fecState) rebuildLocked(p *pipeline, keys []reachKey, epoch uint64) {
+	st.keys = keys
+	st.epoch = epoch
+	st.sets = make([]*netutil.PrefixSet, len(keys))
+	fanOut(p.workers, len(keys), func(i int) {
+		st.sets[i] = p.rs.ReachableVia(keys[i].participant, keys[i].hop)
+	})
+	st.portless = st.portless[:0]
+	for _, part := range p.parts {
+		if len(part.Ports) == 0 {
+			st.portless = append(st.portless, part.ID)
+		}
+	}
+	st.universe = make(map[netip.Prefix]*fecSig)
+	for _, set := range st.sets {
+		for _, pfx := range set.Prefixes() {
+			st.universe[pfx] = nil
+		}
+	}
+	for _, id := range st.portless {
+		for _, pfx := range p.rs.Advertised(id) {
+			st.universe[pfx] = nil
+		}
+	}
+	st.sorted = make([]netip.Prefix, 0, len(st.universe))
+	for pfx := range st.universe {
+		st.sorted = append(st.sorted, pfx)
+	}
+	netutil.SortPrefixes(st.sorted)
+
+	// Sign every prefix. Key construction is embarrassingly parallel;
+	// interning is a serial map pass afterwards so the workers never
+	// contend on the hash-cons table.
+	type sigParts struct {
+		key           string
+		first, second ID
+	}
+	parts := make([]sigParts, len(st.sorted))
+	fanOut(p.workers, len(st.sorted), func(i int) {
+		k, f, s := st.sigKey(p, st.sorted[i])
+		parts[i] = sigParts{k, f, s}
+	})
+	st.sigs = make(map[string]*fecSig)
+	for i, pfx := range st.sorted {
+		st.universe[pfx] = st.intern(parts[i].key, parts[i].first, parts[i].second)
+	}
+	st.valid = true
+}
+
+// patchLocked re-signs exactly the journaled prefixes against the cached
+// sets (patched in place) and rebuilds the sorted universe only when
+// membership actually changed. Touched prefixes are processed in canonical
+// order so the pass is reproducible.
+func (st *fecState) patchLocked(p *pipeline, touched []netip.Prefix) {
+	netutil.SortPrefixes(touched)
+	membershipChanged := false
+	for _, pfx := range touched {
+		inUniverse := false
+		for i, k := range st.keys {
+			if p.rs.Exports(k.hop, k.participant, pfx) {
+				st.sets[i].Add(pfx)
+				inUniverse = true
+			} else {
+				st.sets[i].Remove(pfx)
+			}
+		}
+		if !inUniverse {
+			for _, id := range st.portless {
+				if _, ok := p.rs.AdvertisedRoute(id, pfx); ok {
+					inUniverse = true
+					break
+				}
+			}
+		}
+		_, was := st.universe[pfx]
+		if !inUniverse {
+			if was {
+				delete(st.universe, pfx)
+				membershipChanged = true
+			}
+			continue
+		}
+		key, first, second := st.sigKey(p, pfx)
+		st.universe[pfx] = st.intern(key, first, second)
+		if !was {
+			membershipChanged = true
+		}
+	}
+	if membershipChanged {
+		st.sorted = st.sorted[:0]
+		for pfx := range st.universe {
+			st.sorted = append(st.sorted, pfx)
+		}
+		netutil.SortPrefixes(st.sorted)
+	}
+}
+
+// sigKey renders one prefix's signature from the cached reach sets plus
+// the route server's current best-two advertisers. The rendering is
+// byte-identical to the legacy from-scratch key, so interned pointers are
+// interchangeable across incremental and full passes.
+func (st *fecState) sigKey(p *pipeline, pfx netip.Prefix) (string, ID, ID) {
+	var b strings.Builder
+	b.Grow(len(st.sets) + 16)
+	for _, set := range st.sets {
+		if set.Contains(pfx) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	first, second := p.rs.BestTwo(pfx)
+	b.WriteByte('|')
+	b.WriteString(string(first))
+	b.WriteByte('|')
+	b.WriteString(string(second))
+	return b.String(), first, second
+}
+
+func (st *fecState) intern(key string, first, second ID) *fecSig {
+	if s, ok := st.sigs[key]; ok {
+		return s
+	}
+	s := &fecSig{key: key, first: first, second: second}
+	if st.sigs == nil {
+		st.sigs = make(map[string]*fecSig)
+	}
+	st.sigs[key] = s
+	return s
+}
+
+// reachSetKeys computes the (participant, hop) pairs the current policies
+// need reach sets for, in deterministic order — the cheap, policy-only
+// half of collectReachSets.
+func (p *pipeline) reachSetKeys() []reachKey {
+	var out []reachKey
+	for _, part := range p.parts {
+		if part.Outbound == nil {
+			continue
+		}
+		targets := map[uint16]bool{}
+		collectFwdTargets(part.Outbound, targets)
+		var hops []ID
+		for loc := range targets {
+			if !IsVirtual(loc) {
+				continue
+			}
+			for id, v := range p.vports {
+				if v == loc {
+					hops = append(hops, id)
+				}
+			}
+		}
+		sort.Slice(hops, func(a, b int) bool { return hops[a] < hops[b] })
+		for _, hop := range hops {
+			out = append(out, reachKey{participant: part.ID, hop: hop})
+		}
+	}
+	return out
+}
+
+func reachKeysEqual(a, b []reachKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

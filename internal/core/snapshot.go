@@ -50,6 +50,9 @@ type pipeline struct {
 	rs   *routeserver.Server
 	pool *netutil.IPPool
 	fecs *FECTable
+	// mds is the controller's cached incremental-MDS state, shared by
+	// reference; refreshed only under compileMu.
+	mds *fecState
 
 	parts    []*Participant // registration order; value copies
 	byID     map[ID]*Participant
@@ -74,6 +77,7 @@ func (c *Controller) snapshotLocked() *pipeline {
 		rs:       c.rs,
 		pool:     c.pool,
 		fecs:     c.fecs,
+		mds:      c.mds,
 		parts:    make([]*Participant, 0, len(c.order)),
 		byID:     make(map[ID]*Participant, len(c.order)),
 		vports:   make(map[ID]uint16, len(c.vports)),

@@ -55,8 +55,10 @@ type Port struct {
 // Participant is one AS at the exchange. Remote participants (the wide-area
 // load-balancing application) have no Ports.
 type Participant struct {
-	ID    ID
-	AS    uint16
+	ID ID
+	// AS is the participant's autonomous system number, 4-octet capable
+	// (RFC 6793); the BGP codec downgrades to AS_TRANS at the wire.
+	AS    uint32
 	Ports []Port
 
 	// Inbound applies to traffic arriving at the participant's virtual

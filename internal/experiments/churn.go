@@ -142,7 +142,7 @@ func Churn(cfg Config, nBursts int) (*ChurnResult, error) {
 	defer speaker.Close()
 	fe := routeserver.NewFrontend(ctrl.RouteServer(), speaker)
 	fe.NextHop = ctrl.NextHopFor
-	fe.OnChange = func(ch []routeserver.BestChange) { ctrl.HandleRouteChanges(ch) }
+	fe.OnPrefixes = func(p []netip.Prefix) { ctrl.FastReact(p) }
 	for _, m := range ex.Members {
 		if err := fe.RegisterPeer(m.Ports[0].RouterIP, m.ID); err != nil {
 			return nil, err
@@ -340,7 +340,7 @@ func sendBurst(ex *workload.Exchange, clients []*churnClient, rankOf map[netip.P
 		sort.Ints(ranks)
 		for _, rank := range ranks {
 			nlri := byRank[rank]
-			attrs := ex.RouteFor(mi, nlri[0], rank).Attrs
+			attrs := *ex.RouteFor(mi, nlri[0], rank).Attrs
 			for len(nlri) > 0 {
 				n := min(len(nlri), chunk)
 				peer.Send(&bgp.Update{Attrs: attrs, NLRI: nlri[:n]})
@@ -353,7 +353,7 @@ func sendBurst(ex *workload.Exchange, clients []*churnClient, rankOf map[netip.P
 		peer.Send(&bgp.Update{
 			Attrs: bgp.PathAttrs{
 				NextHop: m.Ports[0].RouterIP,
-				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{m.AS}}},
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{m.AS}}},
 				MED:     seq,
 				HasMED:  true,
 			},

@@ -174,10 +174,10 @@ func Fig5b(cfg Config) (*Fig5Result, error) {
 	instance2 := netip.MustParseAddr("192.168.184.53")
 	if _, err := rs.Advertise("AWS", bgp.Route{
 		Prefix: anycast,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: netip.MustParseAddr("172.31.0.99"),
-			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65100}}},
-		},
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65100}}},
+		}),
 		PeerAS: 65100,
 	}); err != nil {
 		return nil, err
@@ -296,17 +296,17 @@ func nearlyEqual(a, b float64) bool {
 	return d < 0.05*(a+b)
 }
 
-func expRoute(as uint16, router string, prefix netip.Prefix, pathLen int) bgp.Route {
-	asns := make([]uint16, pathLen)
+func expRoute(as uint32, router string, prefix netip.Prefix, pathLen int) bgp.Route {
+	asns := make([]uint32, pathLen)
 	for i := range asns {
-		asns[i] = as + uint16(i)
+		asns[i] = as + uint32(i)
 	}
 	return bgp.Route{
 		Prefix: prefix,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: netip.MustParseAddr(router),
 			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-		},
+		}),
 		PeerAS: as,
 		PeerID: netip.MustParseAddr(router),
 	}

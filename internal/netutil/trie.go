@@ -21,17 +21,35 @@ type trieNode[V any] struct {
 	set   bool
 }
 
-func v4bit(a netip.Addr, i int) int {
-	b := a.As4()
+// v4bit extracts bit i (0 = most significant) of a 4-byte address. Callers
+// hoist the As4 conversion out of their walk loops rather than re-deriving
+// it per bit.
+func v4bit(b [4]byte, i int) int {
 	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// v4Prefix canonicalizes a prefix to native IPv4 form, unmapping
+// IPv4-mapped IPv6 (::ffff:a.b.c.d/n, with the prefix length shifted down
+// by the 96-bit mapping offset) so both spellings address the same entry.
+func v4Prefix(p netip.Prefix) (netip.Prefix, bool) {
+	if a := p.Addr(); a.Is4In6() {
+		bits := p.Bits() - 96
+		if bits < 0 {
+			return netip.Prefix{}, false
+		}
+		p = netip.PrefixFrom(a.Unmap(), bits)
+	}
+	return p, p.Addr().Is4()
 }
 
 // Insert associates val with prefix, replacing any existing value. It
 // reports whether the prefix was newly inserted (false means replaced).
-// Only IPv4 prefixes are supported; others panic, since the SDX data plane
-// is an IPv4 fabric.
+// Only IPv4 prefixes are supported — IPv4-mapped IPv6 spellings are
+// unmapped on entry; anything else panics, since the SDX data plane is an
+// IPv4 fabric.
 func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
-	if !p.Addr().Is4() {
+	p, ok := v4Prefix(p)
+	if !ok {
 		panic(fmt.Sprintf("netutil: Trie supports IPv4 only, got %v", p))
 	}
 	p = p.Masked()
@@ -39,8 +57,9 @@ func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
 		t.root = &trieNode[V]{}
 	}
 	n := t.root
+	addr := p.Addr().As4()
 	for i := 0; i < p.Bits(); i++ {
-		b := v4bit(p.Addr(), i)
+		b := v4bit(addr, i)
 		if n.child[b] == nil {
 			n.child[b] = &trieNode[V]{}
 		}
@@ -65,13 +84,15 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 }
 
 func (t *Trie[V]) node(p netip.Prefix) *trieNode[V] {
-	if t.root == nil || !p.Addr().Is4() {
+	p, ok := v4Prefix(p)
+	if t.root == nil || !ok {
 		return nil
 	}
 	p = p.Masked()
 	n := t.root
+	addr := p.Addr().As4()
 	for i := 0; i < p.Bits(); i++ {
-		n = n.child[v4bit(p.Addr(), i)]
+		n = n.child[v4bit(addr, i)]
 		if n == nil {
 			return nil
 		}
@@ -102,10 +123,12 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 		best  netip.Prefix
 		found bool
 	)
+	addr = addr.Unmap()
 	if t.root == nil || !addr.Is4() {
 		return netip.Prefix{}, zero, false
 	}
 	n := t.root
+	a4 := addr.As4()
 	for i := 0; ; i++ {
 		if n.set {
 			best = netip.PrefixFrom(addr, i).Masked()
@@ -115,7 +138,7 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 		if i == 32 {
 			break
 		}
-		n = n.child[v4bit(addr, i)]
+		n = n.child[v4bit(a4, i)]
 		if n == nil {
 			break
 		}

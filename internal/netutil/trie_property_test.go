@@ -1,0 +1,153 @@
+package netutil
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestTriePropertyVsMapModel drives the trie with randomized interleaved
+// inserts, deletes, exact gets, longest-prefix lookups, and walks, checking
+// every result against a naive map model. Prefixes are drawn from a small
+// address pool with random lengths so entries nest heavily, and a fraction
+// arrive in their IPv4-mapped IPv6 spelling (::ffff:a.b.c.d/96+n), which
+// must address the same entries as the native form.
+func TestTriePropertyVsMapModel(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var trie Trie[int]
+			model := map[netip.Prefix]int{}
+
+			randPrefix := func() netip.Prefix {
+				// Two octets of entropy and nest-prone lengths: collisions
+				// and containment chains are the interesting cases.
+				a := netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(4) * 64)})
+				bits := 8 + rng.Intn(25) // 8..32
+				return netip.PrefixFrom(a, bits).Masked()
+			}
+			// spell returns p, sometimes re-spelled as IPv4-mapped IPv6.
+			spell := func(p netip.Prefix) netip.Prefix {
+				if rng.Intn(4) != 0 {
+					return p
+				}
+				a16 := netip.AddrFrom16(p.Addr().As16()) // keeps the 4-in-6 mapping
+				return netip.PrefixFrom(a16, p.Bits()+96)
+			}
+
+			for step := 0; step < 4000; step++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // insert
+					p := randPrefix()
+					v := rng.Int()
+					_, had := model[p]
+					fresh := trie.Insert(spell(p), v)
+					if fresh != !had {
+						t.Fatalf("step %d: Insert(%v) fresh=%v, model had=%v", step, p, fresh, had)
+					}
+					model[p] = v
+				case 4, 5: // delete
+					p := randPrefix()
+					_, had := model[p]
+					if got := trie.Delete(spell(p)); got != had {
+						t.Fatalf("step %d: Delete(%v) = %v, model had=%v", step, p, got, had)
+					}
+					delete(model, p)
+				case 6, 7: // exact get
+					p := randPrefix()
+					want, had := model[p]
+					got, ok := trie.Get(spell(p))
+					if ok != had || (had && got != want) {
+						t.Fatalf("step %d: Get(%v) = %v,%v; model %v,%v", step, p, got, ok, want, had)
+					}
+				case 8: // longest-prefix lookup
+					addr := netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(8)), byte(rng.Intn(256))})
+					var (
+						wantP  netip.Prefix
+						wantV  int
+						wantOK bool
+					)
+					for p, v := range model {
+						if p.Contains(addr) && (!wantOK || p.Bits() > wantP.Bits()) {
+							wantP, wantV, wantOK = p, v, true
+						}
+					}
+					lookupAddr := addr
+					if rng.Intn(4) == 0 {
+						lookupAddr = netip.AddrFrom16(addr.As16())
+					}
+					gotP, gotV, gotOK := trie.Lookup(lookupAddr)
+					if gotOK != wantOK || (wantOK && (gotP != wantP || gotV != wantV)) {
+						t.Fatalf("step %d: Lookup(%v) = %v,%v,%v; model %v,%v,%v",
+							step, addr, gotP, gotV, gotOK, wantP, wantV, wantOK)
+					}
+				case 9: // walk: order, completeness, values
+					var walked []netip.Prefix
+					trie.Walk(func(p netip.Prefix, v int) bool {
+						if want, ok := model[p]; !ok || v != want {
+							t.Fatalf("step %d: Walk visited %v=%d; model %d,%v", step, p, v, want, ok)
+						}
+						walked = append(walked, p)
+						return true
+					})
+					if len(walked) != len(model) {
+						t.Fatalf("step %d: Walk visited %d entries, model has %d", step, len(walked), len(model))
+					}
+					want := make([]netip.Prefix, 0, len(model))
+					for p := range model {
+						want = append(want, p)
+					}
+					SortPrefixes(want)
+					for i := range want {
+						if walked[i] != want[i] {
+							t.Fatalf("step %d: Walk order[%d] = %v, want %v", step, i, walked[i], want[i])
+						}
+					}
+				}
+				if trie.Len() != len(model) {
+					t.Fatalf("step %d: Len = %d, model %d", step, trie.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+// TestTrieMappedSpellingAliases pins the satellite bug directly: both
+// spellings of the same IPv4 prefix must address one entry, and a /96-or-
+// shorter IPv6 prefix (no IPv4 inside) must be rejected as not-found rather
+// than panic or alias.
+func TestTrieMappedSpellingAliases(t *testing.T) {
+	var trie Trie[string]
+	native := netip.MustParsePrefix("192.0.2.0/24")
+	mapped := netip.MustParsePrefix("::ffff:192.0.2.0/120")
+
+	if !trie.Insert(mapped, "via-mapped") {
+		t.Fatal("mapped spelling should insert fresh")
+	}
+	if trie.Insert(native, "via-native") {
+		t.Fatal("native spelling must replace, not duplicate")
+	}
+	if trie.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", trie.Len())
+	}
+	if v, ok := trie.Get(mapped); !ok || v != "via-native" {
+		t.Fatalf("Get(mapped) = %q,%v", v, ok)
+	}
+	if p, v, ok := trie.Lookup(netip.MustParseAddr("::ffff:192.0.2.7")); !ok || v != "via-native" || p != native {
+		t.Fatalf("Lookup(mapped addr) = %v,%q,%v", p, v, ok)
+	}
+	if !trie.Delete(mapped) || trie.Len() != 0 {
+		t.Fatal("Delete via mapped spelling must remove the native entry")
+	}
+
+	// A mapped prefix shorter than the 96-bit embedding holds no IPv4
+	// prefix at all: not found, never a panic.
+	short := netip.MustParsePrefix("::/64")
+	if _, ok := trie.Get(short); ok {
+		t.Fatal("sub-96-bit IPv6 prefix cannot be present")
+	}
+	if trie.Delete(short) {
+		t.Fatal("sub-96-bit IPv6 prefix cannot be deleted")
+	}
+}

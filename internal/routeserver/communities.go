@@ -7,7 +7,7 @@ import "sdx/internal/bgp"
 // conventions name peers by AS). Unlike ExportFilter it sees the whole
 // route. The filter is called with Server locks held: it must not call
 // back into the Server.
-type RouteExportFilter func(advertiser, receiver ID, receiverAS uint16, route bgp.Route) bool
+type RouteExportFilter func(advertiser, receiver ID, receiverAS uint32, route bgp.Route) bool
 
 // SetRouteExportPolicy installs a route-level export filter, evaluated in
 // addition to any prefix-level ExportFilter. It affects best-route
@@ -24,6 +24,7 @@ func (s *Server) SetRouteExportPolicy(f RouteExportFilter) {
 	s.partMu.Lock()
 	defer s.partMu.Unlock()
 	s.routeExport = f
+	s.epoch++
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -43,24 +44,32 @@ func (s *Server) SetRouteExportPolicy(f RouteExportFilter) {
 //	(rsAS, peerAS)   announce ONLY to peers named this way (whitelist:
 //	                 the presence of any such community hides the route
 //	                 from everyone else)
-func CommunityExportPolicy(rsAS uint16) RouteExportFilter {
-	return func(adv, recv ID, recvAS uint16, route bgp.Route) bool {
+//
+// Communities carry 16-bit halves, so 4-octet ASNs cannot be named by the
+// classic RFC 1997 conventions; a community half matches only peers whose
+// ASN fits 16 bits (RFC 8092 large communities would lift this).
+func CommunityExportPolicy(rsAS uint32) RouteExportFilter {
+	return func(adv, recv ID, recvAS uint32, route bgp.Route) bool {
+		if route.Attrs == nil {
+			return true
+		}
 		whitelisted := false
 		allowed := false
+		recvFits := recvAS <= 0xffff
 		for _, c := range route.Attrs.Communities {
 			upper := uint16(c >> 16)
 			lower := uint16(c)
-			switch upper {
-			case 0:
+			switch {
+			case upper == 0:
 				if lower == 0 {
 					return false // announce to no one
 				}
-				if lower == recvAS {
+				if recvFits && uint32(lower) == recvAS {
 					return false // explicit per-peer block
 				}
-			case rsAS:
+			case uint32(upper) == rsAS:
 				whitelisted = true
-				if lower == recvAS {
+				if recvFits && uint32(lower) == recvAS {
 					allowed = true
 				}
 			}

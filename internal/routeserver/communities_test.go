@@ -8,9 +8,12 @@ import (
 
 const rsAS = 65000
 
-func routeWithCommunities(prefix string, as uint16, comms ...uint32) bgp.Route {
+func routeWithCommunities(prefix string, as uint32, comms ...uint32) bgp.Route {
 	r := rt(prefix, as)
-	r.Attrs.Communities = comms
+	// Interned attribute sets are shared: copy, modify, re-intern.
+	a := *r.Attrs
+	a.Communities = comms
+	r.Attrs = bgp.Intern(a)
 	return r
 }
 

@@ -19,20 +19,20 @@ func TestBestForOrderIndependent(t *testing.T) {
 	for i, id := range ids {
 		routes[id] = bgp.Route{
 			Prefix: mp("10.0.0.0/8"),
-			Attrs: bgp.PathAttrs{
+			Attrs: bgp.Intern(bgp.PathAttrs{
 				// Identical AS-path LENGTH everywhere; peer identifiers
 				// alone decide.
-				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{uint16(65001 + i)}}},
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{uint32(65001 + i)}}},
 				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}),
-			},
-			PeerAS: uint16(65001 + i),
+			}),
+			PeerAS: uint32(65001 + i),
 			PeerID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
 		}
 	}
 	build := func(order []ID) *Server {
 		s := New(nil)
 		for i, id := range ids {
-			if err := s.AddParticipant(id, uint16(65001+i)); err != nil {
+			if err := s.AddParticipant(id, uint32(65001+i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -72,7 +72,7 @@ func TestOriginateDeterministicTieBreak(t *testing.T) {
 	build := func(order []ID) *Frontend {
 		s := New(nil)
 		for i, id := range ids {
-			if err := s.AddParticipant(id, uint16(65011+i)); err != nil {
+			if err := s.AddParticipant(id, uint32(65011+i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -112,8 +112,8 @@ func TestOriginateDeterministicTieBreak(t *testing.T) {
 // different origin ASes must never share an identifier, or their routes
 // would tie all the way to the next-hop comparison again.
 func TestOriginPeerIDsDistinct(t *testing.T) {
-	seen := make(map[netip.Addr]uint16)
-	for as := uint16(64512); as < 64512+1000; as++ {
+	seen := make(map[netip.Addr]uint32)
+	for as := uint32(64512); as < 64512+1000; as++ {
 		id := originPeerID(as)
 		if prev, dup := seen[id]; dup {
 			t.Fatalf("AS%d and AS%d share origin peer ID %v", prev, as, id)

@@ -43,7 +43,7 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 		"C": dialClient(t, addr, 65003, "10.0.0.3"),
 	}
 	senders := []ID{"A", "B", "C"}
-	peerAS := map[ID]uint16{"A": 65001, "B": 65002, "C": 65003}
+	peerAS := map[ID]uint32{"A": 65001, "B": 65002, "C": 65003}
 	peerID := map[ID]netip.Addr{"A": ma("10.0.0.1"), "B": ma("10.0.0.2"), "C": ma("10.0.0.3")}
 
 	mirror := New(nil)
@@ -66,13 +66,13 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 	for burst := 0; burst < 120; burst++ {
 		from := senders[rng.Intn(len(senders))]
 		u := &bgp.Update{
-			Attrs: bgp.PathAttrs{
+			Attrs: *bgp.Intern(bgp.PathAttrs{
 				ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence,
-					ASNs: []uint16{peerAS[from], uint16(65100 + rng.Intn(4))}}},
+					ASNs: []uint32{peerAS[from], uint32(65100 + rng.Intn(4))}}},
 				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(1 + rng.Intn(200))}),
 				MED:     uint32(rng.Intn(50)),
 				HasMED:  true,
-			},
+			}),
 		}
 		seen := map[netip.Prefix]bool{}
 		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
@@ -105,7 +105,7 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 			delete(held[from], p)
 		}
 		for _, p := range u.NLRI {
-			r := bgp.Route{Prefix: p, Attrs: u.Attrs, PeerAS: peerAS[from], PeerID: peerID[from]}
+			r := bgp.Route{Prefix: p, Attrs: bgp.Intern(u.Attrs), PeerAS: peerAS[from], PeerID: peerID[from]}
 			if _, err := mirror.Advertise(from, r); err != nil {
 				t.Fatal(err)
 			}
@@ -122,10 +122,10 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 	}
 	for id, c := range clients {
 		err := c.peer.Send(&bgp.Update{
-			Attrs: bgp.PathAttrs{
-				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{peerAS[id]}}},
+			Attrs: *bgp.Intern(bgp.PathAttrs{
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{peerAS[id]}}},
 				NextHop: ma("192.0.2.254"),
-			},
+			}),
 			NLRI: []netip.Prefix{sentinel[id]},
 		})
 		if err != nil {
@@ -170,7 +170,7 @@ func compareRIBs(mirror *Server, clients map[ID]*testClient, prefixes []netip.Pr
 			if ok != have {
 				return fmt.Errorf("peer %s, prefix %v: held=%v, mirror best=%v", id, p, have, ok)
 			}
-			if ok && !got.Equal(want.Attrs) {
+			if ok && !bgp.AttrsEqual(&got, want.Attrs) {
 				return fmt.Errorf("peer %s, prefix %v: attrs diverged\n got %+v\nwant %+v", id, p, got, want.Attrs)
 			}
 		}

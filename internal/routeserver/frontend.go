@@ -44,7 +44,16 @@ type Frontend struct {
 	// BEFORE they are re-advertised (the paper's §5.1 ordering: the policy
 	// compiler computes fresh virtual next hops first); batches are
 	// serialized so the controller observes them in a consistent order.
+	// Setting it forces the per-receiver change diff on every update —
+	// prefer OnPrefixes at scale.
 	OnChange func([]BestChange)
+	// OnPrefixes, when set, is invoked (under the same serialization, and
+	// before re-advertisement) with the deduplicated affected prefixes of
+	// each batch. When OnChange is nil, updates take the route server's
+	// prefix-level apply path, skipping per-receiver change
+	// materialization entirely — the full-table churn configuration,
+	// feeding Controller.FastReact.
+	OnPrefixes func([]netip.Prefix)
 	// Ownership gates Originate; nil allows everything (test/demo mode).
 	Ownership OwnershipChecker
 	// Tracer, when set, records rejected updates and other noteworthy
@@ -234,29 +243,49 @@ func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 		return
 	}
 	routes := make([]bgp.Route, len(u.NLRI))
+	var attrs *bgp.PathAttrs
+	if len(u.NLRI) > 0 {
+		attrs = bgp.Intern(u.Attrs)
+	}
 	for i, nlri := range u.NLRI {
 		routes[i] = bgp.Route{
 			Prefix: nlri,
-			Attrs:  u.Attrs,
+			Attrs:  attrs,
 			PeerAS: p.Session.PeerAS(),
 			PeerID: p.Session.PeerID(),
 		}
 	}
-	changes, err := f.Server.ApplyUpdate(id, u.Withdrawn, routes)
-	if err != nil {
-		// A rejected update must not vanish silently: count it and leave
-		// a trace naming the peer, so an operator can see routes being
-		// dropped (e.g. a session racing its participant's deprovisioning).
-		f.mRejectedUpdates.Inc()
-		f.Tracer.Emit("routeserver.update_rejected",
-			telemetry.Str("participant", string(id)),
-			telemetry.Str("peer", p.Session.PeerID().String()),
-			telemetry.Int("nlri", len(u.NLRI)),
-			telemetry.Int("withdrawn", len(u.Withdrawn)),
-			telemetry.Str("error", err.Error()))
+	if f.OnChange != nil {
+		changes, err := f.Server.ApplyUpdate(id, u.Withdrawn, routes)
+		if err != nil {
+			f.rejectUpdate(id, p, u, err)
+			return
+		}
+		f.propagate(changes)
 		return
 	}
-	f.propagate(changes)
+	// No per-receiver consumer: the prefix-level path skips the
+	// O(participants) change materialization per update.
+	touched, err := f.Server.ApplyUpdateTouched(id, u.Withdrawn, routes)
+	if err != nil {
+		f.rejectUpdate(id, p, u, err)
+		return
+	}
+	f.propagatePrefixes(touched)
+}
+
+// rejectUpdate records an update the server refused: a rejected update must
+// not vanish silently — count it and leave a trace naming the peer, so an
+// operator can see routes being dropped (e.g. a session racing its
+// participant's deprovisioning).
+func (f *Frontend) rejectUpdate(id ID, p *bgp.Peer, u *bgp.Update, err error) {
+	f.mRejectedUpdates.Inc()
+	f.Tracer.Emit("routeserver.update_rejected",
+		telemetry.Str("participant", string(id)),
+		telemetry.Str("peer", p.Session.PeerID().String()),
+		telemetry.Int("nlri", len(u.NLRI)),
+		telemetry.Int("withdrawn", len(u.Withdrawn)),
+		telemetry.Str("error", err.Error()))
 }
 
 // originPeerID synthesizes a deterministic router identifier for routes the
@@ -264,9 +293,10 @@ func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 // exchange. Without one, two originated routes for the same prefix tie on
 // every decision step with zero PeerIDs, and selection would hinge on map
 // iteration order. The 100.64.0.0/10 (CGN) range cannot collide with a
-// participant router's LAN address.
-func originPeerID(as uint16) netip.Addr {
-	return netip.AddrFrom4([4]byte{100, 64, byte(as >> 8), byte(as)})
+// participant router's LAN address; the low 22 bits of the ASN keep
+// 4-octet ASNs distinct within the deployment sizes the SDX targets.
+func originPeerID(as uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, 64 | byte(as>>16&0x3f), byte(as >> 8), byte(as)})
 }
 
 // Originate injects a route on behalf of a participant that may have no
@@ -282,11 +312,11 @@ func (f *Frontend) Originate(participant ID, prefix netip.Prefix, nextHop netip.
 	}
 	changes, err := f.Server.Advertise(participant, bgp.Route{
 		Prefix: prefix,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			Origin:  bgp.OriginIGP,
-			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{as}}},
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{as}}},
 			NextHop: nextHop,
-		},
+		}),
 		PeerAS: as,
 		PeerID: originPeerID(as),
 	})
@@ -405,11 +435,6 @@ func (f *Frontend) propagate(changes []BestChange) {
 		f.OnChange(changes)
 		f.changeMu.Unlock()
 	}
-	// A change to a prefix's candidate routes can move its VIRTUAL next hop
-	// for every participant, not only those whose best path flipped: the
-	// fast path mints a fresh VNH for the prefix, and a next-hop change is
-	// a BGP UPDATE even when the AS path is unchanged. So each affected
-	// prefix is re-advertised to every connected participant.
 	seen := make(map[netip.Prefix]bool, len(changes))
 	prefixes := make([]netip.Prefix, 0, len(changes))
 	for _, ch := range changes {
@@ -417,6 +442,24 @@ func (f *Frontend) propagate(changes []BestChange) {
 			seen[ch.Prefix] = true
 			prefixes = append(prefixes, ch.Prefix)
 		}
+	}
+	f.propagatePrefixes(prefixes)
+}
+
+// propagatePrefixes notifies OnPrefixes and re-advertises each affected
+// prefix. A change to a prefix's candidate routes can move its VIRTUAL next
+// hop for every participant, not only those whose best path flipped: the
+// fast path mints a fresh VNH for the prefix, and a next-hop change is a
+// BGP UPDATE even when the AS path is unchanged. So each affected prefix is
+// re-advertised to every connected participant.
+func (f *Frontend) propagatePrefixes(prefixes []netip.Prefix) {
+	if len(prefixes) == 0 {
+		return
+	}
+	if f.OnPrefixes != nil {
+		f.changeMu.Lock()
+		f.OnPrefixes(prefixes)
+		f.changeMu.Unlock()
 	}
 	for _, e := range f.connectedEmitters() {
 		e.enqueue(prefixes)
@@ -471,7 +514,10 @@ func (f *Frontend) sendPacked(id ID, peer *bgp.Peer, withdrawn []netip.Prefix, a
 
 // resolveAttrs applies the NextHop resolver to one advertisement.
 func (f *Frontend) resolveAttrs(receiver ID, prefix netip.Prefix, best bgp.Route) bgp.PathAttrs {
-	attrs := best.Attrs
+	var attrs bgp.PathAttrs
+	if best.Attrs != nil {
+		attrs = *best.Attrs // value copy: the interned set stays immutable
+	}
 	if f.NextHop != nil {
 		if nh := f.NextHop(receiver, prefix, best); nh.IsValid() {
 			attrs = attrs.WithNextHop(nh)

@@ -19,7 +19,7 @@ type testClient struct {
 	updates []*bgp.Update
 }
 
-func dialClient(t *testing.T, addr string, as uint16, id string) *testClient {
+func dialClient(t *testing.T, addr string, as uint32, id string) *testClient {
 	t.Helper()
 	c := &testClient{}
 	c.speaker = bgp.NewSpeaker(bgp.SessionConfig{
@@ -84,7 +84,7 @@ func newLiveRouteServer(t *testing.T, nextHop NextHopResolver) (*Frontend, strin
 	t.Helper()
 	server := New(nil)
 	for i, id := range []ID{"A", "B", "C"} {
-		if err := server.AddParticipant(id, uint16(65001+i)); err != nil {
+		if err := server.AddParticipant(id, uint32(65001+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,13 +105,13 @@ func newLiveRouteServer(t *testing.T, nextHop NextHopResolver) (*Frontend, strin
 	return fe, addr.String()
 }
 
-func advertise(t *testing.T, c *testClient, prefix string, asns ...uint16) {
+func advertise(t *testing.T, c *testClient, prefix string, asns ...uint32) {
 	t.Helper()
 	err := c.peer.Send(&bgp.Update{
-		Attrs: bgp.PathAttrs{
+		Attrs: *bgp.Intern(bgp.PathAttrs{
 			NextHop: ma("192.0.2.9"),
 			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-		},
+		}),
 		NLRI: []netip.Prefix{mp(prefix)},
 	})
 	if err != nil {

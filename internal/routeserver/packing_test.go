@@ -18,7 +18,7 @@ func newLoadedRouteServer(t *testing.T, nPrefixes, nGroups int) (*Frontend, *bgp
 	t.Helper()
 	server := New(nil)
 	for i, id := range []ID{"A", "B", "L"} {
-		if err := server.AddParticipant(id, uint16(65001+i)); err != nil {
+		if err := server.AddParticipant(id, uint32(65001+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -26,11 +26,11 @@ func newLoadedRouteServer(t *testing.T, nPrefixes, nGroups int) (*Frontend, *bgp
 		rank := i % nGroups
 		err := server.Load("L", bgp.Route{
 			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24),
-			Attrs: bgp.PathAttrs{
+			Attrs: bgp.Intern(bgp.PathAttrs{
 				ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence,
-					ASNs: []uint16{65003, uint16(65100 + rank)}}},
+					ASNs: []uint32{65003, uint32(65100 + rank)}}},
 				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(rank + 1)}),
-			},
+			}),
 			PeerAS: 65003,
 			PeerID: ma("10.0.0.3"),
 		})

@@ -121,21 +121,21 @@ func TestFrontendDisplacedSessionKeepsRoutes(t *testing.T) {
 func TestServerFlushParticipant(t *testing.T) {
 	s := New(nil)
 	for i, id := range []ID{"A", "B", "C"} {
-		if err := s.AddParticipant(id, uint16(65001+i)); err != nil {
+		if err := s.AddParticipant(id, uint32(65001+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	route := func(as uint16, prefix string, pathLen int) bgp.Route {
-		asns := make([]uint16, pathLen)
+	route := func(as uint32, prefix string, pathLen int) bgp.Route {
+		asns := make([]uint32, pathLen)
 		for i := range asns {
 			asns[i] = as
 		}
 		return bgp.Route{
 			Prefix: mp(prefix),
-			Attrs: bgp.PathAttrs{
+			Attrs: bgp.Intern(bgp.PathAttrs{
 				NextHop: ma("192.0.2.9"),
 				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-			},
+			}),
 			PeerAS: as,
 		}
 	}

@@ -13,10 +13,18 @@
 // proceed in parallel. The participant registry has a separate lock
 // (partMu), always acquired before a shard lock, never after. Each shard
 // caches decision-process results — a receiver-independent (best,
-// second-best) pair when no export policy is installed, a per-(prefix,
-// receiver) entry when one is — invalidated whenever the prefix's
-// candidates change, so the hot read path (BestFor during
+// second-best) advertiser pair when no export policy is installed, a
+// per-(prefix, receiver) entry when one is — invalidated whenever the
+// prefix's candidates change, so the hot read path (BestFor during
 // re-advertisement and policy compilation) stops rescanning SelectBest.
+//
+// Memory. At full-DFZ scale (a million prefixes) per-prefix overhead is
+// what decides whether the table fits: candidates are a sorted slice of
+// (advertiser, route) rather than a map (a Go map's bucket array costs
+// several hundred bytes even for two entries), routes carry interned
+// *PathAttrs (one word instead of an inlined struct with three slices),
+// and the decision cache stores advertiser IDs only — the routes they name
+// are recovered by binary search in the candidate slice.
 package routeserver
 
 import (
@@ -50,7 +58,8 @@ type BestChange struct {
 
 type participant struct {
 	id ID
-	as uint16
+	// as is the participant's 4-octet ASN (RFC 6793).
+	as uint32
 	// advertised is this participant's Adj-RIB-In at the route server.
 	advertised *bgp.RIB
 }
@@ -60,30 +69,72 @@ type participant struct {
 // simultaneously on commodity core counts.
 const numShards = 64
 
+// candRoute is one advertiser's route for a prefix. The per-prefix
+// candidate list is a slice sorted by advertiser ID: the handful of routes
+// an IXP prefix attracts is cheaper to binary-search than to hash, and the
+// sorted order doubles as the canonical deterministic scan order.
+type candRoute struct {
+	id    ID
+	route bgp.Route
+}
+
+// findCand returns the index of id in the sorted candidate slice, or -1.
+func findCand(cands []candRoute, id ID) int {
+	i := sort.Search(len(cands), func(i int) bool { return cands[i].id >= id })
+	if i < len(cands) && cands[i].id == id {
+		return i
+	}
+	return -1
+}
+
 // bestPair caches the decision process for one prefix when no export
-// policy is installed: the globally best route and the best route not from
-// the same advertiser. Every receiver's best is derivable from the pair —
-// the first route, unless the receiver IS the first advertiser, in which
-// case the second (a participant never learns its own route back). Ties
-// between byte-identical routes resolve to the lowest advertiser ID, so
-// the derivation is insertion-order independent.
+// policy is installed: the advertisers of the globally best route and of
+// the best route not from the same advertiser. Every receiver's best is
+// derivable from the pair — the first advertiser's route, unless the
+// receiver IS the first advertiser, in which case the second's (a
+// participant never learns its own route back). Only the IDs are cached;
+// the routes are recovered from the candidate slice, so the cache costs
+// two strings per prefix instead of two full routes. Ties between
+// byte-identical routes resolve to the lowest advertiser ID, so the
+// derivation is insertion-order independent.
 type bestPair struct {
-	first, second     bgp.Route
 	firstID, secondID ID
 }
 
-// derive resolves the cached pair for one receiver.
-func (pr bestPair) derive(id ID) (bgp.Route, bool) {
-	if pr.firstID == "" {
-		return bgp.Route{}, false
+// pairSnap is a bestPair with its routes materialized — the before/after
+// unit the apply path diffs.
+type pairSnap struct {
+	firstID, secondID ID
+	first, second     bgp.Route
+	hasFirst          bool
+	hasSecond         bool
+}
+
+// derive resolves the snapshot for one receiver.
+func (ps pairSnap) derive(id ID) (bgp.Route, bool) {
+	if id != ps.firstID {
+		return ps.first, ps.hasFirst
 	}
-	if id != pr.firstID {
-		return pr.first, true
+	return ps.second, ps.hasSecond
+}
+
+func routeEq(a, b bgp.Route) bool {
+	return a.Prefix == b.Prefix && a.PeerAS == b.PeerAS && a.PeerID == b.PeerID &&
+		bgp.AttrsEqual(a.Attrs, b.Attrs)
+}
+
+func pairSnapEqual(a, b pairSnap) bool {
+	if a.firstID != b.firstID || a.secondID != b.secondID ||
+		a.hasFirst != b.hasFirst || a.hasSecond != b.hasSecond {
+		return false
 	}
-	if pr.secondID == "" {
-		return bgp.Route{}, false
+	if a.hasFirst && !routeEq(a.first, b.first) {
+		return false
 	}
-	return pr.second, true
+	if a.hasSecond && !routeEq(a.second, b.second) {
+		return false
+	}
+	return true
 }
 
 // recvBest is one per-(prefix, receiver) cached decision, used when an
@@ -96,12 +147,15 @@ type recvBest struct {
 
 // shard is one slice of the candidate table with its decision caches.
 // pair and perRecv entries for a prefix are deleted whenever that prefix's
-// candidates change; they are refilled lazily on the next read.
+// candidates change; they are refilled lazily on the next read. touched
+// journals every prefix whose candidate set changed since the last
+// DrainTouched — the feed for the controller's incremental FEC pass.
 type shard struct {
 	mu         sync.RWMutex
-	candidates map[netip.Prefix]map[ID]bgp.Route
+	candidates map[netip.Prefix][]candRoute
 	pair       map[netip.Prefix]bestPair
 	perRecv    map[netip.Prefix]map[ID]recvBest
+	touched    map[netip.Prefix]struct{}
 }
 
 // Server is the route-server engine.
@@ -110,8 +164,8 @@ type Server struct {
 	// after New.
 	export ExportFilter
 
-	// partMu guards the participant registry and routeExport. Lock order:
-	// partMu before any shard.mu, never the reverse.
+	// partMu guards the participant registry, routeExport, and epoch.
+	// Lock order: partMu before any shard.mu, never the reverse.
 	partMu       sync.RWMutex
 	participants map[ID]*participant
 	// sorted is the registry ordered by ID, rebuilt on add/remove; the
@@ -120,6 +174,11 @@ type Server struct {
 	// routeExport is the optional route-level export filter
 	// (SetRouteExportPolicy); it sees communities and other attributes.
 	routeExport RouteExportFilter
+	// epoch counts export-visibility configuration changes (participant
+	// add/remove, route-export policy installs). Consumers caching derived
+	// export views (the controller's reach sets) compare it to detect that
+	// the touched-prefix journal alone cannot explain what changed.
+	epoch uint64
 
 	shards [numShards]shard
 
@@ -141,9 +200,10 @@ func New(export ExportFilter) *Server {
 		export:       export,
 	}
 	for i := range s.shards {
-		s.shards[i].candidates = make(map[netip.Prefix]map[ID]bgp.Route)
+		s.shards[i].candidates = make(map[netip.Prefix][]candRoute)
 		s.shards[i].pair = make(map[netip.Prefix]bestPair)
 		s.shards[i].perRecv = make(map[netip.Prefix]map[ID]recvBest)
+		s.shards[i].touched = make(map[netip.Prefix]struct{})
 	}
 	return s
 }
@@ -165,9 +225,28 @@ func (s *Server) rebuildSortedLocked() {
 	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].id < s.sorted[j].id })
 }
 
-// AddParticipant registers a participant AS. Adding an existing ID is an
-// error: participant identity is structural for the SDX controller.
-func (s *Server) AddParticipant(id ID, as uint16) error {
+// Reserve pre-sizes the per-shard tables for an expected prefix count. A
+// full-table bulk load otherwise grows each shard's maps incrementally,
+// paying repeated rehashes of six-figure-entry tables; sizing them up front
+// is free for small tables and shaves seconds off a 1M-prefix load. Only
+// empty shards are resized — Reserve after routes have landed is a no-op.
+func (s *Server) Reserve(prefixes int) {
+	per := prefixes/numShards + 1
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.candidates) == 0 {
+			sh.candidates = make(map[netip.Prefix][]candRoute, per)
+			sh.touched = make(map[netip.Prefix]struct{}, per)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// AddParticipant registers a participant AS (4-octet, RFC 6793). Adding an
+// existing ID is an error: participant identity is structural for the SDX
+// controller.
+func (s *Server) AddParticipant(id ID, as uint32) error {
 	s.partMu.Lock()
 	defer s.partMu.Unlock()
 	if _, dup := s.participants[id]; dup {
@@ -175,6 +254,7 @@ func (s *Server) AddParticipant(id ID, as uint16) error {
 	}
 	s.participants[id] = &participant{id: id, as: as, advertised: bgp.NewRIB()}
 	s.rebuildSortedLocked()
+	s.epoch++
 	return nil
 }
 
@@ -195,6 +275,7 @@ func (s *Server) RemoveParticipant(id ID) []BestChange {
 	s.partMu.Lock()
 	delete(s.participants, id)
 	s.rebuildSortedLocked()
+	s.epoch++
 	s.partMu.Unlock()
 	return changes
 }
@@ -232,7 +313,7 @@ func (s *Server) Participants() []ID {
 }
 
 // AS returns the participant's AS number.
-func (s *Server) AS(id ID) (uint16, bool) {
+func (s *Server) AS(id ID) (uint32, bool) {
 	s.partMu.RLock()
 	defer s.partMu.RUnlock()
 	p, ok := s.participants[id]
@@ -240,6 +321,35 @@ func (s *Server) AS(id ID) (uint16, bool) {
 		return 0, false
 	}
 	return p.as, true
+}
+
+// ExportEpoch returns a counter that advances whenever export visibility
+// may have changed for reasons the touched-prefix journal does not record:
+// participant registration and route-export-policy installation.
+func (s *Server) ExportEpoch() uint64 {
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	return s.epoch
+}
+
+// DrainTouched returns and clears the set of prefixes whose candidate
+// routes changed (any advertiser's route added, replaced, or withdrawn)
+// since the previous drain. The controller's incremental FEC pass
+// recomputes membership only for these. The result is unordered.
+func (s *Server) DrainTouched() []netip.Prefix {
+	var out []netip.Prefix
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.touched) > 0 {
+			for p := range sh.touched {
+				out = append(out, p)
+			}
+			sh.touched = make(map[netip.Prefix]struct{})
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // applyOp is the net effect of one UPDATE on one prefix.
@@ -257,14 +367,34 @@ type applyOp struct {
 // 4271 §3.1: NLRI supersedes a withdrawal carried by the same message).
 // The returned changes are ordered by shard, then prefix, then receiver.
 func (s *Server) ApplyUpdate(from ID, withdrawn []netip.Prefix, advertised []bgp.Route) ([]BestChange, error) {
+	changes, _, err := s.apply(from, withdrawn, advertised, true)
+	return changes, err
+}
+
+// ApplyUpdateTouched applies the update exactly like ApplyUpdate but
+// reports only the prefixes whose decision outcome changed, skipping the
+// per-receiver change materialization. At full-table scale that
+// materialization dominates ApplyUpdate — every best-route move enumerates
+// all participants — while both in-tree consumers (the controller's fast
+// path and the frontend's re-advertisement emitters) key on the prefix
+// alone and re-read per-receiver state themselves. Under an export policy
+// the per-receiver outcome cannot be derived from the (best, second-best)
+// pair, so every prefix whose candidates changed is reported: a superset,
+// safe for consumers that re-read.
+func (s *Server) ApplyUpdateTouched(from ID, withdrawn []netip.Prefix, advertised []bgp.Route) ([]netip.Prefix, error) {
+	_, touched, err := s.apply(from, withdrawn, advertised, false)
+	return touched, err
+}
+
+func (s *Server) apply(from ID, withdrawn []netip.Prefix, advertised []bgp.Route, wantChanges bool) ([]BestChange, []netip.Prefix, error) {
 	s.partMu.RLock()
 	defer s.partMu.RUnlock()
 	p, ok := s.participants[from]
 	if !ok {
-		return nil, fmt.Errorf("routeserver: unknown participant %q", from)
+		return nil, nil, fmt.Errorf("routeserver: unknown participant %q", from)
 	}
 	if len(withdrawn) == 0 && len(advertised) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	s.mWithdrawals.Add(uint64(len(withdrawn)))
 	s.mAdvertisements.Add(uint64(len(advertised)))
@@ -292,6 +422,7 @@ func (s *Server) ApplyUpdate(from ID, withdrawn []netip.Prefix, advertised []bgp
 	}
 
 	var changes []BestChange
+	var touched []netip.Prefix
 	for si := range byShard {
 		list := byShard[si]
 		if len(list) == 0 {
@@ -301,11 +432,15 @@ func (s *Server) ApplyUpdate(from ID, withdrawn []netip.Prefix, advertised []bgp
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		for _, op := range list {
-			changes = append(changes, s.applyOneLocked(sh, from, op)...)
+			chs, changed := s.applyOneLocked(sh, from, op, wantChanges)
+			changes = append(changes, chs...)
+			if changed && !wantChanges {
+				touched = append(touched, op.prefix)
+			}
 		}
 		sh.mu.Unlock()
 	}
-	return changes, nil
+	return changes, touched, nil
 }
 
 func (s *Server) shardIndex(p netip.Prefix) uint32 {
@@ -328,63 +463,109 @@ func prefixLess(a, b netip.Prefix) bool {
 // applyOneLocked mutates one prefix's candidates and diffs every
 // participant's best route across the mutation. partMu (read) and the
 // shard's write lock are held.
-func (s *Server) applyOneLocked(sh *shard, from ID, op applyOp) []BestChange {
+//
+// Two fast paths keep steady-state churn off the O(participants) diff:
+// an update that leaves the advertiser's route byte-identical (a refresh)
+// returns before touching anything, and — when no export policy is
+// installed — an update that leaves the (best, second-best) pair intact
+// (the common case: churn on a non-best candidate) skips the per-receiver
+// scan entirely, since every receiver's answer derives from the pair.
+func (s *Server) applyOneLocked(sh *shard, from ID, op applyOp, wantChanges bool) ([]BestChange, bool) {
 	prefix := op.prefix
-	before := s.bestAllShardLocked(sh, prefix)
 	cands := sh.candidates[prefix]
+	ci := findCand(cands, from)
 	if op.withdraw {
-		if cands == nil {
-			return nil // withdrawing a route that was never there
+		if ci < 0 {
+			return nil, false // withdrawing a route that was never there
 		}
-		if _, had := cands[from]; !had {
-			return nil
-		}
-		delete(cands, from)
-		if len(cands) == 0 {
-			delete(sh.candidates, prefix)
+	} else if ci >= 0 && routeEq(cands[ci].route, op.route) {
+		return nil, false // unchanged re-advertisement: nothing downstream moves
+	}
+
+	filtered := s.filteredLocked()
+	var before []*bgp.Route
+	var bs pairSnap
+	if filtered {
+		if wantChanges {
+			before = s.bestAllShardLocked(sh, prefix)
 		}
 	} else {
-		if cands == nil {
-			cands = make(map[ID]bgp.Route)
+		bs = s.pairSnapLocked(sh, prefix)
+	}
+
+	// Mutate the sorted candidate slice in place.
+	if op.withdraw {
+		cands = append(cands[:ci], cands[ci+1:]...)
+		if len(cands) == 0 {
+			delete(sh.candidates, prefix)
+		} else {
 			sh.candidates[prefix] = cands
 		}
-		cands[from] = op.route
+	} else if ci >= 0 {
+		cands[ci].route = op.route
+	} else {
+		i := sort.Search(len(cands), func(i int) bool { return cands[i].id >= from })
+		cands = append(cands, candRoute{})
+		copy(cands[i+1:], cands[i:])
+		cands[i] = candRoute{id: from, route: op.route}
+		sh.candidates[prefix] = cands
 	}
+	sh.touched[prefix] = struct{}{}
 	delete(sh.pair, prefix)
 	delete(sh.perRecv, prefix)
-	after := s.bestAllShardLocked(sh, prefix)
 
 	var changes []BestChange
-	for i, part := range s.sorted {
-		if !routePtrEqual(before[i], after[i]) {
-			s.mBestChanges.Inc()
-			changes = append(changes, BestChange{Participant: part.id, Prefix: prefix, Old: before[i], New: after[i]})
+	if filtered {
+		// Without the receiver diff, "the candidates changed" is the
+		// strongest statement derivable here: report the prefix touched.
+		if !wantChanges {
+			return nil, true
 		}
+		after := s.bestAllShardLocked(sh, prefix)
+		for i, part := range s.sorted {
+			if !routePtrEqual(before[i], after[i]) {
+				s.mBestChanges.Inc()
+				changes = append(changes, BestChange{Participant: part.id, Prefix: prefix, Old: before[i], New: after[i]})
+			}
+		}
+		return changes, len(changes) > 0
 	}
-	return changes
+
+	as := s.pairSnapLocked(sh, prefix)
+	if pairSnapEqual(bs, as) {
+		return nil, false
+	}
+	if !wantChanges {
+		return nil, true
+	}
+	for _, part := range s.sorted {
+		ob, ook := bs.derive(part.id)
+		nb, nok := as.derive(part.id)
+		if ook == nok && (!ook || routeEq(ob, nb)) {
+			continue
+		}
+		s.mBestChanges.Inc()
+		ch := BestChange{Participant: part.id, Prefix: prefix}
+		if ook {
+			o := ob
+			ch.Old = &o
+		}
+		if nok {
+			n := nb
+			ch.New = &n
+		}
+		changes = append(changes, ch)
+	}
+	return changes, len(changes) > 0
 }
 
 // bestAllShardLocked snapshots every participant's best route for prefix,
-// indexed like s.sorted. Without an export policy the snapshot is derived
-// from the cached pair in O(1) per receiver; with one it falls back to the
-// per-receiver cache. partMu (read) and the shard's write lock are held.
+// indexed like s.sorted — the export-policy diff path, where the answer is
+// receiver-dependent. partMu (read) and the shard's write lock are held.
 func (s *Server) bestAllShardLocked(sh *shard, prefix netip.Prefix) []*bgp.Route {
 	out := make([]*bgp.Route, len(s.sorted))
-	if s.filteredLocked() {
-		for i, part := range s.sorted {
-			if r, ok := s.bestForShardLocked(sh, part.id, prefix); ok {
-				rc := r
-				out[i] = &rc
-			}
-		}
-		return out
-	}
-	pr, ok := s.pairLocked(sh, prefix)
-	if !ok {
-		return out
-	}
 	for i, part := range s.sorted {
-		if r, ok := pr.derive(part.id); ok {
+		if r, ok := s.bestForShardLocked(sh, part.id, prefix); ok {
 			rc := r
 			out[i] = &rc
 		}
@@ -392,18 +573,7 @@ func (s *Server) bestAllShardLocked(sh *shard, prefix netip.Prefix) []*bgp.Route
 	return out
 }
 
-// sortedAdvertisers returns the candidate advertisers in ID order — the
-// canonical scan order that makes tie-breaking deterministic.
-func sortedAdvertisers(cands map[ID]bgp.Route) []ID {
-	advs := make([]ID, 0, len(cands))
-	for adv := range cands {
-		advs = append(advs, adv)
-	}
-	sort.Slice(advs, func(i, j int) bool { return advs[i] < advs[j] })
-	return advs
-}
-
-// pairLocked returns the (best, second-best-advertiser) pair for prefix,
+// pairLocked returns the (best, second-best) advertiser pair for prefix,
 // computing and caching it on miss. The shard's write lock is held.
 func (s *Server) pairLocked(sh *shard, prefix netip.Prefix) (bestPair, bool) {
 	if pr, hit := sh.pair[prefix]; hit {
@@ -420,23 +590,43 @@ func (s *Server) pairLocked(sh *shard, prefix netip.Prefix) (bestPair, bool) {
 	return pr, true
 }
 
-// computePair runs the decision process over the candidates in canonical
-// advertiser order: a later route replaces the leader only when strictly
-// better, so equal routes resolve to the lowest advertiser ID.
-func computePair(cands map[ID]bgp.Route) bestPair {
-	advs := sortedAdvertisers(cands)
-	var pr bestPair
-	for _, adv := range advs {
-		if r := cands[adv]; pr.firstID == "" || r.Better(pr.first) {
-			pr.firstID, pr.first = adv, r
+// pairSnapLocked materializes the pair's routes from the candidate slice.
+// The shard's write lock is held.
+func (s *Server) pairSnapLocked(sh *shard, prefix netip.Prefix) pairSnap {
+	pr, ok := s.pairLocked(sh, prefix)
+	if !ok {
+		return pairSnap{}
+	}
+	ps := pairSnap{firstID: pr.firstID, secondID: pr.secondID}
+	cands := sh.candidates[prefix]
+	if i := findCand(cands, pr.firstID); i >= 0 {
+		ps.first, ps.hasFirst = cands[i].route, true
+	}
+	if pr.secondID != "" {
+		if i := findCand(cands, pr.secondID); i >= 0 {
+			ps.second, ps.hasSecond = cands[i].route, true
 		}
 	}
-	for _, adv := range advs {
-		if adv == pr.firstID {
+	return ps
+}
+
+// computePair runs the decision process over the candidates in canonical
+// (ID-sorted) order: a later route replaces the leader only when strictly
+// better, so equal routes resolve to the lowest advertiser ID.
+func computePair(cands []candRoute) bestPair {
+	var pr bestPair
+	var first, second bgp.Route
+	for _, c := range cands {
+		if pr.firstID == "" || c.route.Better(first) {
+			pr.firstID, first = c.id, c.route
+		}
+	}
+	for _, c := range cands {
+		if c.id == pr.firstID {
 			continue
 		}
-		if r := cands[adv]; pr.secondID == "" || r.Better(pr.second) {
-			pr.secondID, pr.second = adv, r
+		if pr.secondID == "" || c.route.Better(second) {
+			pr.secondID, second = c.id, c.route
 		}
 	}
 	return pr
@@ -472,19 +662,18 @@ func (s *Server) computeBestLocked(sh *shard, id ID, prefix netip.Prefix) (bgp.R
 	}
 	var best bgp.Route
 	found := false
-	for _, adv := range sortedAdvertisers(cands) {
-		if adv == id {
+	for _, c := range cands {
+		if c.id == id {
 			continue // a participant never learns its own route back
 		}
-		r := cands[adv]
-		if s.export != nil && !s.export(adv, id, prefix) {
+		if s.export != nil && !s.export(c.id, id, prefix) {
 			continue
 		}
-		if !s.routeExportAllowsLocked(adv, id, r) {
+		if !s.routeExportAllowsLocked(c.id, id, c.route) {
 			continue
 		}
-		if !found || r.Better(best) {
-			best, found = r, true
+		if !found || c.route.Better(best) {
+			best, found = c.route, true
 		}
 	}
 	return best, found
@@ -514,11 +703,16 @@ func (s *Server) Load(from ID, route bgp.Route) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	cands := sh.candidates[route.Prefix]
-	if cands == nil {
-		cands = make(map[ID]bgp.Route)
+	if i := findCand(cands, from); i >= 0 {
+		cands[i].route = route
+	} else {
+		i = sort.Search(len(cands), func(i int) bool { return cands[i].id >= from })
+		cands = append(cands, candRoute{})
+		copy(cands[i+1:], cands[i:])
+		cands[i] = candRoute{id: from, route: route}
 		sh.candidates[route.Prefix] = cands
 	}
-	cands[from] = route
+	sh.touched[route.Prefix] = struct{}{}
 	delete(sh.pair, route.Prefix)
 	delete(sh.perRecv, route.Prefix)
 	return nil
@@ -537,10 +731,7 @@ func routePtrEqual(a, b *bgp.Route) bool {
 	if a == nil {
 		return true
 	}
-	return a.Prefix == b.Prefix && a.PeerID == b.PeerID && a.PeerAS == b.PeerAS &&
-		a.Attrs.NextHop == b.Attrs.NextHop && a.Attrs.ASPathString() == b.Attrs.ASPathString() &&
-		a.Attrs.LocalPref == b.Attrs.LocalPref && a.Attrs.HasLocalPref == b.Attrs.HasLocalPref &&
-		a.Attrs.MED == b.Attrs.MED && a.Attrs.HasMED == b.Attrs.HasMED
+	return routeEq(*a, *b)
 }
 
 // BestFor returns participant id's best route for prefix: the decision
@@ -565,9 +756,10 @@ func (s *Server) BestFor(id ID, prefix netip.Prefix) (bgp.Route, bool) {
 			}
 		}
 	} else if pr, hit := sh.pair[prefix]; hit {
+		r, ok := s.derivePairRLocked(sh, prefix, pr, id)
 		sh.mu.RUnlock()
 		s.mBestCacheHits.Inc()
-		return pr.derive(id)
+		return r, ok
 	}
 	sh.mu.RUnlock()
 
@@ -581,7 +773,25 @@ func (s *Server) BestFor(id ID, prefix netip.Prefix) (bgp.Route, bool) {
 	if !ok {
 		return bgp.Route{}, false
 	}
-	return pr.derive(id)
+	return s.derivePairRLocked(sh, prefix, pr, id)
+}
+
+// derivePairRLocked resolves the cached advertiser pair for one receiver,
+// looking the winning route up in the candidate slice. Any shard lock
+// (read or write) is held.
+func (s *Server) derivePairRLocked(sh *shard, prefix netip.Prefix, pr bestPair, id ID) (bgp.Route, bool) {
+	adv := pr.firstID
+	if id == pr.firstID {
+		adv = pr.secondID
+	}
+	if adv == "" {
+		return bgp.Route{}, false
+	}
+	cands := sh.candidates[prefix]
+	if i := findCand(cands, adv); i >= 0 {
+		return cands[i].route, true
+	}
+	return bgp.Route{}, false
 }
 
 // BestNextHopParticipant returns the participant whose route is id's best
@@ -595,9 +805,9 @@ func (s *Server) BestNextHopParticipant(id ID, prefix netip.Prefix) (ID, bool) {
 	sh := s.shardOf(prefix)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for adv, r := range sh.candidates[prefix] {
-		if r.PeerID == best.PeerID && r.Attrs.NextHop == best.Attrs.NextHop && adv != id {
-			return adv, true
+	for _, c := range sh.candidates[prefix] {
+		if c.id != id && c.route.PeerID == best.PeerID && c.route.NextHop() == best.NextHop() {
+			return c.id, true
 		}
 	}
 	return "", false
@@ -635,6 +845,29 @@ func (s *Server) BestTwo(prefix netip.Prefix) (first, second ID) {
 		return "", ""
 	}
 	return pr.firstID, pr.secondID
+}
+
+// Exports reports whether hop's current route for prefix is exported to
+// id under the configured export policies — the single-prefix probe the
+// controller's incremental reach-set maintenance uses to patch cached
+// ReachableVia results for touched prefixes.
+func (s *Server) Exports(hop, id ID, prefix netip.Prefix) bool {
+	if hop == id {
+		return false
+	}
+	prefix = prefix.Masked()
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	p, ok := s.participants[hop]
+	if !ok {
+		return false
+	}
+	r, ok := p.advertised.Get(prefix)
+	if !ok {
+		return false
+	}
+	return (s.export == nil || s.export(hop, id, prefix)) &&
+		s.routeExportAllowsLocked(hop, id, r)
 }
 
 // ReachableVia returns the prefixes that hop exported to id: the set the
@@ -703,24 +936,49 @@ func (s *Server) Prefixes() []netip.Prefix {
 // FilterASPath returns the prefixes with at least one candidate route whose
 // AS path matches the regular expression — the paper's RIB.filter idiom,
 // used by the middlebox application to group YouTube-originated traffic.
+// The candidate attribute pointers are snapshotted under each shard's read
+// lock and the regexp runs outside it, so a full-table scan cannot stall
+// session writers; interned attribute sets are immutable, so the unlocked
+// match reads stable data. Distinct attribute pointers are matched once.
 func (s *Server) FilterASPath(expr string) ([]netip.Prefix, error) {
 	re, err := regexp.Compile(expr)
 	if err != nil {
 		return nil, fmt.Errorf("routeserver: bad as-path filter: %w", err)
 	}
-	var out []netip.Prefix
+	type cand struct {
+		prefix netip.Prefix
+		attrs  *bgp.PathAttrs
+	}
+	var snap []cand
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for prefix, cands := range sh.candidates {
-			for _, r := range cands {
-				if re.MatchString(r.Attrs.ASPathString()) {
-					out = append(out, prefix)
-					break
-				}
+			for _, c := range cands {
+				snap = append(snap, cand{prefix, c.route.Attrs})
 			}
 		}
 		sh.mu.RUnlock()
+	}
+	// With interned attributes a full table holds only a few thousand
+	// distinct sets; memoize the regexp verdict per pointer.
+	verdicts := make(map[*bgp.PathAttrs]bool)
+	var out []netip.Prefix
+	seen := make(map[netip.Prefix]bool)
+	for _, c := range snap {
+		v, ok := verdicts[c.attrs]
+		if !ok {
+			var a bgp.PathAttrs
+			if c.attrs != nil {
+				a = *c.attrs
+			}
+			v = re.MatchString(a.ASPathString())
+			verdicts[c.attrs] = v
+		}
+		if v && !seen[c.prefix] {
+			seen[c.prefix] = true
+			out = append(out, c.prefix)
+		}
 	}
 	netutil.SortPrefixes(out)
 	return out, nil

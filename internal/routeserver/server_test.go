@@ -10,14 +10,14 @@ import (
 func mp(s string) netip.Prefix { return netip.MustParsePrefix(s) }
 func ma(s string) netip.Addr   { return netip.MustParseAddr(s) }
 
-func rt(prefix string, asns ...uint16) bgp.Route {
+func rt(prefix string, asns ...uint32) bgp.Route {
 	nh := netip.AddrFrom4([4]byte{192, 0, 2, byte(asns[0] % 250)})
 	return bgp.Route{
 		Prefix: mp(prefix),
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: nh,
 			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-		},
+		}),
 		PeerAS: asns[0],
 		PeerID: netip.AddrFrom4([4]byte{10, 0, 0, byte(asns[0] % 250)}),
 	}
@@ -27,7 +27,7 @@ func newABC(t *testing.T, export ExportFilter) *Server {
 	t.Helper()
 	s := New(export)
 	for i, id := range []ID{"A", "B", "C"} {
-		if err := s.AddParticipant(id, uint16(65001+i)); err != nil {
+		if err := s.AddParticipant(id, uint32(65001+i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -23,7 +23,7 @@ func TestShardedApplyStress(t *testing.T) {
 		dialClient(t, addr, 65002, "10.0.0.2"),
 		dialClient(t, addr, 65003, "10.0.0.3"),
 	}
-	ases := []uint16{65001, 65002, 65003}
+	ases := []uint32{65001, 65002, 65003}
 
 	prefixes := make([]netip.Prefix, 64)
 	for i := range prefixes {
@@ -41,11 +41,11 @@ func TestShardedApplyStress(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(100 + ci)))
 			for round := 0; round < 150; round++ {
 				u := &bgp.Update{
-					Attrs: bgp.PathAttrs{
+					Attrs: *bgp.Intern(bgp.PathAttrs{
 						ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence,
-							ASNs: []uint16{ases[ci], uint16(65100 + rng.Intn(3))}}},
+							ASNs: []uint32{ases[ci], uint32(65100 + rng.Intn(3))}}},
 						NextHop: netip.AddrFrom4([4]byte{192, 0, 2, byte(ci + 1)}),
-					},
+					}),
 				}
 				for i, n := 0, 1+rng.Intn(8); i < n; i++ {
 					p := prefixes[rng.Intn(len(prefixes))]

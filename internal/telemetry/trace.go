@@ -21,6 +21,9 @@ func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
 // Int builds an integer attribute.
 func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
 
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
 // Dur builds a duration attribute, rendered compactly.
 func Dur(k string, d time.Duration) Attr {
 	return Attr{Key: k, Value: d.Round(time.Microsecond).String()}

@@ -38,7 +38,7 @@ func (c Class) String() string {
 // Member is one synthetic IXP participant.
 type Member struct {
 	ID        core.ID
-	AS        uint16
+	AS        uint32
 	Class     Class
 	Ports     []core.Port
 	Announced []netip.Prefix
@@ -82,7 +82,7 @@ func GenerateExchange(rng *rand.Rand, nParticipants, nPrefixes int) *Exchange {
 	for i := 0; i < nParticipants; i++ {
 		m := Member{
 			ID:    core.ID(fmt.Sprintf("AS%d", 65000-i)),
-			AS:    uint16(64000 - i),
+			AS:    uint32(64000 - i),
 			Class: classOf(rng, i, nParticipants),
 		}
 		ports := 1
@@ -226,17 +226,17 @@ func (ex *Exchange) Populate(c *core.Controller) error {
 // hops, so lower ranks are preferred.
 func (ex *Exchange) RouteFor(mi int, prefix netip.Prefix, rank int) bgp.Route {
 	m := ex.Members[mi]
-	asns := make([]uint16, rank+1)
+	asns := make([]uint32, rank+1)
 	asns[0] = m.AS
 	for i := 1; i <= rank; i++ {
-		asns[i] = m.AS - uint16(1000*i)
+		asns[i] = m.AS - uint32(1000*i)
 	}
 	return bgp.Route{
 		Prefix: prefix,
-		Attrs: bgp.PathAttrs{
+		Attrs: bgp.Intern(bgp.PathAttrs{
 			NextHop: m.Ports[0].RouterIP,
 			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: asns}},
-		},
+		}),
 		PeerAS: m.AS,
 		PeerID: m.Ports[0].RouterIP,
 	}

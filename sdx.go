@@ -218,7 +218,7 @@ type RouteExportFilter = routeserver.RouteExportFilter
 // CommunityExportPolicy returns the conventional RFC 1997 route-server
 // export controls — (0,0) announce to no one, (0,peerAS) block one peer,
 // (rsAS,peerAS) whitelist — for a route server with the given AS.
-func CommunityExportPolicy(rsAS uint16) RouteExportFilter {
+func CommunityExportPolicy(rsAS uint32) RouteExportFilter {
 	return routeserver.CommunityExportPolicy(rsAS)
 }
 
@@ -241,6 +241,11 @@ type BGPRoute = bgp.Route
 
 // PathAttrs is a BGP UPDATE's attribute set.
 type PathAttrs = bgp.PathAttrs
+
+// InternPathAttrs canonicalizes an attribute set through the process-wide
+// interning table; Route.Attrs must point at an interned set so equal
+// attribute combinations share storage and compare by pointer.
+func InternPathAttrs(a PathAttrs) *PathAttrs { return bgp.Intern(a) }
 
 // ASPathSegment is one AS_PATH segment.
 type ASPathSegment = bgp.ASPathSegment

@@ -26,20 +26,20 @@ func facadeExchange(t *testing.T) (*Controller, *RouteServer) {
 	}
 	for _, adv := range []struct {
 		id      ID
-		as      uint16
+		as      uint32
 		router  string
 		pathLen int
 	}{{"B", 65002, "172.31.0.2", 2}, {"C", 65003, "172.31.0.3", 1}} {
-		asns := make([]uint16, adv.pathLen)
+		asns := make([]uint32, adv.pathLen)
 		for i := range asns {
 			asns[i] = adv.as
 		}
 		if _, err := rs.Advertise(adv.id, BGPRoute{
 			Prefix: netip.MustParsePrefix("93.184.0.0/16"),
-			Attrs: PathAttrs{
+			Attrs: InternPathAttrs(PathAttrs{
 				NextHop: netip.MustParseAddr(adv.router),
 				ASPath:  []ASPathSegment{{Type: 2, ASNs: asns}},
-			},
+			}),
 			PeerAS: adv.as,
 			PeerID: netip.MustParseAddr(adv.router),
 		}); err != nil {
@@ -195,7 +195,7 @@ func TestFacadeCommunities(t *testing.T) {
 	rs := NewRouteServer()
 	rs.SetRouteExportPolicy(CommunityExportPolicy(65000))
 	for _, id := range []ID{"A", "B"} {
-		as := uint16(65001)
+		as := uint32(65001)
 		if id == "B" {
 			as = 65002
 		}
@@ -205,11 +205,11 @@ func TestFacadeCommunities(t *testing.T) {
 	}
 	route := BGPRoute{
 		Prefix: netip.MustParsePrefix("10.0.0.0/8"),
-		Attrs: PathAttrs{
+		Attrs: InternPathAttrs(PathAttrs{
 			NextHop:     netip.MustParseAddr("192.0.2.1"),
-			ASPath:      []ASPathSegment{{Type: 2, ASNs: []uint16{65002}}},
+			ASPath:      []ASPathSegment{{Type: 2, ASNs: []uint32{65002}}},
 			Communities: []uint32{Community(0, 65001)}, // hide from A
-		},
+		}),
 		PeerAS: 65002,
 		PeerID: netip.MustParseAddr("10.0.0.2"),
 	}

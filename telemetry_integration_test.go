@@ -54,7 +54,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	}
 	if _, err := rs.Advertise("B", bgp.Route{
 		Prefix: netip.MustParsePrefix("93.184.0.0/16"),
-		Attrs:  bgp.PathAttrs{NextHop: ipB, ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65002}}}},
+		Attrs:  bgp.Intern(bgp.PathAttrs{NextHop: ipB, ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65002}}}}),
 		PeerAS: 65002,
 		PeerID: ipB,
 	}); err != nil {
@@ -82,7 +82,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	}
 	defer client.Close()
 	if err := peer.Send(&bgp.Update{
-		Attrs: bgp.PathAttrs{NextHop: ipA, ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint16{65001}}}},
+		Attrs: *bgp.Intern(bgp.PathAttrs{NextHop: ipA, ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65001}}}}),
 		NLRI:  []netip.Prefix{netip.MustParsePrefix("198.51.0.0/16")},
 	}); err != nil {
 		t.Fatal(err)
