@@ -34,7 +34,14 @@ bench:
 # scale experiment (1M-prefix synthetic table: load time, steady-state
 # churn, resident footprint) lands in BENCH_fullscale.json; sdx-bench
 # exits nonzero — failing this target — if resident memory exceeds the
-# 2 GB ceiling.
+# 2 GB ceiling. The million-client analytics experiment (1M distinct
+# sources through the sampled-flow pipeline; top-k/policy/drop estimates
+# checked against exact ground truth) lands in BENCH_analytics.json the
+# same way. The forwarding benchmark regex also picks up
+# BenchmarkSwitchForwardingSampled, the 1-in-1024 sampling-overhead guard.
+# Finally sdx-benchjson -validate re-checks every recorded result file:
+# positive iterations/ns-op for report-shaped files, every *_ok gate true
+# for experiment-shaped ones.
 bench-smoke:
 	$(GO) test -bench=Compile -benchtime=1x -run '^$$' .
 	$(GO) test -bench='BenchmarkSwitchForwarding|BenchmarkFlowTableLookup' -benchtime=2000x -run '^$$' . \
@@ -45,6 +52,9 @@ bench-smoke:
 	@cat BENCH_routeserver.json
 	$(GO) run ./cmd/sdx-bench -experiment fullscale -json BENCH_fullscale.json
 	@cat BENCH_fullscale.json
+	$(GO) run ./cmd/sdx-bench -experiment analytics -json BENCH_analytics.json
+	@cat BENCH_analytics.json
+	$(GO) run ./cmd/sdx-benchjson -validate BENCH_*.json
 
 # The control-plane chaos test (both control channels killed and restored
 # mid-churn; final flow tables must converge byte-identically) runs once as

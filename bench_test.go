@@ -18,6 +18,7 @@ import (
 	"sdx/internal/core"
 	"sdx/internal/dataplane"
 	"sdx/internal/experiments"
+	"sdx/internal/flowexport"
 	"sdx/internal/netutil"
 	"sdx/internal/openflow"
 	"sdx/internal/packet"
@@ -350,6 +351,57 @@ func BenchmarkSwitchForwarding(b *testing.B) {
 		Match: policy.MatchAll.Port(1), Priority: 1,
 		Actions: []openflow.Action{openflow.Output(2)},
 	})
+	frame := packet.NewUDP(
+		netutil.MustParseMAC("02:00:00:00:00:01"), netutil.MustParseMAC("02:00:00:00:00:02"),
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("20.0.0.1"),
+		4000, 10511, make([]byte, 1400)).Serialize()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sw.Inject(1, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwitchForwardingSampled is BenchmarkSwitchForwarding with sFlow
+// sampling enabled at the production-default 1-in-1024 rate. The guard: the
+// sampled path must stay within a few percent of the unsampled path (1023 of
+// 1024 frames pay only a counter increment; the 1024th builds one Record and
+// does a non-blocking channel send).
+func BenchmarkSwitchForwardingSampled(b *testing.B) {
+	sw := dataplane.NewSwitch(1)
+	sw.AttachPort(1, func([]byte) {})
+	sw.AttachPort(2, func([]byte) {})
+	for p := uint16(0); p < 512; p++ {
+		sw.Table.Add(&dataplane.FlowEntry{
+			Match:    policy.MatchAll.Port(1).DstPort(10000 + p),
+			Priority: 10 + p,
+			Actions:  []openflow.Action{openflow.Output(2)},
+		})
+	}
+	sw.Table.Add(&dataplane.FlowEntry{
+		Match: policy.MatchAll.Port(1), Priority: 1,
+		Actions: []openflow.Action{openflow.Output(2)},
+	})
+	ex := flowexport.New(1024, 4096)
+	sw.SetFlowExporter(ex)
+	// Drain concurrently so the bounded channel never fills; a full channel
+	// would still not block (Export drops), but drops would understate the
+	// sampled path's true cost.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ex.Records():
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
 	frame := packet.NewUDP(
 		netutil.MustParseMAC("02:00:00:00:00:01"), netutil.MustParseMAC("02:00:00:00:00:02"),
 		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("20.0.0.1"),

@@ -7,10 +7,12 @@
 //	sdx-bench -experiment fig8 -participants 100,200,300 -seed 7
 //
 // Experiments: table1, fig5a, fig5b, fig6, fig7 (alias fig8), fig9, fig10,
-// ablation, churn, fullscale, all. Scale multiplies the default prefix
-// counts; 1.0 keeps the laptop-sized defaults documented in EXPERIMENTS.md
-// (except fullscale, whose default IS the 1M-prefix DFZ table and which
-// must be selected explicitly; -json writes its result file).
+// ablation, churn, fullscale, analytics, all. Scale multiplies the default
+// prefix counts; 1.0 keeps the laptop-sized defaults documented in
+// EXPERIMENTS.md (except fullscale and analytics, whose defaults ARE the
+// full-scale configurations — a 1M-prefix DFZ table and a million-client
+// traffic run — and which must be selected explicitly; -json writes their
+// result files).
 package main
 
 import (
@@ -27,12 +29,12 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
 		bursts       = flag.Int("bursts", 200, "update bursts for the churn experiment")
-		jsonOut      = flag.String("json", "", "write the fullscale result as JSON to this file")
+		jsonOut      = flag.String("json", "", "write the fullscale/analytics result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -98,6 +100,19 @@ func main() {
 		any = true
 		run("fullscale", func() error {
 			res, err := experiments.FullScale(cfg, 0, 0, 0)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			return err
+		})
+	}
+	// The million-client traffic experiment is likewise explicit-only.
+	if *experiment == "analytics" {
+		any = true
+		run("analytics", func() error {
+			res, err := experiments.Analytics(cfg, 0, 0)
 			if res != nil && *jsonOut != "" {
 				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
 					err = werr

@@ -5,6 +5,13 @@
 // With -baseline, a previously written file is embedded under "baseline"
 // and per-benchmark speedups (baseline ns/op ÷ current ns/op) are computed
 // for every benchmark present in both runs.
+//
+// With -validate, the remaining arguments are BENCH_*.json files to check
+// instead of stdin to convert: report-shaped files (a "benchmarks" object)
+// must have positive iterations and ns/op for every entry, and
+// experiment-shaped files (fullscale, analytics) must have every "*_ok"
+// acceptance gate true. CI runs this after bench-smoke so a regression in
+// any recorded result file fails the build rather than rotting silently.
 package main
 
 import (
@@ -75,10 +82,80 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 	return out, r.Err()
 }
 
+// validateFile checks one recorded result file. Report-shaped files (a
+// "benchmarks" object) need a positive iteration count and ns/op per entry;
+// experiment-shaped files need every "*_ok" gate true. Anything else is an
+// error — a file this tool can't classify is a file CI isn't really checking.
+func validateFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if benchRaw, ok := doc["benchmarks"]; ok {
+		var benches map[string]Result
+		if err := json.Unmarshal(benchRaw, &benches); err != nil {
+			return fmt.Errorf("%s: benchmarks: %w", path, err)
+		}
+		if len(benches) == 0 {
+			return fmt.Errorf("%s: empty benchmarks object", path)
+		}
+		for name, r := range benches {
+			if r.Iterations <= 0 || r.NsPerOp <= 0 {
+				return fmt.Errorf("%s: %s: iterations=%d ns/op=%g, want both positive",
+					path, name, r.Iterations, r.NsPerOp)
+			}
+		}
+		return nil
+	}
+	gates := 0
+	for key, val := range doc {
+		if !strings.HasSuffix(key, "_ok") {
+			continue
+		}
+		var ok bool
+		if err := json.Unmarshal(val, &ok); err != nil {
+			return fmt.Errorf("%s: %s is not a boolean gate: %w", path, key, err)
+		}
+		gates++
+		if !ok {
+			return fmt.Errorf("%s: acceptance gate %s is false", path, key)
+		}
+	}
+	if gates == 0 {
+		return fmt.Errorf("%s: neither report-shaped (no \"benchmarks\") nor experiment-shaped (no \"*_ok\" gates)", path)
+	}
+	return nil
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "previously written report to compare against")
 	out := flag.String("out", "", "output file (default stdout)")
+	validate := flag.Bool("validate", false, "validate the BENCH_*.json files given as arguments instead of converting stdin")
 	flag.Parse()
+
+	if *validate {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "sdx-benchjson: -validate needs at least one file")
+			os.Exit(2)
+		}
+		failed := false
+		for _, path := range flag.Args() {
+			if err := validateFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "sdx-benchjson:", err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s: ok\n", path)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

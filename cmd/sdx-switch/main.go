@@ -14,6 +14,11 @@
 // Each -port flag is NUMBER=LISTEN/PEER: frames arriving on LISTEN enter
 // the fabric on port NUMBER; frames the fabric emits on NUMBER are sent to
 // PEER.
+//
+// With -flow-sample-rate N the switch samples 1-in-N frames (forwarded and
+// dropped) into the analytics store and serves the /debug/sdx/flows query
+// API — top talkers, per-policy hit rates, drop attribution — on
+// -analytics-addr (or on -telemetry-addr when the two coincide).
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"sdx/internal/analytics"
 	"sdx/internal/dataplane"
+	"sdx/internal/flowexport"
 	"sdx/internal/telemetry"
 )
 
@@ -68,6 +75,10 @@ func main() {
 			"initial controller-redial backoff")
 		maxBackoff = flag.Duration("reconnect-max-backoff", 30*time.Second,
 			"controller-redial backoff ceiling")
+		sampleRate = flag.Int("flow-sample-rate", 0,
+			"export 1 in N forwarded/dropped frames as flow records (0 = sampling disabled)")
+		analyticsAddr = flag.String("analytics-addr", "",
+			"HTTP listen address for the /debug/sdx/flows query API (empty = no listener; requires -flow-sample-rate)")
 		ports portFlag
 	)
 	flag.Var(&ports, "port", "fabric port as NUMBER=LISTEN/PEER (repeatable)")
@@ -75,16 +86,51 @@ func main() {
 	if len(ports.specs) == 0 {
 		log.Fatal("at least one -port is required")
 	}
+	if *analyticsAddr != "" && *sampleRate <= 0 {
+		log.Fatal("-analytics-addr requires -flow-sample-rate > 0")
+	}
 
 	sw := dataplane.NewSwitch(*dpid)
+	reg := telemetry.NewRegistry()
+	sw.EnableTelemetry(reg)
+
+	// Sampled flow export feeds the analytics store, which serves the
+	// /debug/sdx/flows query API. With sampling off the match path pays
+	// nothing; with it on, 1-in-N frames pay one Record build and a
+	// non-blocking channel send.
+	var flowMounts []telemetry.Mount
+	if *sampleRate > 0 {
+		ex := flowexport.New(*sampleRate, 4096)
+		sw.SetFlowExporter(ex)
+		store := analytics.New(analytics.Config{SampleRate: *sampleRate})
+		go store.Run(ex.Records(), make(chan struct{})) // runs for process lifetime
+		ex.EnableTelemetry(reg)
+		store.EnableTelemetry(reg)
+		flowMounts = []telemetry.Mount{{Pattern: "/debug/sdx/flows", Handler: store.Handler()}}
+		log.Printf("flow sampling 1-in-%d", *sampleRate)
+	}
 	if *telemetryAddr != "" {
-		reg := telemetry.NewRegistry()
-		sw.EnableTelemetry(reg)
-		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+		// The flow query API rides the telemetry listener when the addresses
+		// coincide; otherwise it gets its own listener below.
+		var mounts []telemetry.Mount
+		if *analyticsAddr == *telemetryAddr {
+			mounts = flowMounts
+		}
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil, mounts...)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
+		if len(mounts) > 0 {
+			log.Printf("flow analytics on http://%v/debug/sdx/flows", tsrv.Addr())
+		}
+	}
+	if *analyticsAddr != "" && *analyticsAddr != *telemetryAddr {
+		asrv, err := telemetry.Serve(*analyticsAddr, reg, nil, flowMounts...)
+		if err != nil {
+			log.Fatalf("analytics listen: %v", err)
+		}
+		log.Printf("flow analytics on http://%v/debug/sdx/flows", asrv.Addr())
 	}
 	for _, spec := range ports.specs {
 		if err := attachUDPPort(sw, spec); err != nil {

@@ -1,0 +1,46 @@
+package analytics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// FlowsSnapshot is the JSON document served at /debug/sdx/flows.
+type FlowsSnapshot struct {
+	SampleRate int          `json:"sample_rate"`
+	Records    uint64       `json:"records"`
+	TopTalkers []Talker     `json:"top_talkers"`
+	Policies   []PolicyHits `json:"policies"`
+	Drops      []DropStat   `json:"drops"`
+}
+
+// Snapshot assembles the query surface into one document; k bounds the
+// talker list (<=0 means the default 10).
+func (s *Store) Snapshot(k int) FlowsSnapshot {
+	if k <= 0 {
+		k = 10
+	}
+	return FlowsSnapshot{
+		SampleRate: s.cfg.SampleRate,
+		Records:    s.Records(),
+		TopTalkers: s.TopTalkers(k),
+		Policies:   s.Policies(),
+		Drops:      s.Drops(),
+	}
+}
+
+// Handler serves the flow-analytics query API: a JSON FlowsSnapshot, with
+// ?k=N bounding the talker list. Mount it on the telemetry mux:
+//
+//	telemetry.Serve(addr, reg, tr, telemetry.Mount{
+//		Pattern: "/debug/sdx/flows", Handler: store.Handler()})
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot(k))
+	})
+}

@@ -1,0 +1,312 @@
+// Package analytics turns sampled flow records into answers: which sources
+// are the heaviest talkers, how often each policy rule fires, and where
+// dropped traffic goes. It is the query layer the SDX paper's applications
+// presume — application-specific peering and inbound TE only make sense if
+// the exchange can see per-flow behavior, and PR 2's counters cannot say
+// *who* is sending.
+//
+// Records arrive from internal/flowexport's bounded channel (Run) or
+// directly (Ingest) and land in a ring of time buckets. Each bucket holds
+// three sketches:
+//
+//   - top talkers: a weighted space-saving sketch over source addresses,
+//     counting all ingress traffic whether forwarded or dropped (see TopK
+//     for the error bound),
+//   - per-policy hit rates: exact counts keyed by the matched rule cookie,
+//   - drop attribution: exact counts keyed by (reason, ingress port).
+//
+// Queries aggregate the live ring and scale by the exporter's sampling
+// rate, so results estimate wire traffic, not sampled traffic. All byte
+// and packet figures inherit the usual 1-in-N sampling error: for a flow
+// that truly sent n frames, the count-based sampler contributes n/N ± 1
+// samples deterministically, so relative error shrinks as 1/n.
+package analytics
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"sdx/internal/flowexport"
+	"sdx/internal/telemetry"
+)
+
+// Config parameterizes a Store. Zero values take the documented defaults.
+type Config struct {
+	// SampleRate is the exporter's 1-in-N rate; queries multiply sampled
+	// counts by it (default 1).
+	SampleRate int
+	// Window is one time bucket's width (default 10s).
+	Window time.Duration
+	// Buckets is the ring length (default 6 — one minute of history at
+	// the default window).
+	Buckets int
+	// TopKCapacity bounds each bucket's talker sketch (default 1024).
+	TopKCapacity int
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+type policyCount struct {
+	packets uint64
+	bytes   uint64
+}
+
+type dropKey struct {
+	reason flowexport.DropReason
+	inPort uint16
+}
+
+type bucket struct {
+	start    time.Time
+	talkers  *TopK
+	policies map[uint64]policyCount
+	drops    map[dropKey]policyCount
+}
+
+// Store ingests sampled flow records into a ring of time-bucketed sketches
+// and serves aggregate queries. Safe for concurrent use; ingest takes one
+// mutex (the stream is already decimated by sampling, so contention is not
+// a hot-path concern).
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ring    []bucket
+	cur     int
+	records uint64
+}
+
+// New returns a Store with cfg's defaults applied.
+func New(cfg Config) *Store {
+	if cfg.SampleRate < 1 {
+		cfg.SampleRate = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	if cfg.Buckets < 1 {
+		cfg.Buckets = 6
+	}
+	if cfg.TopKCapacity == 0 {
+		cfg.TopKCapacity = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Store{cfg: cfg, ring: make([]bucket, cfg.Buckets)}
+	s.ring[0] = s.newBucket(cfg.Now())
+	return s
+}
+
+func (s *Store) newBucket(start time.Time) bucket {
+	return bucket{
+		start:    start,
+		talkers:  NewTopK(s.cfg.TopKCapacity),
+		policies: make(map[uint64]policyCount),
+		drops:    make(map[dropKey]policyCount),
+	}
+}
+
+// SampleRate returns the configured scaling factor.
+func (s *Store) SampleRate() int { return s.cfg.SampleRate }
+
+// Ingest adds one sampled record to the current bucket, rolling the ring
+// forward when the bucket's window has elapsed.
+func (s *Store) Ingest(r flowexport.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	b := &s.ring[s.cur]
+	if now.Sub(b.start) >= s.cfg.Window {
+		s.cur = (s.cur + 1) % len(s.ring)
+		s.ring[s.cur] = s.newBucket(now)
+		b = &s.ring[s.cur]
+	}
+	s.records++
+	// Talkers count everything a source sends into the fabric, dropped or
+	// not — a source hammering a withdrawn route is exactly what the
+	// visibility layer must surface.
+	if r.SrcIP.IsValid() {
+		b.talkers.Offer(r.SrcIP, uint64(r.Bytes))
+	}
+	if r.Drop == flowexport.DropNone {
+		pc := b.policies[r.Cookie]
+		pc.packets++
+		pc.bytes += uint64(r.Bytes)
+		b.policies[r.Cookie] = pc
+	} else {
+		dc := b.drops[dropKey{reason: r.Drop, inPort: r.InPort}]
+		dc.packets++
+		dc.bytes += uint64(r.Bytes)
+		b.drops[dropKey{reason: r.Drop, inPort: r.InPort}] = dc
+	}
+}
+
+// Run consumes records from ch until stop closes, then drains whatever is
+// still buffered and returns. The channel is never closed by the producer
+// (flowexport.Exporter keeps it open so late samples drop instead of
+// panicking), so stop is the only exit.
+func (s *Store) Run(ch <-chan flowexport.Record, stop <-chan struct{}) {
+	for {
+		select {
+		case r := <-ch:
+			s.Ingest(r)
+		case <-stop:
+			for {
+				select {
+				case r := <-ch:
+					s.Ingest(r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Talker is one aggregated top-talker estimate, scaled to wire traffic.
+type Talker struct {
+	SrcIP netip.Addr `json:"src_ip"`
+	// Bytes estimates the source's wire bytes; it overestimates by at
+	// most Err (sketch eviction) plus sampling noise.
+	Bytes uint64 `json:"bytes"`
+	Err   uint64 `json:"err"`
+}
+
+// TopTalkers merges the ring's talker sketches and returns the k heaviest
+// sources, scaled by the sampling rate. Cross-bucket merging sums counts
+// and error bounds per key, so Err stays a sound overcount bound.
+func (s *Store) TopTalkers(k int) []Talker {
+	s.mu.Lock()
+	merged := make(map[netip.Addr]Talker)
+	for i := range s.ring {
+		if s.ring[i].talkers == nil {
+			continue
+		}
+		for _, e := range s.ring[i].talkers.Top(0) {
+			t := merged[e.Key]
+			t.SrcIP = e.Key
+			t.Bytes += e.Count
+			t.Err += e.Err
+			merged[e.Key] = t
+		}
+	}
+	s.mu.Unlock()
+	out := make([]Talker, 0, len(merged))
+	rate := uint64(s.cfg.SampleRate)
+	for _, t := range merged {
+		t.Bytes *= rate
+		t.Err *= rate
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].SrcIP.Less(out[j].SrcIP)
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// PolicyHits is one rule's aggregated, sampling-scaled hit estimate.
+type PolicyHits struct {
+	Cookie  uint64 `json:"cookie"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Policies returns per-rule hit estimates keyed by cookie, heaviest first.
+func (s *Store) Policies() []PolicyHits {
+	s.mu.Lock()
+	merged := make(map[uint64]policyCount)
+	for i := range s.ring {
+		for cookie, pc := range s.ring[i].policies {
+			m := merged[cookie]
+			m.packets += pc.packets
+			m.bytes += pc.bytes
+			merged[cookie] = m
+		}
+	}
+	s.mu.Unlock()
+	rate := uint64(s.cfg.SampleRate)
+	out := make([]PolicyHits, 0, len(merged))
+	for cookie, pc := range merged {
+		out = append(out, PolicyHits{Cookie: cookie, Packets: pc.packets * rate, Bytes: pc.bytes * rate})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Cookie < out[j].Cookie
+	})
+	return out
+}
+
+// DropStat attributes sampled drops to a (reason, ingress port) pair,
+// sampling-scaled.
+type DropStat struct {
+	Reason  string `json:"reason"`
+	InPort  uint16 `json:"in_port"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Drops returns drop attribution, heaviest first.
+func (s *Store) Drops() []DropStat {
+	s.mu.Lock()
+	merged := make(map[dropKey]policyCount)
+	for i := range s.ring {
+		for k, dc := range s.ring[i].drops {
+			m := merged[k]
+			m.packets += dc.packets
+			m.bytes += dc.bytes
+			merged[k] = m
+		}
+	}
+	s.mu.Unlock()
+	rate := uint64(s.cfg.SampleRate)
+	out := make([]DropStat, 0, len(merged))
+	for k, dc := range merged {
+		out = append(out, DropStat{
+			Reason:  k.reason.String(),
+			InPort:  k.inPort,
+			Packets: dc.packets * rate,
+			Bytes:   dc.bytes * rate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		if out[i].Reason != out[j].Reason {
+			return out[i].Reason < out[j].Reason
+		}
+		return out[i].InPort < out[j].InPort
+	})
+	return out
+}
+
+// Records returns the number of records ingested.
+func (s *Store) Records() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// EnableTelemetry exposes the store's ingest counters through reg.
+func (s *Store) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("sdx_analytics_records_total",
+		"Sampled flow records ingested by the analytics store.",
+		func() float64 { return float64(s.Records()) })
+	reg.GaugeFunc("sdx_analytics_sample_rate",
+		"Sampling rate the store scales estimates by.",
+		func() float64 { return float64(s.cfg.SampleRate) })
+}

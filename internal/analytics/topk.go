@@ -1,0 +1,112 @@
+package analytics
+
+import (
+	"container/heap"
+	"net/netip"
+	"sort"
+)
+
+// TopK is a weighted space-saving (stream-summary) sketch over source
+// addresses: it tracks at most capacity counters and answers top-k
+// heaviest-talker queries over an unbounded key stream in O(capacity)
+// memory. When a new key arrives with all counters taken, the minimum
+// counter is evicted and its count inherited — the classic Metwally et al.
+// scheme — so every estimate overcounts by at most its Err field, and
+// Err is bounded by W/capacity where W is the total weight offered.
+// Offering fewer distinct keys than capacity keeps every count exact
+// (Err == 0).
+type TopK struct {
+	capacity int
+	items    map[netip.Addr]*tkItem
+	heap     tkHeap
+}
+
+type tkItem struct {
+	key   netip.Addr
+	count uint64
+	err   uint64
+	idx   int // heap position
+}
+
+// NewTopK returns a sketch with the given counter capacity (minimum 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{
+		capacity: capacity,
+		items:    make(map[netip.Addr]*tkItem, capacity),
+	}
+}
+
+// Offer adds weight w for key.
+func (t *TopK) Offer(key netip.Addr, w uint64) {
+	if it, ok := t.items[key]; ok {
+		it.count += w
+		heap.Fix(&t.heap, it.idx)
+		return
+	}
+	if len(t.items) < t.capacity {
+		it := &tkItem{key: key, count: w}
+		t.items[key] = it
+		heap.Push(&t.heap, it)
+		return
+	}
+	// Evict the minimum counter; the newcomer inherits its count as both
+	// estimate floor and error bound.
+	it := t.heap[0]
+	delete(t.items, it.key)
+	it.key = key
+	it.err = it.count
+	it.count += w
+	t.items[key] = it
+	heap.Fix(&t.heap, 0)
+}
+
+// Estimate is one sketch counter: Count overestimates the key's true
+// weight by at most Err.
+type Estimate struct {
+	Key   netip.Addr
+	Count uint64
+	Err   uint64
+}
+
+// Top returns the k largest counters, heaviest first (ties broken by
+// address for determinism).
+func (t *TopK) Top(k int) []Estimate {
+	out := make([]Estimate, 0, len(t.items))
+	for _, it := range t.items {
+		out = append(out, Estimate{Key: it.key, Count: it.count, Err: it.err})
+	}
+	sortEstimates(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len returns the number of live counters.
+func (t *TopK) Len() int { return len(t.items) }
+
+func sortEstimates(es []Estimate) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Key.Less(es[j].Key)
+	})
+}
+
+// tkHeap is a min-heap of counters by count.
+type tkHeap []*tkItem
+
+func (h tkHeap) Len() int            { return len(h) }
+func (h tkHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h tkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tkHeap) Push(x interface{}) { it := x.(*tkItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *tkHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}

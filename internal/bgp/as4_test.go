@@ -1,0 +1,251 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOpenCapabilityRoundTrip pins the RFC 6793 OPEN wire format: the
+// 2-octet AS field degrades to AS_TRANS while the capability carries the
+// true 4-octet ASN, and both survive a marshal/decode round trip.
+func TestOpenCapabilityRoundTrip(t *testing.T) {
+	o := &Open{
+		AS:             uint16(ASTrans),
+		HoldTime:       90,
+		BGPID:          ma("10.0.0.1"),
+		CapFourOctetAS: true,
+		FourOctetAS:    4200000001,
+	}
+	wire, err := Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed OPEN body (10) + capabilities param header (2) + cap 65 (2+4).
+	if got, want := len(wire), headerLen+10+2+6; got != want {
+		t.Errorf("wire length %d, want %d", got, want)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(*Open)
+	if !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	if *got != *o {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, o)
+	}
+}
+
+// Legacy OPENs (no optional parameters) must keep round-tripping unchanged.
+func TestOpenWithoutCapabilityRoundTrip(t *testing.T) {
+	o := &Open{AS: 65001, HoldTime: 30, BGPID: ma("10.0.0.2")}
+	wire, err := Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(wire), headerLen+10; got != want {
+		t.Errorf("wire length %d, want %d (no optional parameters)", got, want)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*Open); *got != *o {
+		t.Errorf("round trip: got %+v, want %+v", got, o)
+	}
+}
+
+// Unknown optional parameters and capabilities are skipped, not fatal, and
+// the 4-octet-AS capability is still found among them (RFC 5492 §4).
+func TestOpenUnknownCapabilitiesTolerated(t *testing.T) {
+	body := []byte{Version, 0xfd, 0xe9 /* AS 65001 */, 0, 90, 10, 0, 0, 3}
+	opts := []byte{
+		9, 2, 0xab, 0xcd, // unknown parameter type 9
+		2, 8, // capabilities parameter
+		1, 0, // unknown capability 1 (multiprotocol), empty
+		65, 4, 0x00, 0x01, 0x11, 0x70, // 4-octet AS = 70000
+	}
+	body = append(body, byte(len(opts)))
+	body = append(body, opts...)
+	wire := make([]byte, headerLen, headerLen+len(body))
+	for i := 0; i < 16; i++ {
+		wire[i] = 0xff
+	}
+	wire = append(wire, body...)
+	wire[16], wire[17] = byte(len(wire)>>8), byte(len(wire))
+	wire[18] = byte(MsgOpen)
+
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := m.(*Open)
+	if !o.CapFourOctetAS || o.FourOctetAS != 70000 {
+		t.Errorf("capability not recovered: %+v", o)
+	}
+	if o.AS != 65001 || o.HoldTime != 90 {
+		t.Errorf("fixed fields wrong: %+v", o)
+	}
+}
+
+func as4Update() *Update {
+	return &Update{
+		Attrs: PathAttrs{
+			NextHop: ma("192.0.2.1"),
+			ASPath: []ASPathSegment{
+				{Type: ASSequence, ASNs: []uint32{4200000001, 65001}},
+				{Type: ASSet, ASNs: []uint32{70000}},
+			},
+		},
+		NLRI: []netip.Prefix{mp("10.0.0.0/8")},
+	}
+}
+
+// With the capability negotiated, AS_PATH carries full 4-octet ASNs and
+// wide values survive the round trip exactly.
+func TestASPathFourOctetRoundTrip(t *testing.T) {
+	u := as4Update()
+	wire, err := MarshalAS4(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeAS4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Update)
+	flat := got.Attrs.FlatASPath()
+	want := []uint32{4200000001, 65001, 70000}
+	if len(flat) != len(want) {
+		t.Fatalf("AS path %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("AS path %v, want %v", flat, want)
+		}
+	}
+}
+
+// Without the capability, wide ASNs degrade to AS_TRANS on the wire while
+// 16-bit ASNs pass through — the pre-6793 behavior, still the fallback.
+func TestASPathASTransFallback(t *testing.T) {
+	u := as4Update()
+	wire, err := Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(*Update)
+	flat := got.Attrs.FlatASPath()
+	want := []uint32{ASTrans, 65001, ASTrans}
+	if len(flat) != len(want) {
+		t.Fatalf("AS path %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("AS path %v, want %v", flat, want)
+		}
+	}
+}
+
+// Two capable speakers negotiate 4-octet encoding: wide local ASNs are
+// recovered exactly from the OPEN capability, and UPDATE AS paths carry
+// wide ASNs undamaged end to end.
+func TestSessionNegotiatesFourOctetAS(t *testing.T) {
+	sa, sb := handshakePair(t,
+		SessionConfig{LocalAS: 4200000001, LocalID: ma("10.0.0.1"), PeerAS: 4200000002},
+		SessionConfig{LocalAS: 4200000002, LocalID: ma("10.0.0.2"), PeerAS: 4200000001},
+	)
+	if !sa.FourOctetAS() || !sb.FourOctetAS() {
+		t.Fatalf("capability not negotiated: %v, %v", sa.FourOctetAS(), sb.FourOctetAS())
+	}
+	if sa.PeerAS() != 4200000002 || sb.PeerAS() != 4200000001 {
+		t.Errorf("peer AS = %d, %d, want true 4-octet values", sa.PeerAS(), sb.PeerAS())
+	}
+	// The 2-octet OPEN field still showed AS_TRANS for the legacy view.
+	if sa.PeerOpen().AS != uint16(ASTrans) {
+		t.Errorf("OPEN 2-octet field = %d, want AS_TRANS", sa.PeerOpen().AS)
+	}
+
+	got := make(chan *Update, 1)
+	go sb.Run(func(u *Update) { got <- u })
+	go sa.Run(func(u *Update) {})
+	if err := sa.Send(as4Update()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-got:
+		flat := u.Attrs.FlatASPath()
+		if len(flat) != 3 || flat[0] != 4200000001 || flat[1] != 65001 || flat[2] != 70000 {
+			t.Errorf("AS path over the session = %v", flat)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not received")
+	}
+	sa.Close()
+	sb.Close()
+}
+
+// A capable speaker talking to a legacy (capability-disabled) peer falls
+// back to the 2-octet encoding: wide ASNs appear as AS_TRANS, and the
+// legacy peer's view of a wide-AS neighbor is AS_TRANS too.
+func TestSessionFallsBackToASTrans(t *testing.T) {
+	sa, sb := handshakePair(t,
+		SessionConfig{LocalAS: 4200000001, LocalID: ma("10.0.0.1")},
+		SessionConfig{LocalAS: 65002, LocalID: ma("10.0.0.2"), Disable4OctetAS: true,
+			PeerAS: ASTrans /* the legacy side can only check the 2-octet image */},
+	)
+	if sa.FourOctetAS() || sb.FourOctetAS() {
+		t.Fatalf("one-sided capability must not negotiate: %v, %v", sa.FourOctetAS(), sb.FourOctetAS())
+	}
+	// The capable side still learns the legacy peer's (16-bit) ASN; the
+	// legacy side sees AS_TRANS in place of the wide ASN.
+	if sa.PeerAS() != 65002 {
+		t.Errorf("capable side peer AS = %d, want 65002", sa.PeerAS())
+	}
+	if sb.PeerAS() != ASTrans {
+		t.Errorf("legacy side peer AS = %d, want AS_TRANS", sb.PeerAS())
+	}
+
+	got := make(chan *Update, 1)
+	go sb.Run(func(u *Update) { got <- u })
+	go sa.Run(func(u *Update) {})
+	if err := sa.Send(as4Update()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-got:
+		flat := u.Attrs.FlatASPath()
+		if len(flat) != 3 || flat[0] != ASTrans || flat[1] != 65001 || flat[2] != ASTrans {
+			t.Errorf("AS path over the legacy session = %v, want AS_TRANS degradation", flat)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not received")
+	}
+	sa.Close()
+	sb.Close()
+}
+
+// PeerAS enforcement uses the capability's 4-octet ASN when present: a
+// mismatch above the 16-bit boundary is caught even though both wide ASNs
+// share the same AS_TRANS image in the 2-octet field.
+func TestSessionPeerASEnforcementFourOctet(t *testing.T) {
+	ca, cb := pipePair(t)
+	sa := NewSession(ca, SessionConfig{LocalAS: 65001, LocalID: ma("10.0.0.1"), PeerAS: 4200000009})
+	sb := NewSession(cb, SessionConfig{LocalAS: 4200000002, LocalID: ma("10.0.0.2")})
+	var wg sync.WaitGroup
+	var errA error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = sa.Handshake() }()
+	go func() { defer wg.Done(); sb.Handshake() }()
+	wg.Wait()
+	if errA == nil {
+		t.Fatal("handshake should fail: capability ASN 4200000002 != expected 4200000009")
+	}
+}

@@ -164,7 +164,9 @@ func appendAttr(b []byte, flags, code uint8, val []byte) []byte {
 	return append(b, val...)
 }
 
-func (a PathAttrs) marshal(b []byte) ([]byte, error) {
+// marshal renders the attribute set. as4 selects the RFC 6793 4-octet
+// AS_PATH encoding; with as4 false, wide ASNs degrade to AS_TRANS.
+func (a PathAttrs) marshal(b []byte, as4 bool) ([]byte, error) {
 	if !a.NextHop.Is4() {
 		return nil, fmt.Errorf("bgp: NEXT_HOP must be IPv4, got %v", a.NextHop)
 	}
@@ -177,7 +179,11 @@ func (a PathAttrs) marshal(b []byte) ([]byte, error) {
 		}
 		path = append(path, seg.Type, byte(len(seg.ASNs)))
 		for _, as := range seg.ASNs {
-			path = binary.BigEndian.AppendUint16(path, wireAS(as))
+			if as4 {
+				path = binary.BigEndian.AppendUint32(path, as)
+			} else {
+				path = binary.BigEndian.AppendUint16(path, wireAS(as))
+			}
 		}
 	}
 	b = appendAttr(b, flagTransitive, attrASPath, path)
@@ -201,9 +207,15 @@ func (a PathAttrs) marshal(b []byte) ([]byte, error) {
 	return b, nil
 }
 
-func parsePathAttrs(b []byte) (PathAttrs, error) {
+// parsePathAttrs decodes an UPDATE's attribute bytes; as4 selects the
+// 4-octet AS_PATH ASN width.
+func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 	var a PathAttrs
 	sawNextHop := false
+	asnWidth := 2
+	if as4 {
+		asnWidth = 4
+	}
 	for len(b) > 0 {
 		if len(b) < 3 {
 			return a, fmt.Errorf("bgp: path attribute truncated")
@@ -241,15 +253,20 @@ func parsePathAttrs(b []byte) (PathAttrs, error) {
 				if segType != ASSet && segType != ASSequence {
 					return a, fmt.Errorf("bgp: AS_PATH segment type %d", segType)
 				}
-				if len(val) < 2+2*n {
+				if len(val) < 2+asnWidth*n {
 					return a, fmt.Errorf("bgp: AS_PATH segment truncated")
 				}
 				seg := ASPathSegment{Type: segType, ASNs: make([]uint32, n)}
 				for i := 0; i < n; i++ {
-					seg.ASNs[i] = uint32(binary.BigEndian.Uint16(val[2+2*i : 4+2*i]))
+					off := 2 + asnWidth*i
+					if as4 {
+						seg.ASNs[i] = binary.BigEndian.Uint32(val[off : off+4])
+					} else {
+						seg.ASNs[i] = uint32(binary.BigEndian.Uint16(val[off : off+2]))
+					}
 				}
 				a.ASPath = append(a.ASPath, seg)
-				val = val[2+2*n:]
+				val = val[2+asnWidth*n:]
 			}
 		case attrNextHop:
 			if alen != 4 {

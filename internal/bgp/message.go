@@ -49,25 +49,39 @@ const (
 	maxMsgLen = 4096
 )
 
-// Message is any BGP message.
+// Message is any BGP message. The as4 flag selects the RFC 6793 4-octet
+// AS_PATH encoding, which only UPDATE bodies care about; it is a property
+// of the session (both OPENs advertised the capability), not the message.
 type Message interface {
 	Type() MsgType
-	marshalBody(b []byte) ([]byte, error)
+	marshalBody(b []byte, as4 bool) ([]byte, error)
 }
 
-// Open is the session-establishment message (RFC 4271 §4.2). Optional
-// parameters are not modeled; the SDX route server does not negotiate
-// capabilities.
+// Optional-parameter and capability codes (RFC 5492, RFC 6793).
+const (
+	optParamCapabilities uint8 = 2
+	capFourOctetAS       uint8 = 65
+)
+
+// Open is the session-establishment message (RFC 4271 §4.2). The only
+// optional parameter modeled is the RFC 6793 4-octet-AS capability; other
+// parameters and capabilities are tolerated on decode and discarded.
 type Open struct {
+	// AS is the 2-octet wire field: the true ASN when it fits, AS_TRANS
+	// when the speaker's ASN needs the 4-octet capability.
 	AS       uint16
 	HoldTime uint16
 	BGPID    netip.Addr
+	// CapFourOctetAS advertises RFC 6793 support; FourOctetAS is the
+	// speaker's true 4-octet ASN carried inside the capability.
+	CapFourOctetAS bool
+	FourOctetAS    uint32
 }
 
 // Type implements Message.
 func (*Open) Type() MsgType { return MsgOpen }
 
-func (o *Open) marshalBody(b []byte) ([]byte, error) {
+func (o *Open) marshalBody(b []byte, as4 bool) ([]byte, error) {
 	if !o.BGPID.Is4() {
 		return nil, fmt.Errorf("bgp: OPEN requires an IPv4 BGP identifier, got %v", o.BGPID)
 	}
@@ -76,7 +90,16 @@ func (o *Open) marshalBody(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint16(b, o.HoldTime)
 	id := o.BGPID.As4()
 	b = append(b, id[:]...)
-	return append(b, 0), nil // no optional parameters
+	var opts []byte
+	if o.CapFourOctetAS {
+		// One capabilities parameter holding the single 4-octet-AS
+		// capability: code 65, length 4, the speaker's ASN.
+		capVal := binary.BigEndian.AppendUint32([]byte{capFourOctetAS, 4}, o.FourOctetAS)
+		opts = append(opts, optParamCapabilities, byte(len(capVal)))
+		opts = append(opts, capVal...)
+	}
+	b = append(b, byte(len(opts)))
+	return append(b, opts...), nil
 }
 
 // Update carries route withdrawals and an advertisement (RFC 4271 §4.3).
@@ -89,7 +112,7 @@ type Update struct {
 // Type implements Message.
 func (*Update) Type() MsgType { return MsgUpdate }
 
-func (u *Update) marshalBody(b []byte) ([]byte, error) {
+func (u *Update) marshalBody(b []byte, as4 bool) ([]byte, error) {
 	wd, err := marshalPrefixes(nil, u.Withdrawn)
 	if err != nil {
 		return nil, err
@@ -99,7 +122,7 @@ func (u *Update) marshalBody(b []byte) ([]byte, error) {
 
 	var attrs []byte
 	if len(u.NLRI) > 0 {
-		attrs, err = u.Attrs.marshal(nil)
+		attrs, err = u.Attrs.marshal(nil, as4)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +185,11 @@ func PackUpdates(withdrawn []netip.Prefix, adverts []Advertisement) ([]*Update, 
 		if !ad.Prefix.Addr().Is4() {
 			return nil, fmt.Errorf("bgp: IPv4 NLRI only, got %v", ad.Prefix)
 		}
-		key, err := ad.Attrs.marshal(nil)
+		// Group and budget with the 4-octet encoding: the key must not
+		// merge attribute sets that differ only above the 16-bit ASN
+		// boundary (they would collapse to identical AS_TRANS images), and
+		// the size is a safe overestimate for 2-octet sessions.
+		key, err := ad.Attrs.marshal(nil, true)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +259,7 @@ type Keepalive struct{}
 // Type implements Message.
 func (*Keepalive) Type() MsgType { return MsgKeepalive }
 
-func (*Keepalive) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*Keepalive) marshalBody(b []byte, as4 bool) ([]byte, error) { return b, nil }
 
 // Notification reports a fatal session error (RFC 4271 §4.5); the sender
 // closes the connection after transmitting it.
@@ -255,7 +282,7 @@ const (
 // Type implements Message.
 func (*Notification) Type() MsgType { return MsgNotification }
 
-func (n *Notification) marshalBody(b []byte) ([]byte, error) {
+func (n *Notification) marshalBody(b []byte, as4 bool) ([]byte, error) {
 	b = append(b, n.Code, n.Subcode)
 	return append(b, n.Data...), nil
 }
@@ -264,14 +291,21 @@ func (n *Notification) Error() string {
 	return fmt.Sprintf("bgp: notification code=%d subcode=%d", n.Code, n.Subcode)
 }
 
-// Marshal renders a message with its 19-byte header.
-func Marshal(m Message) ([]byte, error) {
+// Marshal renders a message with its 19-byte header using the classic
+// 2-octet AS_PATH encoding (AS_TRANS substituted for wide ASNs).
+func Marshal(m Message) ([]byte, error) { return marshalWith(m, false) }
+
+// MarshalAS4 renders a message with 4-octet AS_PATH segments; use it only
+// on sessions where both OPENs carried the RFC 6793 capability.
+func MarshalAS4(m Message) ([]byte, error) { return marshalWith(m, true) }
+
+func marshalWith(m Message, as4 bool) ([]byte, error) {
 	b := make([]byte, headerLen, headerLen+64)
 	for i := 0; i < 16; i++ {
 		b[i] = 0xff // marker
 	}
 	b[18] = byte(m.Type())
-	b, err := m.marshalBody(b)
+	b, err := m.marshalBody(b, as4)
 	if err != nil {
 		return nil, err
 	}
@@ -282,8 +316,15 @@ func Marshal(m Message) ([]byte, error) {
 	return b, nil
 }
 
-// ReadMessage reads and decodes one message from r.
-func ReadMessage(r io.Reader) (Message, error) {
+// ReadMessage reads and decodes one message from r, parsing AS_PATH with
+// the classic 2-octet encoding.
+func ReadMessage(r io.Reader) (Message, error) { return readMessage(r, false) }
+
+// ReadMessageAS4 reads and decodes one message from r, parsing AS_PATH
+// with 4-octet ASNs (RFC 6793 negotiated sessions).
+func ReadMessageAS4(r io.Reader) (Message, error) { return readMessage(r, true) }
+
+func readMessage(r io.Reader, as4 bool) (Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -301,11 +342,17 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
-	return decodeBody(MsgType(hdr[18]), body)
+	return decodeBody(MsgType(hdr[18]), body, as4)
 }
 
-// Decode parses a full message (header included) from a byte slice.
-func Decode(b []byte) (Message, error) {
+// Decode parses a full message (header included) from a byte slice using
+// the classic 2-octet AS_PATH encoding.
+func Decode(b []byte) (Message, error) { return decode(b, false) }
+
+// DecodeAS4 parses a full message with 4-octet AS_PATH segments.
+func DecodeAS4(b []byte) (Message, error) { return decode(b, true) }
+
+func decode(b []byte, as4 bool) (Message, error) {
 	if len(b) < headerLen {
 		return nil, fmt.Errorf("bgp: message truncated: %d bytes", len(b))
 	}
@@ -318,15 +365,15 @@ func Decode(b []byte) (Message, error) {
 	if int(length) != len(b) {
 		return nil, fmt.Errorf("bgp: length field %d does not match %d bytes", length, len(b))
 	}
-	return decodeBody(MsgType(b[18]), b[headerLen:])
+	return decodeBody(MsgType(b[18]), b[headerLen:], as4)
 }
 
-func decodeBody(t MsgType, body []byte) (Message, error) {
+func decodeBody(t MsgType, body []byte, as4 bool) (Message, error) {
 	switch t {
 	case MsgOpen:
 		return decodeOpen(body)
 	case MsgUpdate:
-		return decodeUpdate(body)
+		return decodeUpdate(body, as4)
 	case MsgKeepalive:
 		if len(body) != 0 {
 			return nil, fmt.Errorf("bgp: KEEPALIVE with %d body bytes", len(body))
@@ -357,10 +404,43 @@ func decodeOpen(body []byte) (*Open, error) {
 	if len(body) != 10+optLen {
 		return nil, fmt.Errorf("bgp: OPEN optional parameter length %d does not match body", optLen)
 	}
+	// Walk optional parameters; unknown parameter and capability types are
+	// skipped (RFC 5492 §4 — absence simply means the capability is unused).
+	opts := body[10:]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, fmt.Errorf("bgp: OPEN optional parameter truncated")
+		}
+		pType, pLen := opts[0], int(opts[1])
+		if len(opts) < 2+pLen {
+			return nil, fmt.Errorf("bgp: OPEN optional parameter length %d overruns", pLen)
+		}
+		if pType == optParamCapabilities {
+			caps := opts[2 : 2+pLen]
+			for len(caps) > 0 {
+				if len(caps) < 2 {
+					return nil, fmt.Errorf("bgp: OPEN capability truncated")
+				}
+				cCode, cLen := caps[0], int(caps[1])
+				if len(caps) < 2+cLen {
+					return nil, fmt.Errorf("bgp: OPEN capability length %d overruns", cLen)
+				}
+				if cCode == capFourOctetAS {
+					if cLen != 4 {
+						return nil, fmt.Errorf("bgp: 4-octet-AS capability with length %d, want 4", cLen)
+					}
+					o.CapFourOctetAS = true
+					o.FourOctetAS = binary.BigEndian.Uint32(caps[2:6])
+				}
+				caps = caps[2+cLen:]
+			}
+		}
+		opts = opts[2+pLen:]
+	}
 	return o, nil
 }
 
-func decodeUpdate(body []byte) (*Update, error) {
+func decodeUpdate(body []byte, as4 bool) (*Update, error) {
 	if len(body) < 4 {
 		return nil, fmt.Errorf("bgp: UPDATE truncated: %d bytes", len(body))
 	}
@@ -380,7 +460,7 @@ func decodeUpdate(body []byte) (*Update, error) {
 		return nil, fmt.Errorf("bgp: UPDATE attribute length %d overruns body", attrLen)
 	}
 	if attrLen > 0 {
-		u.Attrs, err = parsePathAttrs(rest[2 : 2+attrLen])
+		u.Attrs, err = parsePathAttrs(rest[2:2+attrLen], as4)
 		if err != nil {
 			return nil, err
 		}

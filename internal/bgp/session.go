@@ -49,9 +49,9 @@ func (s State) String() string {
 const DefaultHoldTime = 90 * time.Second
 
 // SessionConfig parameterizes one side of a BGP session. ASNs are 4-octet
-// internally; values above 65535 appear on the wire as AS_TRANS (the OPEN
-// message's AS field is 2-octet, and this implementation does not negotiate
-// the RFC 6793 four-octet capability).
+// internally; sessions negotiate the RFC 6793 four-octet capability by
+// default, and fall back to AS_TRANS in the 2-octet OPEN field and AS_PATH
+// when the peer does not advertise it.
 type SessionConfig struct {
 	LocalAS uint32
 	LocalID netip.Addr
@@ -60,9 +60,13 @@ type SessionConfig struct {
 	// then rests on the transport alone. Callers wanting the conventional
 	// timer must say so explicitly, e.g. with DefaultHoldTime.
 	HoldTime time.Duration
-	// PeerAS, when nonzero, is enforced against the peer's OPEN (after
-	// mapping through AS_TRANS, since the OPEN carries only 2 octets).
+	// PeerAS, when nonzero, is enforced against the peer's OPEN: against
+	// the capability's 4-octet ASN when the peer advertises RFC 6793,
+	// otherwise against the 2-octet field (mapped through AS_TRANS).
 	PeerAS uint32
+	// Disable4OctetAS suppresses the RFC 6793 capability in our OPEN,
+	// forcing the session onto the 2-octet encoding (tests, legacy peers).
+	Disable4OctetAS bool
 	// Metrics, when non-nil, receives session FSM and message counts. The
 	// instrument set is shared: every session created from this config
 	// contributes to the same gauges and counters.
@@ -82,6 +86,11 @@ type Session struct {
 
 	peerOpen Open
 	holdTime time.Duration
+	// as4 is true when both OPENs carried the RFC 6793 capability; the
+	// session then uses 4-octet AS_PATH encoding. Written in Handshake
+	// before the transition to Established (the atomic state store
+	// publishes it), read by send/read afterwards.
+	as4 bool
 
 	writeMu sync.Mutex
 	closeMu sync.Mutex
@@ -117,9 +126,21 @@ func (s *Session) State() State { return State(s.state.Load()) }
 func (s *Session) PeerOpen() Open { return s.peerOpen }
 
 // PeerAS returns the peer's AS number as seen in its OPEN; valid once
-// Established. A peer behind AS_TRANS reports 23456 here — the wire format
-// cannot recover the true 4-octet value.
-func (s *Session) PeerAS() uint32 { return uint32(s.peerOpen.AS) }
+// Established. A peer advertising the RFC 6793 capability reports its true
+// 4-octet ASN; a legacy peer behind AS_TRANS reports 23456, since the
+// 2-octet wire format cannot recover the real value. When our own side has
+// the capability disabled we take the legacy view too — a real pre-6793
+// speaker cannot parse the capability.
+func (s *Session) PeerAS() uint32 {
+	if s.peerOpen.CapFourOctetAS && !s.cfg.Disable4OctetAS {
+		return s.peerOpen.FourOctetAS
+	}
+	return uint32(s.peerOpen.AS)
+}
+
+// FourOctetAS reports whether the session negotiated the RFC 6793
+// capability (both OPENs advertised it); valid once Established.
+func (s *Session) FourOctetAS() bool { return s.as4 }
 
 // PeerID returns the peer's BGP identifier; valid once Established.
 func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
@@ -132,7 +153,16 @@ func (s *Session) HoldTime() time.Duration { return s.holdTime }
 // confirming KEEPALIVEs, driving the FSM to Established.
 func (s *Session) Handshake() error {
 	holdSecs := uint16(s.cfg.HoldTime / time.Second)
-	open := &Open{AS: wireAS(s.cfg.LocalAS), HoldTime: holdSecs, BGPID: s.cfg.LocalID}
+	open := &Open{
+		AS:             wireAS(s.cfg.LocalAS),
+		HoldTime:       holdSecs,
+		BGPID:          s.cfg.LocalID,
+		CapFourOctetAS: !s.cfg.Disable4OctetAS,
+		FourOctetAS:    s.cfg.LocalAS,
+	}
+	if !open.CapFourOctetAS {
+		open.FourOctetAS = 0
+	}
 	if err := s.send(open); err != nil {
 		s.abort()
 		return fmt.Errorf("bgp: sending OPEN: %w", err)
@@ -149,9 +179,19 @@ func (s *Session) Handshake() error {
 		s.notifyAndClose(NotifFSMError, 0)
 		return fmt.Errorf("bgp: expected OPEN, got %v", msg.Type())
 	}
-	if s.cfg.PeerAS != 0 && peerOpen.AS != wireAS(s.cfg.PeerAS) {
-		s.notifyAndClose(NotifOpenMessageError, 2 /* bad peer AS */)
-		return fmt.Errorf("bgp: peer AS %d, want %d", peerOpen.AS, s.cfg.PeerAS)
+	if s.cfg.PeerAS != 0 {
+		// A speaker with the capability disabled behaves like a true
+		// legacy peer: it cannot see inside the capability, so it checks
+		// the 2-octet field only.
+		if peerOpen.CapFourOctetAS && !s.cfg.Disable4OctetAS {
+			if peerOpen.FourOctetAS != s.cfg.PeerAS {
+				s.notifyAndClose(NotifOpenMessageError, 2 /* bad peer AS */)
+				return fmt.Errorf("bgp: peer AS %d, want %d", peerOpen.FourOctetAS, s.cfg.PeerAS)
+			}
+		} else if peerOpen.AS != wireAS(s.cfg.PeerAS) {
+			s.notifyAndClose(NotifOpenMessageError, 2 /* bad peer AS */)
+			return fmt.Errorf("bgp: peer AS %d, want %d", peerOpen.AS, s.cfg.PeerAS)
+		}
 	}
 	if peerOpen.HoldTime != 0 && peerOpen.HoldTime < 3 {
 		s.notifyAndClose(NotifOpenMessageError, 6 /* unacceptable hold time */)
@@ -185,13 +225,20 @@ func (s *Session) Handshake() error {
 		s.notifyAndClose(NotifFSMError, 0)
 		return fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
 	}
+	// RFC 6793 §3: the 4-octet encoding is used only when both speakers
+	// advertised the capability. Set before the Established store so
+	// readers that observe the state see the negotiated flag.
+	s.as4 = !s.cfg.Disable4OctetAS && s.peerOpen.CapFourOctetAS
 	s.setState(StateEstablished)
 	return nil
 }
 
-// read pulls one message off the transport, counting it.
+// read pulls one message off the transport, counting it. During the
+// handshake s.as4 is still false, which is correct: the encoding only
+// affects UPDATE attribute parsing, and no UPDATE is legal before
+// Established.
 func (s *Session) read() (Message, error) {
-	m, err := ReadMessage(s.conn)
+	m, err := readMessage(s.conn, s.as4)
 	if err != nil {
 		return m, err
 	}
@@ -294,7 +341,7 @@ func (s *Session) Send(u *Update) error {
 }
 
 func (s *Session) send(m Message) error {
-	b, err := Marshal(m)
+	b, err := marshalWith(m, s.as4)
 	if err != nil {
 		return err
 	}

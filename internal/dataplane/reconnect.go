@@ -26,6 +26,10 @@ type ReconnectConfig struct {
 // table wipe happens here. RunController blocks until stop is closed.
 func (s *Switch) RunController(dial func() (net.Conn, error), stop <-chan struct{}, cfg ReconnectConfig) {
 	bo := &netutil.Backoff{Min: cfg.MinBackoff, Max: cfg.MaxBackoff, Seed: cfg.Seed}
+	// From here on a missing controller means the channel is down, not that
+	// one was never configured: misses punted into the void are fail-open
+	// drops (ctrl_down), which the drop accounting reports separately.
+	s.failOpen.Store(true)
 	s.mu.Lock()
 	s.onCtrlAttach = func() { s.reconnects.Inc() }
 	s.mu.Unlock()

@@ -1,0 +1,284 @@
+package dataplane
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sdx/internal/flowexport"
+	"sdx/internal/openflow"
+	"sdx/internal/policy"
+	"sdx/internal/telemetry"
+)
+
+// drain empties the exporter channel into a slice (no consumer goroutine
+// needed: tests size the buffer to hold everything).
+func drainRecords(e *flowexport.Exporter) []flowexport.Record {
+	var out []flowexport.Record
+	for {
+		select {
+		case r := <-e.Records():
+			out = append(out, r)
+		default:
+			return out
+		}
+	}
+}
+
+// Sampling at rate 1 must observe every outcome with full attribution:
+// forwarded frames carry cookie + in/out port, no_port drops keep the
+// cookie and intended egress, no_match drops have neither.
+func TestFlowExportAttribution(t *testing.T) {
+	sw, _ := newTestSwitch()
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(1),
+		Priority: 10,
+		Actions:  []openflow.Action{openflow.Output(2)},
+		Cookie:   0xAA,
+	})
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(2),
+		Priority: 10,
+		Actions:  []openflow.Action{openflow.Output(999)}, // unattached
+		Cookie:   0xBB,
+	})
+
+	ex := flowexport.New(1, 64)
+	sw.SetFlowExporter(ex)
+
+	frame := udpFrame(80)
+	if err := sw.Inject(1, frame); err != nil { // forwarded via cookie AA
+		t.Fatal(err)
+	}
+	if err := sw.Inject(2, frame); err != nil { // no_port drop via cookie BB
+		t.Fatal(err)
+	}
+	if err := sw.Inject(3, frame); err != nil { // table miss, no controller
+		t.Fatal(err)
+	}
+
+	recs := drainRecords(ex)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	fwd, noPort, noMatch := recs[0], recs[1], recs[2]
+	if fwd.Drop != flowexport.DropNone || fwd.Cookie != 0xAA ||
+		fwd.InPort != 1 || fwd.OutPort != 2 || fwd.Bytes != uint32(len(frame)) {
+		t.Errorf("forwarded record wrong: %+v", fwd)
+	}
+	if fwd.SrcIP != ipA || fwd.DstIP != ipB || fwd.Proto != 17 ||
+		fwd.SrcPort != 4000 || fwd.DstPort != 80 {
+		t.Errorf("forwarded 5-tuple wrong: %+v", fwd)
+	}
+	if noPort.Drop != flowexport.DropNoPort || noPort.Cookie != 0xBB || noPort.OutPort != 999 {
+		t.Errorf("no_port record wrong: %+v", noPort)
+	}
+	if noMatch.Drop != flowexport.DropNoMatch || noMatch.Cookie != 0 || noMatch.InPort != 3 {
+		t.Errorf("no_match record wrong: %+v", noMatch)
+	}
+}
+
+// A matched rule with an empty action list is a policy drop: the record
+// reports the hit (cookie) without a drop reason, and the drop counters
+// stay untouched.
+func TestFlowExportExplicitDrop(t *testing.T) {
+	sw, _ := newTestSwitch()
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(1),
+		Priority: 10,
+		Cookie:   0xCC,
+	})
+	ex := flowexport.New(1, 8)
+	sw.SetFlowExporter(ex)
+	if err := sw.Inject(1, udpFrame(80)); err != nil {
+		t.Fatal(err)
+	}
+	recs := drainRecords(ex)
+	if len(recs) != 1 || recs[0].Drop != flowexport.DropNone || recs[0].Cookie != 0xCC || recs[0].OutPort != 0 {
+		t.Fatalf("explicit-drop record wrong: %+v", recs)
+	}
+	if noMatch, noPort := sw.Dropped(); noMatch != 0 || noPort != 0 {
+		t.Fatalf("explicit drop must not count as no_match/no_port: %d/%d", noMatch, noPort)
+	}
+}
+
+// Per-port drop attribution: drops are charged to the ingress port that
+// received the frame, per reason, and surface in the telemetry exposition.
+func TestPortDropAttribution(t *testing.T) {
+	sw, _ := newTestSwitch()
+	reg := telemetry.NewRegistry()
+	sw.EnableTelemetry(reg)
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(2),
+		Priority: 10,
+		Actions:  []openflow.Action{openflow.Output(999)},
+	})
+	frame := udpFrame(80)
+	sw.Inject(3, frame) // no_match on port 3
+	sw.Inject(3, frame) // no_match on port 3
+	sw.Inject(2, frame) // no_port charged to ingress port 2
+
+	d3, ok := sw.PortDrops(3)
+	if !ok || d3[flowexport.DropNoMatch] != 2 || d3[flowexport.DropNoPort] != 0 {
+		t.Fatalf("port 3 drops = %v (ok=%v), want no_match=2", d3, ok)
+	}
+	d2, ok := sw.PortDrops(2)
+	if !ok || d2[flowexport.DropNoPort] != 1 || d2[flowexport.DropNoMatch] != 0 {
+		t.Fatalf("port 2 drops = %v (ok=%v), want no_port=1", d2, ok)
+	}
+	if _, ok := sw.PortDrops(77); ok {
+		t.Fatal("PortDrops on unattached port must report !ok")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`sdx_dataplane_port_dropped_total{port="2",reason="no_port"} 1`,
+		`sdx_dataplane_port_dropped_total{port="3",reason="no_match"} 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n%s", want, got)
+		}
+	}
+}
+
+// Once RunController has managed the channel, a miss with the controller
+// gone is a fail-open ctrl_down drop, distinct from never-configured
+// no_match — and Dropped()'s historical (noMatch, noPort) contract is
+// unchanged by the new bucket.
+func TestCtrlDownDropReason(t *testing.T) {
+	sw, _ := newTestSwitch()
+	sw.failOpen.Store(true) // what RunController does at entry
+	sw.Inject(3, udpFrame(80))
+
+	byReason := sw.DroppedByReason()
+	if byReason[flowexport.DropCtrlDown] != 1 || byReason[flowexport.DropNoMatch] != 0 {
+		t.Fatalf("DroppedByReason = %v, want ctrl_down=1", byReason)
+	}
+	if noMatch, _ := sw.Dropped(); noMatch != 0 {
+		t.Fatalf("ctrl_down must not leak into Dropped() noMatch (got %d)", noMatch)
+	}
+	d3, _ := sw.PortDrops(3)
+	if d3[flowexport.DropCtrlDown] != 1 {
+		t.Fatalf("port 3 drops = %v, want ctrl_down=1", d3)
+	}
+
+	reg := telemetry.NewRegistry()
+	sw.EnableTelemetry(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sdx_dataplane_dropped_total{reason="ctrl_down"} 1`) {
+		t.Errorf("exposition missing ctrl_down drop\n%s", b.String())
+	}
+}
+
+// The sampling hook must add zero allocations to the hot path, disabled
+// AND live (records are values; nothing escapes to the heap). The absolute
+// floor is packet.Decode's three header allocations, which predate the
+// exporter (the seed's BenchmarkInjectTelemetryOverhead reports the same
+// 3 allocs/op); the guard pins that floor and the exporter's zero delta.
+func TestInjectSamplingAllocs(t *testing.T) {
+	build := func(ex *flowexport.Exporter) *Switch {
+		sw := NewSwitch(1)
+		for _, p := range []uint16{1, 2} {
+			sw.AttachPort(p, func([]byte) {})
+		}
+		sw.Table.Add(&FlowEntry{
+			Match:    policy.MatchAll.Port(1),
+			Priority: 1,
+			Actions:  []openflow.Action{openflow.Output(2)},
+		})
+		sw.SetFlowExporter(ex)
+		return sw
+	}
+	frame := udpFrame(80)
+
+	swOff := build(nil)
+	off := testing.AllocsPerRun(200, func() {
+		if err := swOff.Inject(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if off > 3 {
+		t.Errorf("Inject with export disabled allocates %.1f/op, want <= 3 (decode floor)", off)
+	}
+
+	// Rate 1 with no consumer: every frame samples, exports until the
+	// buffer fills, then counts drops — none of it may allocate beyond
+	// what the disabled path already pays.
+	swOn := build(flowexport.New(1, 16))
+	on := testing.AllocsPerRun(200, func() {
+		if err := swOn.Inject(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if on != off {
+		t.Errorf("sampling adds allocations: %.1f/op live vs %.1f/op disabled", on, off)
+	}
+}
+
+// Race stress: concurrent Inject against a live exporter with a concurrent
+// consumer and a concurrent SetFlowExporter swap. Run under -race this
+// covers the atomic exporter pointer and the lock-free sampling counters.
+func TestInjectSamplingRace(t *testing.T) {
+	sw, _ := newTestSwitch()
+	sw.Table.Add(&FlowEntry{
+		Match:    policy.MatchAll.Port(1),
+		Priority: 10,
+		Actions:  []openflow.Action{openflow.Output(2)},
+		Cookie:   7,
+	})
+	ex := flowexport.New(4, 256)
+	sw.SetFlowExporter(ex)
+
+	stop := make(chan struct{})
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	go func() {
+		defer consumed.Done()
+		for {
+			select {
+			case <-ex.Records():
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	frame := udpFrame(80)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if err := sw.Inject(1, frame); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Swap the exporter mid-flight: frames race against install/remove.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			sw.SetFlowExporter(nil)
+			sw.SetFlowExporter(ex)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	consumed.Wait()
+
+	st := ex.Stats()
+	if st.Seen == 0 || st.Exported == 0 {
+		t.Fatalf("exporter saw no traffic: %+v", st)
+	}
+}

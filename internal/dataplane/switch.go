@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdx/internal/flowexport"
 	"sdx/internal/openflow"
 	"sdx/internal/packet"
 	"sdx/internal/policy"
@@ -28,6 +29,9 @@ type port struct {
 	rxBytes atomic.Uint64
 	txPkts  atomic.Uint64
 	txBytes atomic.Uint64
+	// drops attributes dropped frames to the ingress port they arrived on,
+	// indexed by flowexport.DropReason (slot DropNone unused).
+	drops [flowexport.NumDropReasons]atomic.Uint64
 }
 
 // Switch is the software fabric switch. Frames enter through Inject (or a
@@ -58,16 +62,29 @@ type Switch struct {
 	// connections served by ServeController.
 	ofMetrics *openflow.Metrics
 
+	// exporter, when set, receives sampled flow records from the match and
+	// drop paths. Atomic so SetFlowExporter is safe against concurrent
+	// Inject; when unset the hot path pays one pointer load per frame.
+	exporter atomic.Pointer[flowexport.Exporter]
+
+	// failOpen is set once RunController owns the controller channel: from
+	// then on a table miss with no attached controller means the channel is
+	// down and the switch is running fail-open on its installed table
+	// (DropCtrlDown), not that a controller was never configured
+	// (DropNoMatch).
+	failOpen atomic.Bool
+
 	// Intrusive counters: always live (an atomic add each), surfaced to a
 	// telemetry registry only when EnableTelemetry adopts them, so the
 	// Inject hot path is identical with and without a registry. The dropped
 	// pair is what Dropped() has always reported.
-	droppedNoMatch telemetry.Counter
-	droppedNoPort  telemetry.Counter
-	matched        telemetry.Counter
-	missed         telemetry.Counter
-	packetIns      telemetry.Counter
-	packetOuts     telemetry.Counter
+	droppedNoMatch  telemetry.Counter
+	droppedNoPort   telemetry.Counter
+	droppedCtrlDown telemetry.Counter
+	matched         telemetry.Counter
+	missed          telemetry.Counter
+	packetIns       telemetry.Counter
+	packetOuts      telemetry.Counter
 
 	// Reconnect-loop instruments (RunController).
 	reconnectAttempts telemetry.Counter
@@ -123,9 +140,50 @@ func (s *Switch) Stats(portNo uint16) (PortStats, bool) {
 
 // Dropped returns the counts of frames dropped for want of a matching rule
 // and for output to a missing port. It reads the same telemetry counters
-// EnableTelemetry exposes as sdx_dataplane_dropped_total.
+// EnableTelemetry exposes as sdx_dataplane_dropped_total. Fail-open drops
+// (table miss while the controller channel is down) are a third bucket,
+// reported by DroppedByReason, not folded into noMatch.
 func (s *Switch) Dropped() (noMatch, noPort uint64) {
 	return s.droppedNoMatch.Value(), s.droppedNoPort.Value()
+}
+
+// DroppedByReason returns the switch-wide drop totals indexed by
+// flowexport.DropReason (slot DropNone is always zero).
+func (s *Switch) DroppedByReason() [flowexport.NumDropReasons]uint64 {
+	var out [flowexport.NumDropReasons]uint64
+	out[flowexport.DropNoMatch] = s.droppedNoMatch.Value()
+	out[flowexport.DropNoPort] = s.droppedNoPort.Value()
+	out[flowexport.DropCtrlDown] = s.droppedCtrlDown.Value()
+	return out
+}
+
+// PortDrops returns the per-reason counts of drops attributed to frames
+// that entered on portNo (indexed by flowexport.DropReason), and whether
+// the port is attached.
+func (s *Switch) PortDrops(portNo uint16) ([flowexport.NumDropReasons]uint64, bool) {
+	var out [flowexport.NumDropReasons]uint64
+	s.mu.RLock()
+	p, ok := s.ports[portNo]
+	s.mu.RUnlock()
+	if !ok {
+		return out, false
+	}
+	for r := range p.drops {
+		out[r] = p.drops[r].Load()
+	}
+	return out, true
+}
+
+// SetFlowExporter installs (or, with nil, removes) the sampled flow
+// exporter. Safe to call while traffic is flowing; frames being processed
+// concurrently use whichever exporter they loaded at match time.
+func (s *Switch) SetFlowExporter(e *flowexport.Exporter) {
+	s.exporter.Store(e)
+}
+
+// FlowExporter returns the installed exporter, or nil.
+func (s *Switch) FlowExporter() *flowexport.Exporter {
+	return s.exporter.Load()
 }
 
 // PortNumbers returns the attached port numbers in ascending order.
@@ -186,9 +244,26 @@ func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
 	reg.CounterVecFunc("sdx_dataplane_dropped_total",
 		"Frames dropped, by reason.", []string{"reason"},
 		func(emit func([]string, float64)) {
-			noMatch, noPort := s.Dropped()
-			emit([]string{"no_match"}, float64(noMatch))
-			emit([]string{"no_port"}, float64(noPort))
+			counts := s.DroppedByReason()
+			emit([]string{"no_match"}, float64(counts[flowexport.DropNoMatch]))
+			emit([]string{"no_port"}, float64(counts[flowexport.DropNoPort]))
+			emit([]string{"ctrl_down"}, float64(counts[flowexport.DropCtrlDown]))
+		})
+	reg.CounterVecFunc("sdx_dataplane_port_dropped_total",
+		"Frames dropped, by ingress port and reason.", []string{"port", "reason"},
+		func(emit func([]string, float64)) {
+			for _, n := range s.PortNumbers() {
+				drops, ok := s.PortDrops(n)
+				if !ok {
+					continue
+				}
+				p := strconv.Itoa(int(n))
+				for r := flowexport.DropNoMatch; r < flowexport.NumDropReasons; r++ {
+					if v := drops[r]; v > 0 {
+						emit([]string{p, r.String()}, float64(v))
+					}
+				}
+			}
 		})
 	reg.GaugeFunc("sdx_dataplane_flow_entries",
 		"Installed flow-table rules.",
@@ -252,32 +327,75 @@ func (s *Switch) Inject(inPort uint16, frame []byte) error {
 	}
 	p.rxPkts.Add(1)
 	p.rxBytes.Add(uint64(len(frame)))
-	return s.process(inPort, frame)
+	return s.process(p, inPort, frame)
 }
 
-func (s *Switch) process(inPort uint16, frame []byte) error {
+// frameCtx carries one frame's attribution through the action pipeline so
+// the emit/punt leaves can account drops per ingress port and build flow
+// records without re-deriving the 5-tuple. It lives on process's stack —
+// nothing below may retain the pointer.
+type frameCtx struct {
+	ingress *port // nil for controller PACKET_OUTs on unattached ports
+	key     policy.Packet
+	cookie  uint64
+	ex      *flowexport.Exporter
+	sampled bool
+}
+
+// record builds the flow record for one outcome of this frame. A flooded
+// or multi-output frame yields one record per emission, mirroring sFlow's
+// per-copy sampling semantics.
+func (c *frameCtx) record(outPort uint16, size int, drop flowexport.DropReason) flowexport.Record {
+	return flowexport.Record{
+		SrcIP:   c.key.SrcIP,
+		DstIP:   c.key.DstIP,
+		Proto:   c.key.Proto,
+		Drop:    drop,
+		SrcPort: c.key.SrcPort,
+		DstPort: c.key.DstPort,
+		InPort:  c.key.Port,
+		OutPort: outPort,
+		Cookie:  c.cookie,
+		Bytes:   uint32(size),
+	}
+}
+
+func (s *Switch) process(ingress *port, inPort uint16, frame []byte) error {
 	pkt, err := packet.Decode(frame)
 	if err != nil {
 		return fmt.Errorf("dataplane: undecodable frame on port %d: %w", inPort, err)
 	}
 	located := toPolicyPacket(inPort, pkt)
 	entry, ok := s.Table.Lookup(located, len(frame))
+	ex := s.exporter.Load()
+	ctx := frameCtx{
+		ingress: ingress,
+		key:     located,
+		ex:      ex,
+		sampled: ex != nil && ex.Sample(),
+	}
 	if !ok {
 		s.missed.Inc()
-		s.punt(inPort, frame)
+		s.punt(frame, &ctx)
 		return nil
 	}
 	s.matched.Inc()
+	ctx.cookie = entry.Cookie
 	if len(entry.Actions) == 0 {
-		return nil // explicit drop
+		// Explicit drop rule: a policy hit, not an accounting drop. The
+		// record still carries the cookie so analytics sees the rule fire.
+		if ctx.sampled {
+			ex.Export(ctx.record(0, len(frame), flowexport.DropNone))
+		}
+		return nil
 	}
-	s.applyActions(entry.Actions, pkt, frame, inPort)
+	s.applyActions(entry.Actions, pkt, frame, &ctx)
 	return nil
 }
 
 // applyActions executes an OpenFlow action list: set-field actions mutate
 // the working packet; each output emits the current state.
-func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, frame []byte, inPort uint16) {
+func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, frame []byte, ctx *frameCtx) {
 	work := *pkt // shallow copy; layer pointers cloned on first write below
 	cloned := false
 	clone := func() {
@@ -304,11 +422,11 @@ func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, fra
 		case openflow.ActionTypeOutput:
 			switch a.Port {
 			case openflow.PortController:
-				s.punt(inPort, s.render(&work, frame, dirty))
+				s.punt(s.render(&work, frame, dirty), ctx)
 			case openflow.PortFlood:
-				s.flood(inPort, s.render(&work, frame, dirty))
+				s.flood(s.render(&work, frame, dirty), ctx)
 			default:
-				s.emit(a.Port, s.render(&work, frame, dirty))
+				s.emit(a.Port, s.render(&work, frame, dirty), ctx)
 			}
 		case openflow.ActionTypeSetDLSrc:
 			clone()
@@ -361,20 +479,24 @@ func (s *Switch) render(work *packet.Packet, orig []byte, dirty bool) []byte {
 	return work.Serialize()
 }
 
-func (s *Switch) emit(portNo uint16, frame []byte) {
+func (s *Switch) emit(portNo uint16, frame []byte, ctx *frameCtx) {
 	s.mu.RLock()
 	p, ok := s.ports[portNo]
 	s.mu.RUnlock()
 	if !ok {
-		s.droppedNoPort.Inc()
+		s.dropFrame(flowexport.DropNoPort, portNo, len(frame), ctx)
 		return
 	}
 	p.txPkts.Add(1)
 	p.txBytes.Add(uint64(len(frame)))
+	if ctx.sampled {
+		ctx.ex.Export(ctx.record(portNo, len(frame), flowexport.DropNone))
+	}
 	p.out(frame)
 }
 
-func (s *Switch) flood(inPort uint16, frame []byte) {
+func (s *Switch) flood(frame []byte, ctx *frameCtx) {
+	inPort := ctx.key.Port
 	s.mu.RLock()
 	targets := make([]uint16, 0, len(s.ports))
 	for n := range s.ports {
@@ -384,23 +506,52 @@ func (s *Switch) flood(inPort uint16, frame []byte) {
 	}
 	s.mu.RUnlock()
 	for _, n := range targets {
-		s.emit(n, frame)
+		s.emit(n, frame, ctx)
 	}
 }
 
-// punt sends a frame to the controller, or counts a drop without one.
-func (s *Switch) punt(inPort uint16, frame []byte) {
+// dropFrame is the single drop sink: it bumps the switch-wide reason
+// counter, attributes the drop to the frame's ingress port, and — when this
+// frame was sampled — exports a drop record carrying whatever attribution
+// survives (a no_port drop still knows its rule cookie and intended egress;
+// a no_match drop has neither).
+func (s *Switch) dropFrame(reason flowexport.DropReason, outPort uint16, size int, ctx *frameCtx) {
+	switch reason {
+	case flowexport.DropNoMatch:
+		s.droppedNoMatch.Inc()
+	case flowexport.DropNoPort:
+		s.droppedNoPort.Inc()
+	case flowexport.DropCtrlDown:
+		s.droppedCtrlDown.Inc()
+	}
+	if ctx.ingress != nil {
+		ctx.ingress.drops[reason].Add(1)
+	}
+	if ctx.sampled {
+		ctx.ex.Export(ctx.record(outPort, size, reason))
+	}
+}
+
+// punt sends a frame to the controller, or counts a drop without one. The
+// drop reason distinguishes a switch that never had a controller configured
+// (no_match) from one whose RunController-managed channel is currently down
+// and forwarding fail-open (ctrl_down).
+func (s *Switch) punt(frame []byte, ctx *frameCtx) {
 	s.mu.RLock()
 	send := s.toController
 	s.mu.RUnlock()
 	if send == nil {
-		s.droppedNoMatch.Inc()
+		reason := flowexport.DropNoMatch
+		if s.failOpen.Load() {
+			reason = flowexport.DropCtrlDown
+		}
+		s.dropFrame(reason, 0, len(frame), ctx)
 		return
 	}
 	s.packetIns.Inc()
 	send(&openflow.PacketIn{
 		BufferID: 0xffffffff,
-		InPort:   inPort,
+		InPort:   ctx.key.Port,
 		Reason:   openflow.ReasonNoMatch,
 		Data:     frame,
 	})
@@ -469,7 +620,13 @@ func (s *Switch) ExecutePacketOut(po *openflow.PacketOut) error {
 		return fmt.Errorf("dataplane: undecodable packet-out: %w", err)
 	}
 	s.packetOuts.Inc()
-	s.applyActions(po.Actions, pkt, po.Data, po.InPort)
+	s.mu.RLock()
+	ingress := s.ports[po.InPort] // may be nil: controller-synthesized port
+	s.mu.RUnlock()
+	// Controller-originated frames are not flow-sampled (they are not the
+	// exchange's traffic), but their drops still count.
+	ctx := frameCtx{ingress: ingress, key: toPolicyPacket(po.InPort, pkt)}
+	s.applyActions(po.Actions, pkt, po.Data, &ctx)
 	return nil
 }
 

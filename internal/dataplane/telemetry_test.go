@@ -59,8 +59,9 @@ func TestSwitchTelemetryExposition(t *testing.T) {
 // counters that are always maintained and only READ at scrape time, so the
 // two cases execute identical hot-path code; live stays within ~5% of nil
 // (documented expectation, not asserted — wall-clock deltas at the
-// nanosecond scale are too noisy for CI). The nil case doubles as the
-// zero-allocation guard: both report 0 allocs/op.
+// nanosecond scale are too noisy for CI). Both cases report identical
+// allocs/op (packet.Decode's headers; TestInjectSamplingAllocs pins the
+// floor).
 func BenchmarkInjectTelemetryOverhead(b *testing.B) {
 	run := func(b *testing.B, reg *telemetry.Registry) {
 		sw := NewSwitch(1)

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"sdx/internal/analytics"
+	"sdx/internal/dataplane"
+	"sdx/internal/flowexport"
+	"sdx/internal/loadgen"
+	"sdx/internal/netutil"
+	"sdx/internal/openflow"
+	"sdx/internal/policy"
+)
+
+// Analytics experiment shape: a 16-participant fabric, a synthetic
+// million-client population, 1-in-N sampled flow export feeding the
+// analytics store, validated against exact ground truth observed at the
+// generator.
+const (
+	analyticsDefaultClients = 1_000_000
+	analyticsSampleRate     = 128
+	analyticsParticipants   = 16
+	// analyticsPolicyBound is the documented relative-error bound for
+	// sampling-scaled per-policy packet estimates at full scale: each
+	// traffic class collects thousands of samples, so the 1-in-256
+	// count-based sampler lands well inside 15%.
+	analyticsPolicyBound = 0.15
+)
+
+// Traffic classes: destination service port -> installed rule. Class 53
+// forwards to an unattached port (no_port drop attribution with the rule's
+// cookie); class 8080 has no rule at all and punts to the absent
+// controller (no_match).
+var analyticsClasses = []struct {
+	dstPort uint16
+	outPort uint16
+	cookie  uint64
+}{
+	{80, 2, 0xC0DE0050},
+	{443, 3, 0xC0DE01BB},
+	{123, 4, 0xC0DE007B},
+	{53, 999, 0xC0DE0035}, // unattached egress: every hit is a no_port drop
+	{8080, 0, 0},          // no rule: every frame is a no_match drop
+}
+
+// AnalyticsTalker is one top-talker comparison row: the store's
+// sampling-scaled estimate next to the exact generator-side truth.
+type AnalyticsTalker struct {
+	SrcIP      netip.Addr `json:"src_ip"`
+	EstBytes   uint64     `json:"est_bytes"`
+	ExactBytes uint64     `json:"exact_bytes"`
+}
+
+// AnalyticsPolicy is one per-rule hit-rate comparison row.
+type AnalyticsPolicy struct {
+	Cookie     uint64  `json:"cookie"`
+	EstPackets uint64  `json:"est_packets"`
+	// ExactPackets is the generator-side truth; FlowPackets is the
+	// dataplane's own exact hit counter — the two must agree exactly.
+	ExactPackets uint64  `json:"exact_packets"`
+	FlowPackets  uint64  `json:"flow_entry_packets"`
+	RelErr       float64 `json:"rel_err"`
+}
+
+// AnalyticsDrop is one drop-attribution comparison row.
+type AnalyticsDrop struct {
+	Reason       string  `json:"reason"`
+	EstPackets   uint64  `json:"est_packets"`
+	ExactPackets uint64  `json:"exact_packets"`
+	RelErr       float64 `json:"rel_err"`
+}
+
+// AnalyticsResult reports the load-generation + flow-visibility experiment:
+// a million distinct clients driven through the dataplane, sampled at
+// 1-in-256, with the analytics query layer's answers checked against exact
+// ground truth.
+type AnalyticsResult struct {
+	Clients         int    `json:"clients"`
+	Frames          uint64 `json:"frames"`
+	Bytes           uint64 `json:"bytes"`
+	DistinctClients uint64 `json:"distinct_clients"`
+
+	DriveTime    time.Duration `json:"drive_ns"`
+	FramesPerSec float64       `json:"frames_per_sec"`
+
+	SampleRate  int    `json:"sample_rate"`
+	Candidates  uint64 `json:"sample_candidates"`
+	Samples     uint64 `json:"samples_exported"`
+	ExportDrops uint64 `json:"export_drops"`
+
+	TopTalkers  []AnalyticsTalker `json:"top_talkers"`
+	TopKMatched int               `json:"topk_matched"`
+	TopKWanted  int               `json:"topk_wanted"`
+
+	Policies []AnalyticsPolicy `json:"policies"`
+	Drops    []AnalyticsDrop   `json:"drops"`
+
+	RSSBytes uint64 `json:"rss_bytes"`
+
+	// Pass/fail gates. Accuracy gates are enforced only at full scale
+	// (scaled-down smoke runs keep them reported but advisory), matching
+	// the fullscale experiment's convention.
+	DistinctOK bool `json:"distinct_ok"`
+	ExportOK   bool `json:"export_ok"`
+	TopKOK     bool `json:"topk_ok"`
+	PolicyOK   bool `json:"policy_ok"`
+	DropOK     bool `json:"drop_ok"`
+}
+
+// Analytics builds the fabric, drives nClients distinct end hosts through
+// it (maxFrames total; zero picks 2 frames per client), and validates the
+// sampled analytics pipeline end to end. Zero nClients selects the
+// million-client configuration scaled by cfg.Scale.
+func Analytics(cfg Config, nClients int, maxFrames uint64) (*AnalyticsResult, error) {
+	if nClients <= 0 {
+		nClients = cfg.scale(analyticsDefaultClients)
+	}
+	if maxFrames == 0 {
+		maxFrames = 3 * uint64(nClients)
+	}
+
+	// Fabric: 16 attached ports, one per participant, each announcing a /12
+	// inside 10/8. Egress callbacks discard — the experiment measures the
+	// match/export path, not an external sink.
+	sw := dataplane.NewSwitch(1)
+	parts := make([]loadgen.Participant, analyticsParticipants)
+	for i := range parts {
+		port := uint16(i + 1)
+		sw.AttachPort(port, func([]byte) {})
+		parts[i] = loadgen.Participant{
+			InPort:   port,
+			SrcMAC:   netutil.MACFromUint64(0x020000000100 + uint64(i)),
+			DstMAC:   netutil.MACFromUint64(0x020000000200 + uint64(i)),
+			Prefixes: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i << 4), 0, 0}), 12)},
+		}
+	}
+	cookieFor := make(map[uint16]uint64)
+	entryFor := make(map[uint64]*dataplane.FlowEntry)
+	for _, cl := range analyticsClasses {
+		cookieFor[cl.dstPort] = cl.cookie
+		if cl.outPort == 0 {
+			continue // the no_match class installs nothing
+		}
+		e := &dataplane.FlowEntry{
+			Match:    policy.MatchAll.DstPort(cl.dstPort),
+			Priority: 10,
+			Actions:  []openflow.Action{openflow.Output(cl.outPort)},
+			Cookie:   cl.cookie,
+		}
+		sw.Table.Add(e)
+		entryFor[cl.cookie] = e
+	}
+
+	// Sampled export into the analytics store. The buffer exceeds the
+	// worst-case sample count (maxFrames/rate), so with the consumer
+	// goroutine draining too, export drops are impossible and the run is
+	// fully deterministic.
+	ex := flowexport.New(analyticsSampleRate, int(maxFrames/analyticsSampleRate)+1024)
+	sw.SetFlowExporter(ex)
+	store := analytics.New(analytics.Config{
+		SampleRate:   analyticsSampleRate,
+		Window:       time.Hour, // one bucket holds the whole run
+		TopKCapacity: 8192,
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { store.Run(ex.Records(), stop); close(done) }()
+
+	// Ground truth taps at the generator: exact per-source forwarded bytes,
+	// exact per-cookie packets, exact per-reason drop counts.
+	truthBytes := make(map[netip.Addr]uint64, nClients)
+	truthPkts := make(map[uint64]uint64)
+	truthDrops := map[string]uint64{"no_port": 0, "no_match": 0}
+
+	// The top-10 gate needs the top-10 boundary to fall between talkers
+	// separated by more than the sampling noise, so talker volume is made
+	// a pure function of the geometric schedule: a 12-client elephant set
+	// with 0.75^k pick decay puts the boundary inside the elephant zone
+	// (the #10/#11 gap is 25% in true bytes, several sigma at this sample
+	// count), one uniform frame size removes per-client byte multipliers,
+	// and an all-but-disabled closed-loop share (the config's zero value
+	// means "default", so 1 per mille is the off position) keeps burst
+	// multipliers from re-widening the spread. Mice then emit a frame or
+	// two each — three orders of magnitude below the weakest elephant.
+	gen, err := loadgen.New(loadgen.Config{
+		Seed:               cfg.Seed,
+		Clients:            nClients,
+		Participants:       parts,
+		DstPorts:           []uint16{80, 443, 123, 53, 8080},
+		Elephants:          12,
+		ElephantShare:      0.7,
+		ElephantRatio:      0.75,
+		ClosedLoopPermille: 1,
+		MaxFlowFrames:      256,
+		FrameSizes:         []int{1400},
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st, err := gen.Drive(sw.Inject, maxFrames, func(c *loadgen.Client, size int) {
+		truthBytes[c.SrcIP] += uint64(size) // talkers count forwarded AND dropped
+		switch c.DstPort {
+		case 53:
+			truthDrops["no_port"]++
+		case 8080:
+			truthDrops["no_match"]++
+		default:
+			truthPkts[cookieFor[c.DstPort]]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	driveTime := time.Since(start)
+	close(stop)
+	<-done
+
+	res := &AnalyticsResult{
+		Clients:         nClients,
+		Frames:          st.Frames,
+		Bytes:           st.Bytes,
+		DistinctClients: st.DistinctClients,
+		DriveTime:       driveTime,
+		FramesPerSec:    float64(st.Frames) / driveTime.Seconds(),
+		SampleRate:      analyticsSampleRate,
+		RSSBytes:        readRSS(),
+	}
+	exStats := ex.Stats()
+	res.Candidates, res.Samples, res.ExportDrops = exStats.Seen, exStats.Exported, exStats.Dropped
+
+	// Top talkers: the store's top 10 against the exact top 10.
+	const k = 10
+	est := store.TopTalkers(k)
+	exact := make([]AnalyticsTalker, 0, len(truthBytes))
+	for ip, b := range truthBytes {
+		exact = append(exact, AnalyticsTalker{SrcIP: ip, ExactBytes: b})
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].ExactBytes != exact[j].ExactBytes {
+			return exact[i].ExactBytes > exact[j].ExactBytes
+		}
+		return exact[i].SrcIP.Less(exact[j].SrcIP)
+	})
+	if len(exact) > k {
+		exact = exact[:k]
+	}
+	exactSet := make(map[netip.Addr]bool, len(exact))
+	for _, t := range exact {
+		exactSet[t.SrcIP] = true
+	}
+	for _, t := range est {
+		row := AnalyticsTalker{SrcIP: t.SrcIP, EstBytes: t.Bytes, ExactBytes: truthBytes[t.SrcIP]}
+		res.TopTalkers = append(res.TopTalkers, row)
+		if exactSet[t.SrcIP] {
+			res.TopKMatched++
+		}
+	}
+	res.TopKWanted = len(exact)
+
+	// Per-policy hit rates: estimate vs generator truth vs the dataplane's
+	// own exact flow-entry counters.
+	estPol := make(map[uint64]uint64)
+	for _, p := range store.Policies() {
+		estPol[p.Cookie] = p.Packets
+	}
+	polOK := true
+	for _, cl := range analyticsClasses {
+		if cl.cookie == 0 || cl.outPort == 999 {
+			continue // only forwarded classes count as policy hits
+		}
+		exactPkts := truthPkts[cl.cookie]
+		row := AnalyticsPolicy{
+			Cookie:       cl.cookie,
+			EstPackets:   estPol[cl.cookie],
+			ExactPackets: exactPkts,
+			FlowPackets:  entryFor[cl.cookie].Packets,
+			RelErr:       relErr(estPol[cl.cookie], exactPkts),
+		}
+		res.Policies = append(res.Policies, row)
+		if row.FlowPackets != row.ExactPackets || row.RelErr > analyticsPolicyBound {
+			polOK = false
+		}
+	}
+
+	// Drop attribution: the store's sampling-scaled per-reason counts
+	// against generator truth, cross-checked with the switch's exact
+	// per-reason counters.
+	estDrop := make(map[string]uint64)
+	for _, d := range store.Drops() {
+		estDrop[d.Reason] += d.Packets
+	}
+	byReason := sw.DroppedByReason()
+	exactDrop := map[string]uint64{
+		"no_match": byReason[flowexport.DropNoMatch],
+		"no_port":  byReason[flowexport.DropNoPort],
+	}
+	dropOK := true
+	for _, reason := range []string{"no_match", "no_port"} {
+		row := AnalyticsDrop{
+			Reason:       reason,
+			EstPackets:   estDrop[reason],
+			ExactPackets: truthDrops[reason],
+			RelErr:       relErr(estDrop[reason], truthDrops[reason]),
+		}
+		res.Drops = append(res.Drops, row)
+		if exactDrop[reason] != truthDrops[reason] || row.RelErr > analyticsPolicyBound {
+			dropOK = false
+		}
+	}
+
+	fullScale := nClients >= analyticsDefaultClients
+	res.DistinctOK = res.DistinctClients >= uint64(nClients)
+	res.ExportOK = res.ExportDrops == 0
+	res.TopKOK = res.TopKMatched == res.TopKWanted
+	res.PolicyOK = polOK
+	res.DropOK = dropOK
+
+	fmt.Fprintf(cfg.out(), "analytics: %d clients (%d distinct on the wire), %d frames in %v (%.0f frames/s)\n",
+		res.Clients, res.DistinctClients, res.Frames, driveTime.Round(time.Millisecond), res.FramesPerSec)
+	fmt.Fprintf(cfg.out(), "analytics: sampled %d of %d candidates (1-in-%d), %d export drops\n",
+		res.Samples, res.Candidates, res.SampleRate, res.ExportDrops)
+	for i, t := range res.TopTalkers {
+		mark := " "
+		if !exactSet[t.SrcIP] {
+			mark = "!"
+		}
+		var exactRow AnalyticsTalker
+		if i < len(exact) {
+			exactRow = exact[i]
+		}
+		fmt.Fprintf(cfg.out(), "analytics: talker %2d%s est %-15v %12d B | exact %-15v %12d B\n",
+			i, mark, t.SrcIP, t.EstBytes, exactRow.SrcIP, exactRow.ExactBytes)
+	}
+	fmt.Fprintf(cfg.out(), "analytics: top-%d talkers matched %d/%d; gates distinct:%v export:%v topk:%v policy:%v drop:%v\n",
+		k, res.TopKMatched, res.TopKWanted, res.DistinctOK, res.ExportOK, res.TopKOK, res.PolicyOK, res.DropOK)
+
+	if !res.DistinctOK || !res.ExportOK {
+		return res, fmt.Errorf("analytics: pipeline gate failed (distinct %d/%d, export drops %d)",
+			res.DistinctClients, nClients, res.ExportDrops)
+	}
+	if fullScale && (!res.TopKOK || !res.PolicyOK || !res.DropOK) {
+		return res, fmt.Errorf("analytics: accuracy gate failed (topk %d/%d, policy %v, drop %v)",
+			res.TopKMatched, res.TopKWanted, res.PolicyOK, res.DropOK)
+	}
+	return res, nil
+}
+
+// relErr is |est-exact|/exact, with exact==0 treated as exact agreement
+// only when est is also 0.
+func relErr(est, exact uint64) float64 {
+	if exact == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := float64(est) - float64(exact)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(exact)
+}

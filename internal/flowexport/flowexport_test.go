@@ -1,0 +1,134 @@
+package flowexport
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdx/internal/telemetry"
+)
+
+func TestSampleOneInN(t *testing.T) {
+	e := New(8, 4)
+	hits := 0
+	for i := 0; i < 800; i++ {
+		if e.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-8 over 800 candidates: %d hits, want 100", hits)
+	}
+	if got := e.Stats().Seen; got != 800 {
+		t.Fatalf("Seen = %d, want 800", got)
+	}
+}
+
+func TestSampleRateOneAlways(t *testing.T) {
+	e := New(1, 1)
+	for i := 0; i < 5; i++ {
+		if !e.Sample() {
+			t.Fatalf("rate 1 must sample every candidate (call %d)", i)
+		}
+	}
+	// New clamps nonsense rates to 1.
+	if New(0, 1).Rate() != 1 || New(-3, 1).Rate() != 1 {
+		t.Fatal("rate < 1 must clamp to 1")
+	}
+}
+
+func TestNilExporterInert(t *testing.T) {
+	var e *Exporter
+	if e.Sample() {
+		t.Fatal("nil exporter must not sample")
+	}
+	e.Export(Record{}) // must not panic
+	if s := e.Stats(); s != (Stats{}) {
+		t.Fatalf("nil exporter stats = %+v, want zero", s)
+	}
+}
+
+func TestExportBackpressureDropsNotBlocks(t *testing.T) {
+	e := New(1, 2)
+	r := Record{SrcIP: netip.MustParseAddr("10.0.0.1"), Bytes: 64}
+	for i := 0; i < 5; i++ {
+		e.Export(r) // no consumer: must never block
+	}
+	s := e.Stats()
+	if s.Exported != 2 || s.Dropped != 3 {
+		t.Fatalf("exported/dropped = %d/%d, want 2/3", s.Exported, s.Dropped)
+	}
+	got := <-e.Records()
+	if got != r {
+		t.Fatalf("record round-trip mismatch: %+v", got)
+	}
+}
+
+// The 1-in-rate property is global across goroutines: total hits converge to
+// candidates/rate regardless of interleaving.
+func TestSampleConcurrent(t *testing.T) {
+	const workers, per = 8, 4000
+	e := New(16, 1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	hits := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < per; i++ {
+				if e.Sample() {
+					n++
+				}
+			}
+			mu.Lock()
+			hits += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if want := workers * per / 16; hits != want {
+		t.Fatalf("concurrent 1-in-16: %d hits, want %d", hits, want)
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	want := map[DropReason]string{
+		DropNone: "none", DropNoMatch: "no_match",
+		DropNoPort: "no_port", DropCtrlDown: "ctrl_down",
+		DropReason(99): "unknown",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("DropReason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestExporterTelemetry(t *testing.T) {
+	e := New(2, 1)
+	reg := telemetry.NewRegistry()
+	e.EnableTelemetry(reg)
+	e.Sample()
+	e.Sample()
+	e.Export(Record{})
+	e.Export(Record{}) // buffer full: dropped
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"sdx_flowexport_candidates_total 2",
+		"sdx_flowexport_exported_total 1",
+		"sdx_flowexport_dropped_total 1",
+		"sdx_flowexport_sample_rate 2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package loadgen synthesizes exchange traffic from millions of distinct
+// end hosts behind the IXP's participants. It is the traffic-side twin of
+// workload.GenerateDFZ: every per-client decision — which participant the
+// client sits behind, its source address inside that participant's
+// announced space, the full 5-tuple, frame size, flow length, open- vs
+// closed-loop behavior — is a pure function of (seed, client index), so a
+// million-client population costs no per-client state and two generators
+// with the same seed emit byte-identical traffic.
+//
+// The traffic shape follows what IXP studies consistently report:
+//
+//   - Heavy-tailed talkers: a small elephant set (client indices
+//     0..Elephants-1) is scheduled with geometrically decaying rank
+//     weights and carries ElephantShare of the scheduled picks; the mouse
+//     tail is drawn uniformly from the rest of the population.
+//   - Heavy-tailed flow lengths: per-client flow sizes are Pareto
+//     distributed between MinFlowFrames and MaxFlowFrames.
+//   - Open/closed-loop mix: closed-loop clients emit their whole flow as a
+//     burst when scheduled (they "wait" for their transfer); open-loop
+//     clients emit single frames at schedule rate regardless of fate.
+//
+// Frames are patched in place into per-(participant,proto,size) templates —
+// source/destination IP, ports, and the IPv4 header checksum — so the
+// steady-state emission path allocates nothing. The buffer handed to the
+// inject callback is reused by the next frame for the same template; the
+// dataplane's Inject does not retain frames it forwards or drops (only a
+// punt to a live controller does), which is the intended consumer.
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+
+	"sdx/internal/netutil"
+	"sdx/internal/packet"
+)
+
+// Participant is one traffic source: clients behind it source frames from
+// its announced prefixes into its switch port, addressed to the fabric
+// router MAC the participant forwards through.
+type Participant struct {
+	// InPort is the switch port the participant's frames enter on.
+	InPort uint16
+	// SrcMAC/DstMAC frame the participant's traffic (its router toward the
+	// fabric's next hop).
+	SrcMAC, DstMAC netutil.MAC
+	// Prefixes is the participant's announced IPv4 space; client source
+	// addresses are drawn from it.
+	Prefixes []netip.Prefix
+}
+
+// Config parameterizes a Generator. Zero values take the documented
+// defaults.
+type Config struct {
+	Seed    int64
+	Clients int
+	// Participants share the client population roughly evenly (hashed).
+	Participants []Participant
+	// DstPorts are the service-port classes destinations listen on
+	// (default 80, 443, 53, 123).
+	DstPorts []uint16
+	// Elephants is the size of the heavy-talker set (default 64); client
+	// indices below it are elephants.
+	Elephants int
+	// ElephantShare is the fraction of scheduled picks that land on the
+	// elephant set (default 0.6).
+	ElephantShare float64
+	// ElephantRatio is the geometric decay of elephant rank weights:
+	// elephant k is picked proportionally to ElephantRatio^k (default 0.8).
+	ElephantRatio float64
+	// TCPPermille is the per-mille share of TCP clients (default 700;
+	// the rest are UDP).
+	TCPPermille int
+	// ClosedLoopPermille is the per-mille share of closed-loop clients
+	// (default 300).
+	ClosedLoopPermille int
+	// MinFlowFrames/MaxFlowFrames bound the Pareto flow length
+	// (defaults 1 and 4096); ParetoShape is its tail exponent
+	// (default 1.5, smaller = heavier).
+	MinFlowFrames, MaxFlowFrames int
+	ParetoShape                  float64
+	// FrameSizes are the wire frame lengths clients use (default 64, 128,
+	// 512, 1400).
+	FrameSizes []int
+}
+
+// Client is one synthetic end host's fully derived identity.
+type Client struct {
+	// Participant indexes Config.Participants.
+	Participant int
+	SrcIP       netip.Addr
+	DstIP       netip.Addr
+	Proto       uint8
+	SrcPort     uint16
+	DstPort     uint16
+	// FrameSize is the client's wire frame length.
+	FrameSize int
+	// FlowFrames is the client's flow length in frames.
+	FlowFrames int
+	// ClosedLoop marks clients that emit their whole flow per pick.
+	ClosedLoop bool
+}
+
+// Stats summarizes one Drive run.
+type Stats struct {
+	// Frames is the total frames injected.
+	Frames uint64
+	// Bytes is the total wire bytes injected.
+	Bytes uint64
+	// DistinctClients counts the client indices that emitted at least one
+	// frame (the enumeration pass guarantees all of them for
+	// maxFrames >= Clients).
+	DistinctClients uint64
+}
+
+// Generator derives clients and emits their frames. Safe for concurrent
+// Client/ClientAt calls; Frame and Drive mutate shared templates and are
+// single-goroutine.
+type Generator struct {
+	cfg         Config
+	seed        uint64
+	elephantCum []float64 // cumulative normalized rank weights
+	templates   map[templateKey][]byte
+}
+
+type templateKey struct {
+	participant int
+	tcp         bool
+	size        int
+}
+
+// Domain-separation tags for the per-client hash lanes.
+const (
+	tagParticipant = iota + 1
+	tagSrcPrefix
+	tagSrcHost
+	tagDstParticipant
+	tagDstPrefix
+	tagDstHost
+	tagProto
+	tagSrcPort
+	tagDstPort
+	tagSize
+	tagFlow
+	tagLoop
+	tagSchedule
+	tagScheduleRank
+)
+
+// mix64 is the SplitMix64 finalizer (same as workload.mix64): a cheap
+// bijective avalanche over the (seed, index, lane) coordinates.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New validates cfg, applies defaults, and builds the frame templates.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("loadgen: need at least one client")
+	}
+	if len(cfg.Participants) < 2 {
+		return nil, fmt.Errorf("loadgen: need at least two participants (traffic crosses the fabric)")
+	}
+	for i, p := range cfg.Participants {
+		if len(p.Prefixes) == 0 {
+			return nil, fmt.Errorf("loadgen: participant %d announces no prefixes", i)
+		}
+		for _, pfx := range p.Prefixes {
+			if !pfx.Addr().Is4() {
+				return nil, fmt.Errorf("loadgen: participant %d: %v is not IPv4", i, pfx)
+			}
+		}
+	}
+	if len(cfg.DstPorts) == 0 {
+		cfg.DstPorts = []uint16{80, 443, 53, 123}
+	}
+	if cfg.Elephants == 0 {
+		cfg.Elephants = 64
+	}
+	if cfg.Elephants > cfg.Clients {
+		cfg.Elephants = cfg.Clients
+	}
+	if cfg.ElephantShare == 0 {
+		cfg.ElephantShare = 0.6
+	}
+	if cfg.ElephantRatio == 0 {
+		cfg.ElephantRatio = 0.8
+	}
+	if cfg.TCPPermille == 0 {
+		cfg.TCPPermille = 700
+	}
+	if cfg.ClosedLoopPermille == 0 {
+		cfg.ClosedLoopPermille = 300
+	}
+	if cfg.MinFlowFrames == 0 {
+		cfg.MinFlowFrames = 1
+	}
+	if cfg.MaxFlowFrames == 0 {
+		cfg.MaxFlowFrames = 4096
+	}
+	if cfg.ParetoShape == 0 {
+		cfg.ParetoShape = 1.5
+	}
+	if len(cfg.FrameSizes) == 0 {
+		cfg.FrameSizes = []int{64, 128, 512, 1400}
+	}
+	g := &Generator{
+		cfg:       cfg,
+		seed:      mix64(uint64(cfg.Seed)),
+		templates: make(map[templateKey][]byte),
+	}
+	// Elephant rank weights ratio^k, folded into a cumulative table the
+	// scheduler binary-searches.
+	cum, total := make([]float64, cfg.Elephants), 0.0
+	w := 1.0
+	for k := 0; k < cfg.Elephants; k++ {
+		total += w
+		cum[k] = total
+		w *= cfg.ElephantRatio
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	g.elephantCum = cum
+	return g, nil
+}
+
+// hash returns the client's value in one derivation lane.
+func (g *Generator) hash(client int, lane uint64) uint64 {
+	return mix64(g.seed ^ mix64(lane<<32^uint64(client)))
+}
+
+// addrIn picks a host address inside prefix from hash h, avoiding the
+// network and broadcast addresses when the prefix has room for hosts.
+func addrIn(prefix netip.Prefix, h uint64) netip.Addr {
+	bits := prefix.Bits()
+	base := binary.BigEndian.Uint32(prefix.Masked().Addr().AsSlice())
+	hosts := uint64(1) << (32 - bits)
+	var off uint64
+	switch {
+	case hosts <= 2:
+		off = h % hosts
+	default:
+		off = 1 + h%(hosts-2)
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], base+uint32(off))
+	return netip.AddrFrom4(b)
+}
+
+// Client derives client i's identity. Pure: same (seed, i) in, same client
+// out, with the source address always inside the owning participant's
+// announced prefixes (TestClientDeterminism / TestClientSourcesInPrefixes).
+func (g *Generator) Client(i int) Client {
+	nPart := len(g.cfg.Participants)
+	pi := int(g.hash(i, tagParticipant) % uint64(nPart))
+	src := g.cfg.Participants[pi]
+
+	// Destination sits behind a different participant.
+	pj := int(g.hash(i, tagDstParticipant) % uint64(nPart-1))
+	if pj >= pi {
+		pj++
+	}
+	dst := g.cfg.Participants[pj]
+
+	c := Client{
+		Participant: pi,
+		SrcIP: addrIn(src.Prefixes[g.hash(i, tagSrcPrefix)%uint64(len(src.Prefixes))],
+			g.hash(i, tagSrcHost)),
+		DstIP: addrIn(dst.Prefixes[g.hash(i, tagDstPrefix)%uint64(len(dst.Prefixes))],
+			g.hash(i, tagDstHost)),
+		SrcPort:    uint16(32768 + g.hash(i, tagSrcPort)%28232), // ephemeral range
+		DstPort:    g.cfg.DstPorts[g.hash(i, tagDstPort)%uint64(len(g.cfg.DstPorts))],
+		FrameSize:  g.cfg.FrameSizes[g.hash(i, tagSize)%uint64(len(g.cfg.FrameSizes))],
+		ClosedLoop: int(g.hash(i, tagLoop)%1000) < g.cfg.ClosedLoopPermille,
+	}
+	if int(g.hash(i, tagProto)%1000) < g.cfg.TCPPermille {
+		c.Proto = packet.ProtoTCP
+	} else {
+		c.Proto = packet.ProtoUDP
+	}
+
+	// Pareto(shape) flow length on [MinFlowFrames, MaxFlowFrames]: invert
+	// u in (0,1] through the Pareto CDF and cap the tail.
+	u := (float64(g.hash(i, tagFlow)>>11) + 1) / (1 << 53)
+	frames := float64(g.cfg.MinFlowFrames) * math.Pow(u, -1/g.cfg.ParetoShape)
+	if frames > float64(g.cfg.MaxFlowFrames) {
+		frames = float64(g.cfg.MaxFlowFrames)
+	}
+	c.FlowFrames = int(frames)
+	return c
+}
+
+// ClientAt returns the client index scheduled at pick step: ElephantShare
+// of picks land on the elephant set with geometric rank weights, the rest
+// uniformly on the mouse tail. Pure in (seed, step).
+func (g *Generator) ClientAt(step uint64) int {
+	h := mix64(g.seed ^ mix64(tagSchedule<<32^step))
+	u := float64(h>>11) / (1 << 53)
+	if u < g.cfg.ElephantShare || g.cfg.Elephants == g.cfg.Clients {
+		v := float64(mix64(g.seed^mix64(tagScheduleRank<<32^step))>>11) / (1 << 53)
+		// Binary search the cumulative rank-weight table.
+		lo, hi := 0, len(g.elephantCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.elephantCum[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	mice := uint64(g.cfg.Clients - g.cfg.Elephants)
+	return g.cfg.Elephants + int(h%mice)
+}
+
+// Frame renders client i's next frame into the client's shared template and
+// returns the ingress port plus the wire image. The returned buffer is
+// owned by the generator and overwritten by the next Frame call that lands
+// on the same (participant, proto, size) template — inject it before
+// generating the next frame, into a consumer that does not retain it.
+func (g *Generator) Frame(i int) (inPort uint16, frame []byte) {
+	c := g.Client(i)
+	return g.cfg.Participants[c.Participant].InPort, g.render(&c)
+}
+
+func (g *Generator) render(c *Client) []byte {
+	f := g.template(c)
+	// Patch the 5-tuple straight into the wire image: IPv4 src/dst at
+	// offsets 26/30, L4 ports at 34/36 (same for TCP and UDP).
+	src, dst := c.SrcIP.As4(), c.DstIP.As4()
+	copy(f[26:30], src[:])
+	copy(f[30:34], dst[:])
+	binary.BigEndian.PutUint16(f[34:36], c.SrcPort)
+	binary.BigEndian.PutUint16(f[36:38], c.DstPort)
+	// Recompute the IPv4 header checksum over the patched header. The L4
+	// pseudo-header checksums are zeroed once at template build: legal for
+	// UDP (RFC 768 "checksum not computed"), and unchecked by the fabric
+	// for TCP — the dataplane matches headers, it does not verify payloads.
+	f[24], f[25] = 0, 0
+	binary.BigEndian.PutUint16(f[24:26], ipv4HeaderChecksum(f[14:34]))
+	return f
+}
+
+// template returns (building on first use) the reusable wire image for the
+// client's (participant, proto, size) combination.
+func (g *Generator) template(c *Client) []byte {
+	key := templateKey{participant: c.Participant, tcp: c.Proto == packet.ProtoTCP, size: c.FrameSize}
+	if f, ok := g.templates[key]; ok {
+		return f
+	}
+	p := g.cfg.Participants[c.Participant]
+	overhead := 14 + 20 + 8 // eth + ipv4 + udp
+	if key.tcp {
+		overhead = 14 + 20 + 20
+	}
+	payload := make([]byte, max(0, c.FrameSize-overhead))
+	var f []byte
+	if key.tcp {
+		f = packet.NewTCP(p.SrcMAC, p.DstMAC, c.SrcIP, c.DstIP, c.SrcPort, c.DstPort, packet.TCPAck, payload).Serialize()
+		f[50], f[51] = 0, 0 // TCP checksum: unchecked by the fabric
+	} else {
+		f = packet.NewUDP(p.SrcMAC, p.DstMAC, c.SrcIP, c.DstIP, c.SrcPort, c.DstPort, payload).Serialize()
+		f[40], f[41] = 0, 0 // UDP checksum: 0 = not computed (RFC 768)
+	}
+	g.templates[key] = f
+	return f
+}
+
+// ipv4HeaderChecksum is the RFC 791 ones-complement sum over the 20-byte
+// header (checksum field pre-zeroed).
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Drive pushes up to maxFrames frames into inject. It first enumerates the
+// whole population once (one frame per client, guaranteeing Clients
+// distinct end hosts on the wire), then runs the scheduled heavy-tailed
+// phase: each pick emits one frame for open-loop clients and the client's
+// whole flow for closed-loop ones. observe, when non-nil, sees every
+// emitted frame and is the experiment's exact ground truth tap. Injection
+// errors abort the run.
+func (g *Generator) Drive(inject func(inPort uint16, frame []byte) error, maxFrames uint64, observe func(c *Client, size int)) (Stats, error) {
+	var st Stats
+	emit := func(c *Client) error {
+		f := g.render(c)
+		if err := inject(g.cfg.Participants[c.Participant].InPort, f); err != nil {
+			return err
+		}
+		st.Frames++
+		st.Bytes += uint64(len(f))
+		if observe != nil {
+			observe(c, len(f))
+		}
+		return nil
+	}
+
+	// Enumeration pass: every client speaks once.
+	for i := 0; i < g.cfg.Clients && st.Frames < maxFrames; i++ {
+		c := g.Client(i)
+		if err := emit(&c); err != nil {
+			return st, err
+		}
+		st.DistinctClients++
+	}
+
+	// Scheduled phase: heavy-tailed picks until the frame budget is spent.
+	for step := uint64(0); st.Frames < maxFrames; step++ {
+		c := g.Client(g.ClientAt(step))
+		burst := 1
+		if c.ClosedLoop {
+			burst = c.FlowFrames
+		}
+		for n := 0; n < burst && st.Frames < maxFrames; n++ {
+			if err := emit(&c); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}

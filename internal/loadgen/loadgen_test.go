@@ -1,0 +1,229 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"sdx/internal/netutil"
+	"sdx/internal/packet"
+)
+
+func testConfig(seed int64, clients int) Config {
+	return Config{
+		Seed:    seed,
+		Clients: clients,
+		Participants: []Participant{
+			{InPort: 1, SrcMAC: netutil.MustParseMAC("02:00:00:00:01:01"),
+				DstMAC:   netutil.MustParseMAC("02:0a:00:00:00:01"),
+				Prefixes: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16"), netip.MustParsePrefix("10.2.0.0/24")}},
+			{InPort: 2, SrcMAC: netutil.MustParseMAC("02:00:00:00:02:01"),
+				DstMAC:   netutil.MustParseMAC("02:0a:00:00:00:01"),
+				Prefixes: []netip.Prefix{netip.MustParsePrefix("20.1.0.0/20")}},
+			{InPort: 3, SrcMAC: netutil.MustParseMAC("02:00:00:00:03:01"),
+				DstMAC:   netutil.MustParseMAC("02:0a:00:00:00:01"),
+				Prefixes: []netip.Prefix{netip.MustParsePrefix("30.1.0.0/18"), netip.MustParsePrefix("30.2.0.0/30")}},
+		},
+	}
+}
+
+// Same (seed, client index) must yield the identical client — across
+// generator instances, not just calls.
+func TestClientDeterminism(t *testing.T) {
+	g1, err := New(testConfig(42, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(testConfig(42, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if c1, c2 := g1.Client(i), g2.Client(i); c1 != c2 {
+			t.Fatalf("client %d differs across same-seed generators:\n%+v\n%+v", i, c1, c2)
+		}
+	}
+	for step := uint64(0); step < 5000; step++ {
+		if a, b := g1.ClientAt(step), g2.ClientAt(step); a != b {
+			t.Fatalf("schedule step %d differs: %d vs %d", step, a, b)
+		}
+	}
+	// And the rendered wire images match byte for byte.
+	for i := 0; i < 100; i++ {
+		p1, f1 := g1.Frame(i)
+		f1c := append([]byte(nil), f1...)
+		p2, f2 := g2.Frame(i)
+		if p1 != p2 || !bytes.Equal(f1c, f2) {
+			t.Fatalf("frame %d differs across same-seed generators", i)
+		}
+	}
+}
+
+func TestSeedChangesPopulation(t *testing.T) {
+	g1, _ := New(testConfig(1, 1000))
+	g2, _ := New(testConfig(2, 1000))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Client(i) == g2.Client(i) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/1000 clients identical across different seeds", same)
+	}
+}
+
+// Every generated source address must fall inside the owning participant's
+// announced prefixes, and never on a network/broadcast address when the
+// prefix has host room. Destinations must sit behind a different
+// participant.
+func TestClientSourcesInPrefixes(t *testing.T) {
+	cfg := testConfig(7, 50000)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(addr netip.Addr, pfxs []netip.Prefix) bool {
+		for _, p := range pfxs {
+			if p.Contains(addr) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		c := g.Client(i)
+		src := cfg.Participants[c.Participant]
+		if !within(c.SrcIP, src.Prefixes) {
+			t.Fatalf("client %d: src %v outside participant %d prefixes %v",
+				i, c.SrcIP, c.Participant, src.Prefixes)
+		}
+		if within(c.DstIP, src.Prefixes) {
+			t.Fatalf("client %d: dst %v inside its own participant's space", i, c.DstIP)
+		}
+		var dstOK bool
+		for pi, p := range cfg.Participants {
+			if pi != c.Participant && within(c.DstIP, p.Prefixes) {
+				dstOK = true
+			}
+		}
+		if !dstOK {
+			t.Fatalf("client %d: dst %v behind no other participant", i, c.DstIP)
+		}
+		for _, p := range src.Prefixes {
+			if p.Contains(c.SrcIP) && p.Bits() < 31 {
+				base := p.Masked().Addr().As4()
+				last := base
+				for b := p.Bits(); b < 32; b++ {
+					last[b/8] |= 1 << (7 - b%8)
+				}
+				if c.SrcIP.As4() == base || c.SrcIP.As4() == last {
+					t.Fatalf("client %d: src %v is the network/broadcast address of %v", i, c.SrcIP, p)
+				}
+			}
+		}
+		if c.FlowFrames < 1 || c.FlowFrames > 4096 {
+			t.Fatalf("client %d: flow length %d outside [1,4096]", i, c.FlowFrames)
+		}
+	}
+}
+
+// Rendered frames must decode back to the client's exact 5-tuple, with a
+// valid IPv4 header checksum.
+func TestFrameRoundTrip(t *testing.T) {
+	g, err := New(testConfig(3, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		c := g.Client(i)
+		inPort, frame := g.Frame(i)
+		if want := g.cfg.Participants[c.Participant].InPort; inPort != want {
+			t.Fatalf("client %d: inPort %d, want %d", i, inPort, want)
+		}
+		if len(frame) != c.FrameSize {
+			t.Fatalf("client %d: frame length %d, want %d", i, len(frame), c.FrameSize)
+		}
+		p, err := packet.Decode(frame)
+		if err != nil {
+			t.Fatalf("client %d: undecodable frame: %v", i, err)
+		}
+		if p.IPv4 == nil || p.IPv4.SrcIP != c.SrcIP || p.IPv4.DstIP != c.DstIP ||
+			p.IPv4.Protocol != c.Proto || p.SrcPort() != c.SrcPort || p.DstPort() != c.DstPort {
+			t.Fatalf("client %d: decoded tuple mismatch: %+v vs client %+v", i, p, c)
+		}
+		// Header checksum must verify: summing the header including the
+		// stored checksum yields 0xffff.
+		var sum uint32
+		for o := 14; o < 34; o += 2 {
+			sum += uint32(frame[o])<<8 | uint32(frame[o+1])
+		}
+		for sum > 0xffff {
+			sum = (sum & 0xffff) + sum>>16
+		}
+		if sum != 0xffff {
+			t.Fatalf("client %d: bad IPv4 header checksum", i)
+		}
+	}
+}
+
+// Drive's enumeration pass puts every client on the wire exactly once
+// before the scheduled phase; the scheduled phase skews toward the
+// elephant set.
+func TestDriveEnumeratesAllClients(t *testing.T) {
+	cfg := testConfig(11, 2000)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make(map[netip.Addr]uint64)
+	injected := uint64(0)
+	st, err := g.Drive(func(inPort uint16, frame []byte) error {
+		injected++
+		return nil
+	}, 20000, func(c *Client, size int) {
+		frames[c.SrcIP]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 20000 || injected != 20000 {
+		t.Fatalf("frames = %d (injected %d), want 20000", st.Frames, injected)
+	}
+	if st.DistinctClients != 2000 {
+		t.Fatalf("distinct clients = %d, want 2000", st.DistinctClients)
+	}
+	// Elephant share: count frames from elephant clients (indices below
+	// cfg.Elephants). Scheduled traffic is 18000 frames at 60% elephant
+	// picks amplified by closed-loop bursts, so well over half the total.
+	elephant := uint64(0)
+	for i := 0; i < 64; i++ {
+		elephant += frames[g.Client(i).SrcIP]
+	}
+	if elephant < st.Frames/3 {
+		t.Fatalf("elephant set carried %d/%d frames — heavy tail missing", elephant, st.Frames)
+	}
+}
+
+// The same seed and budget drive byte-identical traffic end to end.
+func TestDriveDeterminism(t *testing.T) {
+	run := func() []byte {
+		g, err := New(testConfig(5, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		_, err = g.Drive(func(inPort uint16, frame []byte) error {
+			all = append(all, byte(inPort))
+			all = append(all, frame...)
+			return nil
+		}, 3000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return all
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two same-seed Drive runs emitted different traffic")
+	}
+}

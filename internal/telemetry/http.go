@@ -7,10 +7,19 @@ import (
 	"time"
 )
 
+// Mount attaches an extra handler to the telemetry mux — how subsystems
+// with their own query surfaces (analytics at /debug/sdx/flows) ride on the
+// daemon's single telemetry endpoint.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler serving the registry in Prometheus text
 // format at /metrics and a JSON snapshot of metrics plus the tracer's
-// recent events at /debug/sdx. Either argument may be nil.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// recent events at /debug/sdx, with any extra mounts attached. Registry
+// and tracer may be nil.
+func Handler(reg *Registry, tr *Tracer, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -22,6 +31,9 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(Snapshot(reg, tr))
 	})
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -106,13 +118,14 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Close shuts the endpoint down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// Serve binds addr and serves Handler(reg, tr) on a background goroutine.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+// Serve binds addr and serves Handler(reg, tr, mounts...) on a background
+// goroutine.
+func Serve(addr string, reg *Registry, tr *Tracer, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, tr)}
+	srv := &http.Server{Handler: Handler(reg, tr, mounts...)}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }
