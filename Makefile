@@ -38,7 +38,13 @@ bench:
 # sources through the sampled-flow pipeline; top-k/policy/drop estimates
 # checked against exact ground truth) lands in BENCH_analytics.json the
 # same way. The forwarding benchmark regex also picks up
-# BenchmarkSwitchForwardingSampled, the 1-in-1024 sampling-overhead guard.
+# BenchmarkSwitchForwardingSampled, the 1-in-1024 sampling-overhead guard,
+# and the BenchmarkSwitchForwardingAggregate10k pair (10k rules, a fresh
+# 5-tuple per frame — the megaflow tier's worst honest case, single and
+# batched). The line-rate experiment (1M clients of aggregate traffic
+# through one switch via InjectBatch) lands in BENCH_linerate.json with
+# throughput-vs-recorded-baseline, megaflow hit-rate, allocation, and p99
+# gates; the pre-megaflow baseline is BENCH_linerate_baseline.json.
 # Finally sdx-benchjson -validate re-checks every recorded result file:
 # positive iterations/ns-op for report-shaped files, every *_ok gate true
 # for experiment-shaped ones.
@@ -54,6 +60,8 @@ bench-smoke:
 	@cat BENCH_fullscale.json
 	$(GO) run ./cmd/sdx-bench -experiment analytics -json BENCH_analytics.json
 	@cat BENCH_analytics.json
+	$(GO) run ./cmd/sdx-bench -experiment linerate -json BENCH_linerate.json
+	@cat BENCH_linerate.json
 	$(GO) run ./cmd/sdx-benchjson -validate BENCH_*.json
 
 # The control-plane chaos test (both control channels killed and restored

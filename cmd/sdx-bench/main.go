@@ -25,18 +25,30 @@ import (
 	"time"
 
 	"sdx/internal/experiments"
+	"sdx/internal/telemetry"
 )
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|linerate|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
 		bursts       = flag.Int("bursts", 200, "update bursts for the churn experiment")
-		jsonOut      = flag.String("json", "", "write the fullscale/analytics result as JSON to this file")
+		jsonOut      = flag.String("json", "", "write the fullscale/analytics/linerate result as JSON to this file")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address for the run")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, err := telemetry.Serve(*pprofAddr, nil, nil, telemetry.PprofMounts()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", srv.Addr())
+	}
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Out: os.Stdout}
 	counts, err := parseCounts(*participants)
@@ -113,6 +125,19 @@ func main() {
 		any = true
 		run("analytics", func() error {
 			res, err := experiments.Analytics(cfg, 0, 0)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			return err
+		})
+	}
+	// The single-switch forwarding-rate experiment is likewise explicit-only.
+	if *experiment == "linerate" {
+		any = true
+		run("linerate", func() error {
+			res, err := experiments.Linerate(cfg, 0, 0)
 			if res != nil && *jsonOut != "" {
 				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
 					err = werr

@@ -66,6 +66,8 @@ func main() {
 		withdrawAfter = flag.Duration("withdraw-after", 0, "withdraw all announcements after this long (0 = never)")
 		telemetryAddr = flag.String("telemetry-addr", "",
 			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"HTTP listen address for net/http/pprof (may equal -telemetry-addr to share its mux)")
 		redialMin = flag.Duration("redial-min-backoff", 100*time.Millisecond,
 			"initial route-server redial backoff")
 		redialMax = flag.Duration("redial-max-backoff", 30*time.Second,
@@ -89,11 +91,25 @@ func main() {
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
 		sessCfg.Metrics = bgp.NewMetrics(reg)
-		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil)
+		var mounts []telemetry.Mount
+		if *pprofAddr == *telemetryAddr {
+			mounts = telemetry.PprofMounts()
+		}
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil, mounts...)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
+		if len(mounts) > 0 {
+			log.Printf("pprof on http://%v/debug/pprof/", tsrv.Addr())
+		}
+	}
+	if *pprofAddr != "" && *pprofAddr != *telemetryAddr {
+		psrv, err := telemetry.Serve(*pprofAddr, nil, nil, telemetry.PprofMounts()...)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%v/debug/pprof/", psrv.Addr())
 	}
 	speaker := bgp.NewSpeaker(sessCfg)
 	speaker.RedialMin, speaker.RedialMax = *redialMin, *redialMax

@@ -40,6 +40,8 @@ func main() {
 			"policy-compilation workers: 1 sequential, N>1 workers, <0 one per CPU (overrides config)")
 		telemetryAddr = flag.String("telemetry-addr", "",
 			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"HTTP listen address for net/http/pprof (may equal -telemetry-addr to share its mux)")
 	)
 	flag.Parse()
 
@@ -119,11 +121,25 @@ func main() {
 	log.Printf("route server listening on %v (AS%d, id %v)", bgpAddr, cfg.LocalAS, localID)
 
 	if *telemetryAddr != "" {
-		tsrv, err := telemetry.Serve(*telemetryAddr, reg, tracer)
+		var mounts []telemetry.Mount
+		if *pprofAddr == *telemetryAddr {
+			mounts = telemetry.PprofMounts()
+		}
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, tracer, mounts...)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		log.Printf("telemetry on http://%v/metrics (events at /debug/sdx)", tsrv.Addr())
+		if len(mounts) > 0 {
+			log.Printf("pprof on http://%v/debug/pprof/", tsrv.Addr())
+		}
+	}
+	if *pprofAddr != "" && *pprofAddr != *telemetryAddr {
+		psrv, err := telemetry.Serve(*pprofAddr, reg, tracer, telemetry.PprofMounts()...)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%v/debug/pprof/", psrv.Addr())
 	}
 
 	// Initial compilation.

@@ -77,8 +77,14 @@ func main() {
 			"controller-redial backoff ceiling")
 		sampleRate = flag.Int("flow-sample-rate", 0,
 			"export 1 in N forwarded/dropped frames as flow records (0 = sampling disabled)")
+		sampleRandom = flag.Bool("flow-sample-random", false,
+			"sample each frame independently with probability 1/N (sFlow-style, immune to periodic traffic) instead of every exact N-th frame")
+		sampleSeed = flag.Uint64("flow-sample-seed", 1,
+			"seed for -flow-sample-random (same seed + traffic = same decisions)")
 		analyticsAddr = flag.String("analytics-addr", "",
 			"HTTP listen address for the /debug/sdx/flows query API (empty = no listener; requires -flow-sample-rate)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"HTTP listen address for net/http/pprof (may equal -telemetry-addr to share its mux)")
 		ports portFlag
 	)
 	flag.Var(&ports, "port", "fabric port as NUMBER=LISTEN/PEER (repeatable)")
@@ -100,29 +106,42 @@ func main() {
 	// non-blocking channel send.
 	var flowMounts []telemetry.Mount
 	if *sampleRate > 0 {
-		ex := flowexport.New(*sampleRate, 4096)
+		var ex *flowexport.Exporter
+		if *sampleRandom {
+			ex = flowexport.NewRandom(*sampleRate, 4096, *sampleSeed)
+			log.Printf("flow sampling 1-in-%d (seeded-random, seed %d)", *sampleRate, *sampleSeed)
+		} else {
+			ex = flowexport.New(*sampleRate, 4096)
+			log.Printf("flow sampling 1-in-%d (count-based)", *sampleRate)
+		}
 		sw.SetFlowExporter(ex)
 		store := analytics.New(analytics.Config{SampleRate: *sampleRate})
 		go store.Run(ex.Records(), make(chan struct{})) // runs for process lifetime
 		ex.EnableTelemetry(reg)
 		store.EnableTelemetry(reg)
 		flowMounts = []telemetry.Mount{{Pattern: "/debug/sdx/flows", Handler: store.Handler()}}
-		log.Printf("flow sampling 1-in-%d", *sampleRate)
 	}
 	if *telemetryAddr != "" {
-		// The flow query API rides the telemetry listener when the addresses
-		// coincide; otherwise it gets its own listener below.
+		// The flow query API and pprof ride the telemetry listener when the
+		// addresses coincide; otherwise each gets its own listener below.
 		var mounts []telemetry.Mount
-		if *analyticsAddr == *telemetryAddr {
+		shareFlows := *analyticsAddr == *telemetryAddr && len(flowMounts) > 0
+		if shareFlows {
 			mounts = flowMounts
+		}
+		if *pprofAddr == *telemetryAddr {
+			mounts = append(mounts, telemetry.PprofMounts()...)
 		}
 		tsrv, err := telemetry.Serve(*telemetryAddr, reg, nil, mounts...)
 		if err != nil {
 			log.Fatalf("telemetry listen: %v", err)
 		}
 		log.Printf("telemetry on http://%v/metrics", tsrv.Addr())
-		if len(mounts) > 0 {
+		if shareFlows {
 			log.Printf("flow analytics on http://%v/debug/sdx/flows", tsrv.Addr())
+		}
+		if *pprofAddr == *telemetryAddr {
+			log.Printf("pprof on http://%v/debug/pprof/", tsrv.Addr())
 		}
 	}
 	if *analyticsAddr != "" && *analyticsAddr != *telemetryAddr {
@@ -131,6 +150,13 @@ func main() {
 			log.Fatalf("analytics listen: %v", err)
 		}
 		log.Printf("flow analytics on http://%v/debug/sdx/flows", asrv.Addr())
+	}
+	if *pprofAddr != "" && *pprofAddr != *telemetryAddr {
+		psrv, err := telemetry.Serve(*pprofAddr, reg, nil, telemetry.PprofMounts()...)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%v/debug/pprof/", psrv.Addr())
 	}
 	for _, spec := range ports.specs {
 		if err := attachUDPPort(sw, spec); err != nil {

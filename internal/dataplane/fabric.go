@@ -103,6 +103,16 @@ func (f *Fabric) Inject(global uint16, frame []byte) error {
 	return f.switches[p.dpid].Inject(p.local, frame)
 }
 
+// InjectBatch delivers a batch of frames into the fabric on a global port,
+// with the batched fast path of Switch.InjectBatch at the ingress switch.
+func (f *Fabric) InjectBatch(global uint16, frames [][]byte) error {
+	p, ok := f.ports[global]
+	if !ok {
+		return fmt.Errorf("dataplane: inject on unmapped global port %d", global)
+	}
+	return f.switches[p.dpid].InjectBatch(p.local, frames)
+}
+
 // computePaths runs BFS from every switch over the trunk graph.
 func (f *Fabric) computePaths() error {
 	f.nextHop = make(map[uint64]map[uint64]uint16, len(f.switches))

@@ -34,16 +34,20 @@ type port struct {
 	drops [flowexport.NumDropReasons]atomic.Uint64
 }
 
-// Switch is the software fabric switch. Frames enter through Inject (or a
-// daemon's socket front end), are matched against the flow table, rewritten,
-// and emitted on attached ports. Unmatched frames go to the controller as
-// PACKET_INs when one is attached, otherwise they are dropped.
+// Switch is the software fabric switch. Frames enter through Inject or
+// InjectBatch (or a daemon's socket front end), are matched against the
+// flow table, rewritten, and emitted on attached ports. Unmatched frames go
+// to the controller as PACKET_INs when one is attached, otherwise they are
+// dropped.
 type Switch struct {
 	DatapathID uint64
 	Table      *FlowTable
 
-	mu    sync.RWMutex
-	ports map[uint16]*port
+	mu sync.RWMutex
+	// ports is copy-on-write: AttachPort/DetachPort clone the map under mu
+	// and swap the pointer, so the per-frame paths (Inject, emit, flood)
+	// read it with one atomic load and no lock.
+	ports atomic.Pointer[map[uint16]*port]
 
 	// controller delivery; nil when no controller is attached. ctrlGen is
 	// bumped on every attach and acts as a token: a detaching connection
@@ -95,40 +99,58 @@ type Switch struct {
 
 // NewSwitch returns an empty switch.
 func NewSwitch(datapathID uint64) *Switch {
-	return &Switch{
+	s := &Switch{
 		DatapathID: datapathID,
 		Table:      NewFlowTable(),
-		ports:      make(map[uint16]*port),
 	}
+	empty := make(map[uint16]*port)
+	s.ports.Store(&empty)
+	return s
+}
+
+// portMap returns the current port map snapshot. The map is never mutated
+// after publication; treat it as read-only.
+func (s *Switch) portMap() map[uint16]*port {
+	return *s.ports.Load()
 }
 
 // AttachPort connects a port: frames the switch emits on portNo are passed
-// to out. Attaching an existing port number replaces its sink.
+// to out. Attaching an existing port number replaces its sink (and resets
+// its counters).
 func (s *Switch) AttachPort(portNo uint16, out func(frame []byte)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ports[portNo] = &port{out: out}
+	old := s.portMap()
+	next := make(map[uint16]*port, len(old)+1)
+	for n, p := range old {
+		next[n] = p
+	}
+	next[portNo] = &port{out: out}
+	s.ports.Store(&next)
 }
 
 // DetachPort removes a port.
 func (s *Switch) DetachPort(portNo uint16) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.ports, portNo)
+	old := s.portMap()
+	next := make(map[uint16]*port, len(old))
+	for n, p := range old {
+		if n != portNo {
+			next[n] = p
+		}
+	}
+	s.ports.Store(&next)
 }
 
 // NumPorts returns the number of attached ports.
 func (s *Switch) NumPorts() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.ports)
+	return len(s.portMap())
 }
 
 // Stats returns counters for portNo.
 func (s *Switch) Stats(portNo uint16) (PortStats, bool) {
-	s.mu.RLock()
-	p, ok := s.ports[portNo]
-	s.mu.RUnlock()
+	p, ok := s.portMap()[portNo]
 	if !ok {
 		return PortStats{}, false
 	}
@@ -162,9 +184,7 @@ func (s *Switch) DroppedByReason() [flowexport.NumDropReasons]uint64 {
 // the port is attached.
 func (s *Switch) PortDrops(portNo uint16) ([flowexport.NumDropReasons]uint64, bool) {
 	var out [flowexport.NumDropReasons]uint64
-	s.mu.RLock()
-	p, ok := s.ports[portNo]
-	s.mu.RUnlock()
+	p, ok := s.portMap()[portNo]
 	if !ok {
 		return out, false
 	}
@@ -188,12 +208,11 @@ func (s *Switch) FlowExporter() *flowexport.Exporter {
 
 // PortNumbers returns the attached port numbers in ascending order.
 func (s *Switch) PortNumbers() []uint16 {
-	s.mu.RLock()
-	out := make([]uint16, 0, len(s.ports))
-	for n := range s.ports {
+	m := s.portMap()
+	out := make([]uint16, 0, len(m))
+	for n := range m {
 		out = append(out, n)
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -202,9 +221,9 @@ func (s *Switch) PortNumbers() []uint16 {
 // source for both the telemetry collectors and the OpenFlow port-stats
 // reply.
 func (s *Switch) PortStatsEntries() []openflow.PortStatsEntry {
-	s.mu.RLock()
-	out := make([]openflow.PortStatsEntry, 0, len(s.ports))
-	for n, p := range s.ports {
+	m := s.portMap()
+	out := make([]openflow.PortStatsEntry, 0, len(m))
+	for n, p := range m {
 		out = append(out, openflow.PortStatsEntry{
 			PortNo:    n,
 			RxPackets: p.rxPkts.Load(),
@@ -213,7 +232,6 @@ func (s *Switch) PortStatsEntries() []openflow.PortStatsEntry {
 			TxBytes:   p.txBytes.Load(),
 		})
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
 	return out
 }
@@ -280,6 +298,15 @@ func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sdx_dataplane_cache_entries",
 		"Microflow-cache slots valid at the current table generation.",
 		func() float64 { return float64(s.Table.CacheStats().Entries) })
+	reg.CounterFunc("sdx_dataplane_megaflow_hits_total",
+		"Lookups answered lock-free by the wildcard megaflow cache.",
+		func() float64 { return float64(s.Table.CacheStats().MegaflowHits) })
+	reg.GaugeFunc("sdx_dataplane_megaflow_masks",
+		"Distinct wildcard masks tracked by the megaflow cache.",
+		func() float64 { return float64(s.Table.CacheStats().MegaflowMasks) })
+	reg.GaugeFunc("sdx_dataplane_megaflow_entries",
+		"Megaflow-cache slots valid at the current table generation.",
+		func() float64 { return float64(s.Table.CacheStats().MegaflowEntries) })
 	reg.CounterFunc("sdx_dataplane_reconnect_attempts_total",
 		"Controller dial attempts by the reconnect loop.",
 		func() float64 { return float64(s.reconnectAttempts.Value()) })
@@ -315,19 +342,68 @@ func (s *Switch) EnableTelemetry(reg *telemetry.Registry) {
 	s.mu.Unlock()
 }
 
+// injectScratch is the reusable per-goroutine working state of the packet
+// path: one decode arena for the single-frame path plus the batch-path
+// arrays. Pooled so steady-state forwarding allocates nothing; a scratch is
+// held for the whole of one Inject/InjectBatch call (including nested
+// re-entry through trunk ports, which draws its own scratch).
+type injectScratch struct {
+	dec     packet.Scratch
+	decs    []packet.Scratch
+	keys    []policy.Packet
+	sizes   []int
+	entries []*FlowEntry
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(injectScratch) }}
+
+// batchChunk bounds how many frames one processBatch pass handles, keeping
+// the scratch arrays cache-resident regardless of caller batch size.
+const batchChunk = 256
+
 // Inject delivers one frame into the switch on the given ingress port, as
 // if received from the wire. It returns an error only for undecodable
 // frames; policy drops are not errors.
 func (s *Switch) Inject(inPort uint16, frame []byte) error {
-	s.mu.RLock()
-	p, ok := s.ports[inPort]
-	s.mu.RUnlock()
+	p, ok := s.portMap()[inPort]
 	if !ok {
 		return fmt.Errorf("dataplane: inject on unattached port %d", inPort)
 	}
 	p.rxPkts.Add(1)
 	p.rxBytes.Add(uint64(len(frame)))
-	return s.process(p, inPort, frame)
+	sc := scratchPool.Get().(*injectScratch)
+	err := s.process(&sc.dec, p, inPort, frame)
+	scratchPool.Put(sc)
+	return err
+}
+
+// InjectBatch delivers a batch of frames into the switch on the given
+// ingress port. Per-frame semantics (matching, counters, sampling, drops)
+// are identical to calling Inject once per frame, but the batch amortizes
+// the fixed costs: ingress counters bump once per chunk, the table resolves
+// all lookups with at most one lock acquisition, and the sampler reserves
+// the whole chunk's candidate window in one atomic. Undecodable frames are
+// skipped (the rest of the batch still forwards); the first decode error is
+// returned after the batch completes.
+func (s *Switch) InjectBatch(inPort uint16, frames [][]byte) error {
+	p, ok := s.portMap()[inPort]
+	if !ok {
+		return fmt.Errorf("dataplane: inject on unattached port %d", inPort)
+	}
+	sc := scratchPool.Get().(*injectScratch)
+	var firstErr error
+	for len(frames) > 0 {
+		n := len(frames)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		if err := s.processBatch(sc, p, inPort, frames[:n]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		frames = frames[n:]
+	}
+	scratchPool.Put(sc)
+	return firstErr
 }
 
 // frameCtx carries one frame's attribution through the action pipeline so
@@ -360,8 +436,8 @@ func (c *frameCtx) record(outPort uint16, size int, drop flowexport.DropReason) 
 	}
 }
 
-func (s *Switch) process(ingress *port, inPort uint16, frame []byte) error {
-	pkt, err := packet.Decode(frame)
+func (s *Switch) process(dec *packet.Scratch, ingress *port, inPort uint16, frame []byte) error {
+	pkt, err := dec.Decode(frame)
 	if err != nil {
 		return fmt.Errorf("dataplane: undecodable frame on port %d: %w", inPort, err)
 	}
@@ -393,6 +469,89 @@ func (s *Switch) process(ingress *port, inPort uint16, frame []byte) error {
 	return nil
 }
 
+// processBatch runs one chunk of InjectBatch: decode every frame into the
+// scratch arenas, resolve all lookups in one LookupBatch call, reserve the
+// chunk's sampling window in one atomic, then walk the frames applying
+// actions. Aggregate counters (rx, matched, missed) bump once per chunk.
+func (s *Switch) processBatch(sc *injectScratch, ingress *port, inPort uint16, frames [][]byte) error {
+	n := len(frames)
+	if cap(sc.decs) < n {
+		sc.decs = make([]packet.Scratch, n)
+		sc.keys = make([]policy.Packet, n)
+		sc.sizes = make([]int, n)
+		sc.entries = make([]*FlowEntry, n)
+	}
+	decs, keys := sc.decs[:n], sc.keys[:n]
+	sizes, entries := sc.sizes[:n], sc.entries[:n]
+
+	var firstErr error
+	var rxBytes uint64
+	nValid := 0
+	for i, frame := range frames {
+		rxBytes += uint64(len(frame))
+		pkt, err := decs[i].Decode(frame)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dataplane: undecodable frame on port %d: %w", inPort, err)
+			}
+			sizes[i] = -1 // skip slot: no lookup, no counters, no sampling
+			continue
+		}
+		keys[i] = toPolicyPacket(inPort, pkt)
+		sizes[i] = len(frame)
+		nValid++
+	}
+	ingress.rxPkts.Add(uint64(n))
+	ingress.rxBytes.Add(rxBytes)
+
+	s.Table.LookupBatch(keys, sizes, entries)
+
+	// One atomic reserves the whole chunk's sampling candidate window;
+	// SampledAt answers per decoded frame, matching Inject's per-frame
+	// Sample() decisions exactly (count mode) or distributionally (random
+	// mode).
+	ex := s.exporter.Load()
+	var base uint64
+	if ex != nil {
+		base = ex.SampleBatch(nValid)
+	}
+
+	var matched, missed uint64
+	cand := 0
+	for i, frame := range frames {
+		if sizes[i] < 0 {
+			continue
+		}
+		ctx := frameCtx{ingress: ingress, key: keys[i], ex: ex}
+		if ex != nil {
+			ctx.sampled = ex.SampledAt(base, cand)
+		}
+		cand++
+		e := entries[i]
+		if e == nil {
+			missed++
+			s.punt(frame, &ctx)
+			continue
+		}
+		matched++
+		ctx.cookie = e.Cookie
+		if len(e.Actions) == 0 {
+			if ctx.sampled {
+				ex.Export(ctx.record(0, len(frame), flowexport.DropNone))
+			}
+			continue
+		}
+		s.applyActions(e.Actions, decs[i].Packet(), frame, &ctx)
+	}
+	if matched > 0 {
+		s.matched.Add(matched)
+	}
+	if missed > 0 {
+		s.missed.Add(missed)
+	}
+	return firstErr
+}
+
 // applyActions executes an OpenFlow action list: set-field actions mutate
 // the working packet; each output emits the current state.
 func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, frame []byte, ctx *frameCtx) {
@@ -416,38 +575,51 @@ func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, fra
 			work.UDP = &udp
 		}
 	}
+	// render memoizes the serialized working packet: once a set-field has
+	// fired, the first output serializes and every later output (including
+	// every port of a flood) reuses the same bytes until the next set-field.
 	dirty := false
+	var rendered []byte
+	render := func() []byte {
+		if !dirty {
+			return frame
+		}
+		if rendered == nil {
+			rendered = work.Serialize()
+		}
+		return rendered
+	}
 	for _, a := range actions {
 		switch a.Type {
 		case openflow.ActionTypeOutput:
 			switch a.Port {
 			case openflow.PortController:
-				s.punt(s.render(&work, frame, dirty), ctx)
+				s.punt(render(), ctx)
 			case openflow.PortFlood:
-				s.flood(s.render(&work, frame, dirty), ctx)
+				s.flood(render(), ctx)
 			default:
-				s.emit(a.Port, s.render(&work, frame, dirty), ctx)
+				s.emit(a.Port, render(), ctx)
 			}
 		case openflow.ActionTypeSetDLSrc:
 			clone()
 			work.Eth.SrcMAC = a.MAC
-			dirty = true
+			dirty, rendered = true, nil
 		case openflow.ActionTypeSetDLDst:
 			clone()
 			work.Eth.DstMAC = a.MAC
-			dirty = true
+			dirty, rendered = true, nil
 		case openflow.ActionTypeSetNWSrc:
 			clone()
 			if work.IPv4 != nil {
 				work.IPv4.SrcIP = a.IP
 			}
-			dirty = true
+			dirty, rendered = true, nil
 		case openflow.ActionTypeSetNWDst:
 			clone()
 			if work.IPv4 != nil {
 				work.IPv4.DstIP = a.IP
 			}
-			dirty = true
+			dirty, rendered = true, nil
 		case openflow.ActionTypeSetTPSrc:
 			clone()
 			if work.TCP != nil {
@@ -456,7 +628,7 @@ func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, fra
 			if work.UDP != nil {
 				work.UDP.SrcPort = a.TP
 			}
-			dirty = true
+			dirty, rendered = true, nil
 		case openflow.ActionTypeSetTPDst:
 			clone()
 			if work.TCP != nil {
@@ -465,28 +637,21 @@ func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, fra
 			if work.UDP != nil {
 				work.UDP.DstPort = a.TP
 			}
-			dirty = true
+			dirty, rendered = true, nil
 		}
 	}
 }
 
-// render returns the wire image of the working packet, reserializing only
-// when a set-field action has fired.
-func (s *Switch) render(work *packet.Packet, orig []byte, dirty bool) []byte {
-	if !dirty {
-		return orig
-	}
-	return work.Serialize()
-}
-
 func (s *Switch) emit(portNo uint16, frame []byte, ctx *frameCtx) {
-	s.mu.RLock()
-	p, ok := s.ports[portNo]
-	s.mu.RUnlock()
+	p, ok := s.portMap()[portNo]
 	if !ok {
 		s.dropFrame(flowexport.DropNoPort, portNo, len(frame), ctx)
 		return
 	}
+	s.emitPort(p, portNo, frame, ctx)
+}
+
+func (s *Switch) emitPort(p *port, portNo uint16, frame []byte, ctx *frameCtx) {
 	p.txPkts.Add(1)
 	p.txBytes.Add(uint64(len(frame)))
 	if ctx.sampled {
@@ -495,18 +660,15 @@ func (s *Switch) emit(portNo uint16, frame []byte, ctx *frameCtx) {
 	p.out(frame)
 }
 
+// flood emits the (already rendered) frame on every attached port except
+// the ingress. The port-map snapshot is lock-free and iterated directly —
+// no per-call targets slice.
 func (s *Switch) flood(frame []byte, ctx *frameCtx) {
 	inPort := ctx.key.Port
-	s.mu.RLock()
-	targets := make([]uint16, 0, len(s.ports))
-	for n := range s.ports {
+	for n, p := range s.portMap() {
 		if n != inPort {
-			targets = append(targets, n)
+			s.emitPort(p, n, frame, ctx)
 		}
-	}
-	s.mu.RUnlock()
-	for _, n := range targets {
-		s.emit(n, frame, ctx)
 	}
 }
 
@@ -615,14 +777,14 @@ func (s *Switch) InstallFlowMods(fms []*openflow.FlowMod) error {
 // ExecutePacketOut injects a controller-originated frame through the given
 // action list.
 func (s *Switch) ExecutePacketOut(po *openflow.PacketOut) error {
-	pkt, err := packet.Decode(po.Data)
+	sc := scratchPool.Get().(*injectScratch)
+	defer scratchPool.Put(sc)
+	pkt, err := sc.dec.Decode(po.Data)
 	if err != nil {
 		return fmt.Errorf("dataplane: undecodable packet-out: %w", err)
 	}
 	s.packetOuts.Inc()
-	s.mu.RLock()
-	ingress := s.ports[po.InPort] // may be nil: controller-synthesized port
-	s.mu.RUnlock()
+	ingress := s.portMap()[po.InPort] // may be nil: controller-synthesized port
 	// Controller-originated frames are not flow-sampled (they are not the
 	// exchange's traffic), but their drops still count.
 	ctx := frameCtx{ingress: ingress, key: toPolicyPacket(po.InPort, pkt)}

@@ -8,6 +8,7 @@ package dataplane
 import (
 	"encoding/binary"
 	"fmt"
+	"net/netip"
 	"sort"
 	"strings"
 	"sync"
@@ -80,6 +81,102 @@ type microflowSlot struct {
 	entry *FlowEntry
 }
 
+// megaflowSlots is the per-mask size of the wildcard (megaflow) cache.
+// Power of two; each mask group is a direct-mapped array of slot pointers.
+const megaflowSlots = 1 << 14
+
+// maxMegaflowMasks bounds the number of distinct wildcard masks the cache
+// tracks. Real SDX tables produce a handful of masks (each mask is the
+// union of the fields a slow-path classification examined); the cap keeps
+// the per-miss probe cost bounded if a pathological rule set fragments the
+// mask space.
+const maxMegaflowMasks = 16
+
+// lookupMask records which packet fields a classification examined: the
+// union of every scanned rule's constrained-field set, seeded with the
+// fields that select the scan's buckets (in-port and dst-MAC). For the IP
+// fields it also records the longest prefix length seen, so the cache key
+// keeps exactly the bits any scanned rule could test. Comparable, so masks
+// can be deduplicated into groups.
+type lookupMask struct {
+	set              uint16 // 1<<policy.Field bits
+	srcBits, dstBits uint8  // max prefix length among scanned Src/DstIP rules
+}
+
+// add unions one scanned rule's constraints into the mask.
+func (m *lookupMask) add(match policy.Match) {
+	m.set |= match.FieldSet()
+	if p, ok := match.GetSrcIP(); ok && uint8(p.Bits()) > m.srcBits {
+		m.srcBits = uint8(p.Bits())
+	}
+	if p, ok := match.GetDstIP(); ok && uint8(p.Bits()) > m.dstBits {
+		m.dstBits = uint8(p.Bits())
+	}
+}
+
+// project reduces pkt to the fields in the mask: any two packets with equal
+// projections take the identical scan through the table (same buckets —
+// port and dst-MAC are always in the mask — and identical Covers results
+// for every rule examined, since each scanned rule's constrained fields are
+// a subset of the mask with sufficient prefix bits), so they classify to
+// the same entry and one cached result answers the whole aggregate.
+func (m lookupMask) project(pkt policy.Packet) policy.Packet {
+	k := policy.Packet{Port: pkt.Port, DstMAC: pkt.DstMAC}
+	if m.set&(1<<policy.FSrcMAC) != 0 {
+		k.SrcMAC = pkt.SrcMAC
+	}
+	if m.set&(1<<policy.FEthType) != 0 {
+		k.EthType = pkt.EthType
+	}
+	if m.set&(1<<policy.FProto) != 0 {
+		k.Proto = pkt.Proto
+	}
+	if m.set&(1<<policy.FSrcPort) != 0 {
+		k.SrcPort = pkt.SrcPort
+	}
+	if m.set&(1<<policy.FDstPort) != 0 {
+		k.DstPort = pkt.DstPort
+	}
+	if m.set&(1<<policy.FSrcIP) != 0 {
+		k.SrcIP = maskAddr(pkt.SrcIP, m.srcBits)
+	}
+	if m.set&(1<<policy.FDstIP) != 0 {
+		k.DstIP = maskAddr(pkt.DstIP, m.dstBits)
+	}
+	return k
+}
+
+// maskAddr keeps the top bits of a. An invalid address stays invalid (a
+// prefix match distinguishes valid from invalid, so the key must too), and
+// an address shorter than bits (an IPv4 packet against an IPv6 rule's
+// prefix length) is kept unmasked — a more specific key, still correct.
+func maskAddr(a netip.Addr, bits uint8) netip.Addr {
+	if !a.IsValid() {
+		return a
+	}
+	p, err := a.Prefix(int(bits))
+	if err != nil {
+		return a
+	}
+	return p.Addr()
+}
+
+// megaflowEntry is one cached wildcard lookup result: the masked tuple it
+// answers for, the table generation it is valid under, and the winning
+// entry (nil caches a table miss). Immutable once published.
+type megaflowEntry struct {
+	key   policy.Packet
+	gen   uint64
+	entry *FlowEntry
+}
+
+// maskGroup is the megaflow cache for one wildcard mask: a direct-mapped
+// array keyed by the hash of the projected tuple.
+type maskGroup struct {
+	mask  lookupMask
+	slots [megaflowSlots]atomic.Pointer[megaflowEntry]
+}
+
 // ruleKey identifies a rule for OFPFC_ADD replacement semantics: same match
 // and priority replace in place.
 type ruleKey struct {
@@ -87,12 +184,17 @@ type ruleKey struct {
 	priority uint16
 }
 
-// CacheStats reports microflow-cache effectiveness counters.
+// CacheStats reports flow-cache effectiveness counters across both cache
+// tiers.
 type CacheStats struct {
-	Hits          uint64 // lookups answered by the exact-match cache
+	Hits          uint64 // lookups answered by the exact-match microflow cache
 	Misses        uint64 // lookups that fell through to the slow path
 	Invalidations uint64 // wholesale invalidations (table mutations)
-	Entries       int    // slots valid at the current table generation
+	Entries       int    // microflow slots valid at the current table generation
+
+	MegaflowHits    uint64 // lookups answered by the wildcard megaflow cache
+	MegaflowMasks   int    // distinct wildcard masks currently tracked
+	MegaflowEntries int    // megaflow slots valid at the current table generation
 }
 
 // FlowTable is a priority-ordered flow table. Higher priority wins; among
@@ -133,9 +235,18 @@ type FlowTable struct {
 	gen   atomic.Uint64
 	cache [microflowSlots]atomic.Pointer[microflowSlot]
 
+	// Megaflow (wildcard) cache tier: one direct-mapped group per distinct
+	// lookup mask. The group list is copy-on-write (append under megaMu,
+	// lock-free reads); slots are gen-validated exactly like the microflow
+	// cache. megaOff disables the tier (experiments measure it both ways).
+	megaGroups atomic.Pointer[[]*maskGroup]
+	megaMu     sync.Mutex
+	megaOff    atomic.Bool
+
 	cacheHits          telemetry.Counter
 	cacheMisses        telemetry.Counter
 	cacheInvalidations telemetry.Counter
+	megaflowHits       telemetry.Counter
 }
 
 // NewFlowTable returns an empty table.
@@ -360,10 +471,10 @@ func mac48(m netutil.MAC) uint64 {
 		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
 }
 
-// microflowIndex hashes the full header tuple to a cache slot (FNV-1a over
-// the packed fields). Collisions only cost a cache miss: the slot stores
-// the exact tuple and is compared before use.
-func microflowIndex(p policy.Packet) uint64 {
+// packetHash hashes a header tuple (FNV-1a over the packed fields). Both
+// cache tiers index with it; collisions only cost a cache miss, since slots
+// store the exact tuple and compare before use.
+func packetHash(p policy.Packet) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -379,12 +490,29 @@ func microflowIndex(p policy.Packet) uint64 {
 	h = (h ^ binary.BigEndian.Uint64(s[8:])) * prime64
 	h = (h ^ binary.BigEndian.Uint64(d[:8])) * prime64
 	h = (h ^ binary.BigEndian.Uint64(d[8:])) * prime64
-	return h & (microflowSlots - 1)
+	// FNV's xor-multiply only carries differences toward the high bits, but
+	// the cache index is the LOW bits — a tuple pair differing only in a
+	// high-packed field (say DstPort, bits 48..63 of the first word) would
+	// land in the same slot every time. A final avalanche (the murmur3
+	// finalizer) spreads every input bit across the whole word.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// microflowIndex maps the full header tuple to a microflow cache slot.
+func microflowIndex(p policy.Packet) uint64 {
+	return packetHash(p) & (microflowSlots - 1)
 }
 
 // Lookup returns the highest-priority entry covering pkt and bumps its
 // counters by size bytes. Repeated lookups of the same header tuple are
-// answered lock-free from the microflow cache until the table next mutates.
+// answered lock-free from the microflow cache until the table next mutates;
+// new tuples inside a cached traffic aggregate are answered lock-free by
+// the megaflow tier. Only a genuinely new aggregate pays the classifier.
 func (t *FlowTable) Lookup(pkt policy.Packet, size int) (*FlowEntry, bool) {
 	idx := microflowIndex(pkt)
 	gen := t.gen.Load()
@@ -397,13 +525,26 @@ func (t *FlowTable) Lookup(pkt policy.Packet, size int) (*FlowEntry, bool) {
 		atomic.AddUint64(&s.entry.Bytes, uint64(size))
 		return s.entry, true
 	}
+	if e, ok := t.megaLookup(pkt, gen); ok {
+		t.megaflowHits.Inc()
+		if e == nil {
+			return nil, false
+		}
+		atomic.AddUint64(&e.Packets, 1)
+		atomic.AddUint64(&e.Bytes, uint64(size))
+		return e, true
+	}
 	t.cacheMisses.Inc()
 	t.mu.RLock()
-	e := t.classifyLocked(pkt)
+	e, mask := t.classifyLocked(pkt)
 	// Publish at the generation observed under the read lock: mutations
 	// take the write lock, so gen cannot move while we hold it and the slot
-	// is exactly as valid as the scan that produced it.
-	t.cache[idx].Store(&microflowSlot{pkt: pkt, gen: t.gen.Load(), entry: e})
+	// is exactly as valid as the scan that produced it. The megaflow entry
+	// is keyed by the union mask of the fields the scan examined, so the
+	// whole aggregate of packets that would take the identical scan hits it.
+	g := t.gen.Load()
+	t.cache[idx].Store(&microflowSlot{pkt: pkt, gen: g, entry: e})
+	t.megaInstall(mask, pkt, g, e)
 	t.mu.RUnlock()
 	if e == nil {
 		return nil, false
@@ -413,27 +554,217 @@ func (t *FlowTable) Lookup(pkt policy.Packet, size int) (*FlowEntry, bool) {
 	return e, true
 }
 
+// megaLookup probes the megaflow tier: each mask group projects pkt to its
+// masked tuple and checks the tuple's two candidate slots (2-way set
+// associativity — two aggregates whose hashes share a primary slot would
+// otherwise evict each other on every alternation). A hit (entry may be nil
+// — a cached table miss) is valid only at the current generation. Lock-free.
+func (t *FlowTable) megaLookup(pkt policy.Packet, gen uint64) (*FlowEntry, bool) {
+	groups := t.megaGroups.Load()
+	if groups == nil {
+		return nil, false
+	}
+	for _, g := range *groups {
+		key := g.mask.project(pkt)
+		h := packetHash(key)
+		if s := g.slots[h&(megaflowSlots-1)].Load(); s != nil && s.gen == gen && s.key == key {
+			return s.entry, true
+		}
+		if s := g.slots[(h>>32)&(megaflowSlots-1)].Load(); s != nil && s.gen == gen && s.key == key {
+			return s.entry, true
+		}
+	}
+	return nil, false
+}
+
+// megaInstall publishes a classification into the megaflow tier under the
+// mask its scan produced. Callers hold mu (read suffices): gen is the
+// generation observed under the lock, so the entry is exactly as valid as
+// the scan. Group creation is copy-on-write under megaMu; at the mask cap
+// the result is simply not cached.
+func (t *FlowTable) megaInstall(mask lookupMask, pkt policy.Packet, gen uint64, e *FlowEntry) {
+	if t.megaOff.Load() {
+		return
+	}
+	g := t.megaGroup(mask)
+	if g == nil {
+		return
+	}
+	key := mask.project(pkt)
+	h := packetHash(key)
+	// Prefer the primary slot; if it holds a different still-live aggregate,
+	// take the secondary so the two coexist instead of evicting each other.
+	i := h & (megaflowSlots - 1)
+	if s := g.slots[i].Load(); s != nil && s.gen == gen && s.key != key {
+		i = (h >> 32) & (megaflowSlots - 1)
+	}
+	g.slots[i].Store(&megaflowEntry{key: key, gen: gen, entry: e})
+}
+
+// megaGroup finds or creates the group for mask (nil at the cap).
+func (t *FlowTable) megaGroup(mask lookupMask) *maskGroup {
+	if groups := t.megaGroups.Load(); groups != nil {
+		for _, g := range *groups {
+			if g.mask == mask {
+				return g
+			}
+		}
+	}
+	t.megaMu.Lock()
+	defer t.megaMu.Unlock()
+	var cur []*maskGroup
+	if groups := t.megaGroups.Load(); groups != nil {
+		cur = *groups
+		for _, g := range cur {
+			if g.mask == mask {
+				return g
+			}
+		}
+	}
+	if t.megaOff.Load() || len(cur) >= maxMegaflowMasks {
+		return nil
+	}
+	g := &maskGroup{mask: mask}
+	next := make([]*maskGroup, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, g)
+	t.megaGroups.Store(&next)
+	return g
+}
+
+// SetMegaflowEnabled turns the megaflow tier on or off (on by default).
+// Disabling also drops the existing groups; the linerate experiment uses it
+// to measure the tier's contribution in one process.
+func (t *FlowTable) SetMegaflowEnabled(on bool) {
+	t.megaOff.Store(!on)
+	if !on {
+		t.megaMu.Lock()
+		t.megaGroups.Store(nil)
+		t.megaMu.Unlock()
+	}
+}
+
+// needClassify marks a batch slot that fell through both cache tiers and
+// needs the locked slow path. Never escapes LookupBatch.
+var needClassify = &FlowEntry{}
+
+// LookupBatch classifies a batch of header tuples, bumping entry counters
+// by the corresponding sizes. out[i] receives keys[i]'s winning entry (nil
+// on a table miss); a negative sizes[i] marks a slot to skip (an
+// undecodable frame). Semantics per slot are identical to Lookup — same
+// counter evolution, same cache publications — but the batch amortizes the
+// costs: one RLock resolves every slow-path slot, per-entry counters
+// coalesce over runs of the same entry, and cache-tier counters flush once.
+func (t *FlowTable) LookupBatch(keys []policy.Packet, sizes []int, out []*FlowEntry) {
+	var microHits, megaHits, misses uint64
+	need := 0
+	for i := range keys {
+		if sizes[i] < 0 {
+			out[i] = nil
+			continue
+		}
+		pkt := keys[i]
+		// Reload gen per frame: a concurrent mutation mid-batch must not
+		// let later frames hit (and bump counters on) replaced entries.
+		gen := t.gen.Load()
+		if s := t.cache[microflowIndex(pkt)].Load(); s != nil && s.gen == gen && s.pkt == pkt {
+			microHits++
+			out[i] = s.entry
+			continue
+		}
+		if e, ok := t.megaLookup(pkt, gen); ok {
+			megaHits++
+			out[i] = e
+			continue
+		}
+		out[i] = needClassify
+		need++
+	}
+	if need > 0 {
+		t.mu.RLock()
+		for i := range keys {
+			if out[i] != needClassify {
+				continue
+			}
+			pkt := keys[i]
+			// An earlier miss in this batch may have installed the covering
+			// megaflow aggregate; re-probe before paying the classifier.
+			if e, ok := t.megaLookup(pkt, t.gen.Load()); ok {
+				megaHits++
+				out[i] = e
+				continue
+			}
+			misses++
+			e, mask := t.classifyLocked(pkt)
+			g := t.gen.Load()
+			t.cache[microflowIndex(pkt)].Store(&microflowSlot{pkt: pkt, gen: g, entry: e})
+			t.megaInstall(mask, pkt, g, e)
+			out[i] = e
+		}
+		t.mu.RUnlock()
+	}
+	// Flush per-entry counters, coalescing runs of the same entry (batch
+	// traffic is bursty per flow, so runs are common) into one atomic add.
+	var run *FlowEntry
+	var runPkts, runBytes uint64
+	for i, e := range out {
+		if e == nil || sizes[i] < 0 {
+			continue
+		}
+		if e != run {
+			if run != nil {
+				atomic.AddUint64(&run.Packets, runPkts)
+				atomic.AddUint64(&run.Bytes, runBytes)
+			}
+			run, runPkts, runBytes = e, 0, 0
+		}
+		runPkts++
+		runBytes += uint64(sizes[i])
+	}
+	if run != nil {
+		atomic.AddUint64(&run.Packets, runPkts)
+		atomic.AddUint64(&run.Bytes, runBytes)
+	}
+	if microHits > 0 {
+		t.cacheHits.Add(microHits)
+	}
+	if megaHits > 0 {
+		t.megaflowHits.Add(megaHits)
+	}
+	if misses > 0 {
+		t.cacheMisses.Add(misses)
+	}
+}
+
 // classifyLocked finds the winning entry for pkt via the match index: the
 // packet's dst-MAC bucket, its in-port bucket, and the residual list are
 // each scanned for their first cover, and the best of the three candidates
 // wins. Every rule that could cover pkt lives in exactly one of those
 // buckets, and each bucket is in table order, so the result is identical to
-// a linear scan of the full table. Callers hold mu (read or write).
-func (t *FlowTable) classifyLocked(pkt policy.Packet) *FlowEntry {
-	best := t.scanBucket(t.byDstMAC[pkt.DstMAC], pkt, nil)
-	best = t.scanBucket(t.byPort[pkt.Port], pkt, best)
-	best = t.scanBucket(t.residual, pkt, best)
-	return best
+// a linear scan of the full table. The returned mask is the union of the
+// constrained fields of every rule the scan called Covers on, seeded with
+// the bucket-selection fields — the megaflow cache key for this result.
+// Callers hold mu (read or write).
+func (t *FlowTable) classifyLocked(pkt policy.Packet) (*FlowEntry, lookupMask) {
+	mask := lookupMask{set: 1<<policy.FPort | 1<<policy.FDstMAC}
+	best := t.scanBucket(t.byDstMAC[pkt.DstMAC], pkt, nil, &mask)
+	best = t.scanBucket(t.byPort[pkt.Port], pkt, best, &mask)
+	best = t.scanBucket(t.residual, pkt, best, &mask)
+	return best, mask
 }
 
 // scanBucket returns the better of best and the first entry in list
-// covering pkt. The list is in table order, so the scan stops as soon as
-// the remaining entries cannot beat best.
-func (t *FlowTable) scanBucket(list []*FlowEntry, pkt policy.Packet, best *FlowEntry) *FlowEntry {
+// covering pkt, unioning each examined rule's fields into mask. The list is
+// in table order, so the scan stops as soon as the remaining entries cannot
+// beat best; rules past the break are not examined and not masked (the
+// break position depends only on best, which evolves identically for every
+// packet with the same masked projection).
+func (t *FlowTable) scanBucket(list []*FlowEntry, pkt policy.Packet, best *FlowEntry, mask *lookupMask) *FlowEntry {
 	for _, e := range list {
 		if best != nil && !t.less(e, best) {
 			break
 		}
+		mask.add(e.Match)
 		if e.Match.Covers(pkt) {
 			return e
 		}
@@ -463,19 +794,30 @@ func (t *FlowTable) Len() int {
 	return len(t.entries)
 }
 
-// CacheStats returns the microflow-cache counters and the number of slots
-// valid at the current table generation (the latter costs a scan of the
-// slot array; it is meant for scrape-time collection).
+// CacheStats returns the flow-cache counters and the number of slots valid
+// at the current table generation in each tier (the latter cost a scan of
+// the slot arrays; they are meant for scrape-time collection).
 func (t *FlowTable) CacheStats() CacheStats {
 	st := CacheStats{
 		Hits:          t.cacheHits.Value(),
 		Misses:        t.cacheMisses.Value(),
 		Invalidations: t.cacheInvalidations.Value(),
+		MegaflowHits:  t.megaflowHits.Value(),
 	}
 	gen := t.gen.Load()
 	for i := range t.cache {
 		if s := t.cache[i].Load(); s != nil && s.gen == gen {
 			st.Entries++
+		}
+	}
+	if groups := t.megaGroups.Load(); groups != nil {
+		st.MegaflowMasks = len(*groups)
+		for _, g := range *groups {
+			for i := range g.slots {
+				if s := g.slots[i].Load(); s != nil && s.gen == gen {
+					st.MegaflowEntries++
+				}
+			}
 		}
 	}
 	return st

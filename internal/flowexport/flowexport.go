@@ -87,20 +87,40 @@ type Stats struct {
 // Exporter samples 1-in-rate candidates and forwards records over a bounded
 // channel. All methods are safe for concurrent use; Sample and Export are
 // lock-free. A nil *Exporter is inert: Sample reports false.
+//
+// Two sampling modes share the candidate counter:
+//
+//   - Count mode (New): exactly every rate-th candidate is sampled.
+//     Deterministic and exactly reproducible — the analytics accuracy gates
+//     depend on it — but biased under traffic periodic in the rate.
+//   - Random mode (NewRandom): each candidate is sampled independently with
+//     probability 1/rate, decided by hashing the candidate's global index
+//     with a seeded mixer (sFlow-style: inter-sample gaps are geometric
+//     with mean rate, immune to periodicity). Because the decision is a
+//     pure function of the candidate index, it needs no extra shared state,
+//     stays lock-free, and a batch can reserve its whole candidate window
+//     with one atomic and still make the identical per-frame decisions a
+//     frame-at-a-time path would.
 type Exporter struct {
 	rate uint64
 	// mask is rate-1 when rate is a power of two (the common case), letting
 	// Sample test the counter with an AND instead of a 64-bit divide — the
 	// divide is most of the per-frame cost on the forwarding path.
-	mask     uint64
-	tick     atomic.Uint64
-	exported atomic.Uint64
-	dropped  atomic.Uint64
-	ch       chan Record
+	mask uint64
+	// random selects the seeded-hash mode; threshold is the 64-bit scaled
+	// acceptance probability (2^64 / rate).
+	random    bool
+	seed      uint64
+	threshold uint64
+	tick      atomic.Uint64
+	exported  atomic.Uint64
+	dropped   atomic.Uint64
+	ch        chan Record
 }
 
-// New returns an exporter sampling one in rate frames (rate <= 1 samples
-// everything) with a record channel buffering buffer entries (minimum 1).
+// New returns an exporter sampling exactly one in rate frames (rate <= 1
+// samples everything) with a record channel buffering buffer entries
+// (minimum 1).
 func New(rate, buffer int) *Exporter {
 	if rate < 1 {
 		rate = 1
@@ -115,21 +135,78 @@ func New(rate, buffer int) *Exporter {
 	return e
 }
 
+// NewRandom returns an exporter sampling each frame independently with
+// probability 1/rate, driven by the seed (same seed, same traffic → same
+// decisions). Use it when traffic may be periodic in the sampling rate;
+// use New when tests or gates need exact 1-in-N determinism.
+func NewRandom(rate, buffer int, seed uint64) *Exporter {
+	e := New(rate, buffer)
+	e.random = true
+	e.seed = seed
+	if e.rate > 1 {
+		e.threshold = ^uint64(0)/e.rate + 1
+	}
+	return e
+}
+
 // Rate returns the sampling rate N (one in N).
 func (e *Exporter) Rate() uint64 { return e.rate }
 
-// Sample counts one candidate frame and reports whether it should be
-// exported: exactly one true per rate calls. Safe to call from many
-// goroutines; the global 1-in-rate property holds across all of them.
-func (e *Exporter) Sample() bool {
-	if e == nil {
-		return false
+// Random reports whether the exporter is in seeded-random mode.
+func (e *Exporter) Random() bool { return e != nil && e.random }
+
+// mix64 is the splitmix64 finalizer: a strong 64-bit mixer, the same one
+// loadgen uses for stateless client synthesis.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sampledIndex decides candidate index v (1-based) in either mode.
+func (e *Exporter) sampledIndex(v uint64) bool {
+	if e.random {
+		if e.rate <= 1 {
+			return true
+		}
+		return mix64(e.seed^v) < e.threshold
 	}
-	v := e.tick.Add(1)
 	if e.mask != 0 {
 		return v&e.mask == 0
 	}
 	return v%e.rate == 0
+}
+
+// Sample counts one candidate frame and reports whether it should be
+// exported: exactly one true per rate calls in count mode, one in rate on
+// average in random mode. Safe to call from many goroutines.
+func (e *Exporter) Sample() bool {
+	if e == nil {
+		return false
+	}
+	return e.sampledIndex(e.tick.Add(1))
+}
+
+// SampleBatch reserves a window of n candidate indices with one atomic and
+// returns its base; SampledAt answers for each position. The decisions are
+// exactly those n successive Sample calls would have made.
+func (e *Exporter) SampleBatch(n int) uint64 {
+	if e == nil || n <= 0 {
+		return 0
+	}
+	return e.tick.Add(uint64(n)) - uint64(n)
+}
+
+// SampledAt reports the sampling decision for position i (0-based) of a
+// window reserved by SampleBatch(base).
+func (e *Exporter) SampledAt(base uint64, i int) bool {
+	if e == nil {
+		return false
+	}
+	return e.sampledIndex(base + uint64(i) + 1)
 }
 
 // Export delivers a sampled record without blocking: if the channel is
@@ -180,4 +257,12 @@ func (e *Exporter) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("sdx_flowexport_sample_rate",
 		"Configured sampling rate N (one record per N frames).",
 		func() float64 { return float64(e.rate) })
+	reg.GaugeFunc("sdx_flowexport_sample_random",
+		"Sampling mode: 1 = seeded-random (sFlow-style), 0 = count-based.",
+		func() float64 {
+			if e.random {
+				return 1
+			}
+			return 0
+		})
 }

@@ -1,6 +1,7 @@
 package flowexport
 
 import (
+	"math"
 	"net/netip"
 	"strings"
 	"sync"
@@ -91,6 +92,99 @@ func TestSampleConcurrent(t *testing.T) {
 	wg.Wait()
 	if want := workers * per / 16; hits != want {
 		t.Fatalf("concurrent 1-in-16: %d hits, want %d", hits, want)
+	}
+}
+
+// Random mode: same seed ⇒ the same decision sequence, different seeds ⇒
+// (with overwhelming probability) different sequences. Determinism is what
+// makes seeded-random sampling replayable in experiments.
+func TestSampleRandomDeterministicBySeed(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		e := NewRandom(4, 1, seed)
+		out := make([]bool, 256)
+		for i := range out {
+			out[i] = e.Sample()
+		}
+		return out
+	}
+	a, b := decisions(42), decisions(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at candidate %d", i)
+		}
+	}
+	c := decisions(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 256-decision sequences")
+	}
+}
+
+// Random mode converges to 1-in-rate in the mean but is not exact per
+// window — that immunity to periodic traffic is the point of the mode.
+func TestSampleRandomMeanRate(t *testing.T) {
+	const rate, n = 16, 200_000
+	e := NewRandom(rate, 1, 7)
+	hits := 0
+	for i := 0; i < n; i++ {
+		if e.Sample() {
+			hits++
+		}
+	}
+	want := float64(n) / rate
+	// ±5σ for a binomial(n, 1/rate): far looser than the observed error,
+	// tight enough to catch a broken threshold or a stuck generator.
+	sigma := 5 * math.Sqrt(want*(1-1.0/rate))
+	if d := float64(hits) - want; d < -sigma || d > sigma {
+		t.Fatalf("1-in-%d over %d candidates: %d hits, want %.0f±%.0f", rate, n, hits, want, sigma)
+	}
+	if got := e.Stats().Seen; got != n {
+		t.Fatalf("Seen = %d, want %d", got, n)
+	}
+}
+
+// SampleBatch must make exactly the decisions sequential Sample calls would:
+// batch reservation changes the locking, never the sampled set.
+func TestSampleBatchMatchesSequential(t *testing.T) {
+	for _, random := range []bool{false, true} {
+		seq := New(8, 1)
+		bat := New(8, 1)
+		if random {
+			seq = NewRandom(8, 1, 99)
+			bat = NewRandom(8, 1, 99)
+		}
+		var want, got []int
+		idx := 0
+		for round := 0; round < 64; round++ {
+			n := 1 + round%7
+			for i := 0; i < n; i++ {
+				if seq.Sample() {
+					want = append(want, idx+i)
+				}
+			}
+			base := bat.SampleBatch(n)
+			for i := 0; i < n; i++ {
+				if bat.SampledAt(base, i) {
+					got = append(got, idx+i)
+				}
+			}
+			idx += n
+		}
+		if len(want) != len(got) {
+			t.Fatalf("random=%v: sequential sampled %d, batch sampled %d", random, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("random=%v: decision %d at candidate %d, batch chose %d",
+					random, i, want[i], got[i])
+			}
+		}
 	}
 }
 

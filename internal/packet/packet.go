@@ -65,6 +65,75 @@ func Decode(data []byte) (*Packet, error) {
 	return p, nil
 }
 
+// Scratch is a reusable decode arena: one Packet plus one instance of every
+// optional layer, so Decode wires pointers into pre-allocated storage
+// instead of the heap. A Scratch serves one decode at a time; the returned
+// *Packet aliases the scratch (and the input buffer) and is valid until the
+// next Decode on the same scratch.
+type Scratch struct {
+	pkt Packet
+	arp ARP
+	ip4 IPv4
+	tcp TCP
+	udp UDP
+}
+
+// Decode parses data exactly like the package-level Decode but without
+// allocating: layers land in the scratch's embedded storage.
+func (s *Scratch) Decode(data []byte) (*Packet, error) {
+	s.pkt = Packet{}
+	if err := decodeInto(&s.pkt, &s.arp, &s.ip4, &s.tcp, &s.udp, data); err != nil {
+		return nil, err
+	}
+	return &s.pkt, nil
+}
+
+// Packet returns the scratch's packet storage (the result of the last
+// successful Decode).
+func (s *Scratch) Packet() *Packet { return &s.pkt }
+
+// decodeInto walks the layer stack, storing each decoded layer in the
+// caller-provided slot. Layer DecodeFromBytes methods allocate nothing
+// (their slices alias data), so callers supplying pre-allocated slots get a
+// zero-allocation decode.
+func decodeInto(p *Packet, arp *ARP, ip4 *IPv4, tcp *TCP, udp *UDP, data []byte) error {
+	rest, err := p.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return err
+	}
+	switch p.Eth.EtherType {
+	case EtherTypeARP:
+		if err := arp.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.ARP = arp
+	case EtherTypeIPv4:
+		rest, err = ip4.DecodeFromBytes(rest)
+		if err != nil {
+			return err
+		}
+		p.IPv4 = ip4
+		switch ip4.Protocol {
+		case ProtoTCP:
+			rest, err = tcp.DecodeFromBytes(rest)
+			if err != nil {
+				return err
+			}
+			p.TCP = tcp
+		case ProtoUDP:
+			rest, err = udp.DecodeFromBytes(rest)
+			if err != nil {
+				return err
+			}
+			p.UDP = udp
+		}
+		p.Payload = rest
+	default:
+		p.Payload = rest
+	}
+	return nil
+}
+
 // Serialize renders the packet back to a wire image, recomputing lengths,
 // the IPv4 header checksum, and the TCP/UDP pseudo-header checksums — so a
 // frame the fabric rewrote (VNH next hops mod addresses and ports) leaves

@@ -120,6 +120,11 @@ func (m Match) DstPort(p uint16) Match { m.dstPort, m.set = p, m.set|1<<FDstPort
 // IsAll reports whether m is unconstrained (matches everything).
 func (m Match) IsAll() bool { return m.set == 0 }
 
+// FieldSet returns the constrained fields as a bitmask of 1<<Field bits.
+// The dataplane's megaflow cache unions these masks across every rule a
+// classification examined to derive the wildcard cache key.
+func (m Match) FieldSet() uint16 { return m.set }
+
 // Fields returns the number of constrained fields, a proxy for TCAM width
 // pressure used by the evaluation harness.
 func (m Match) Fields() int {

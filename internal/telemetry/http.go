@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -35,6 +36,20 @@ func Handler(reg *Registry, tr *Tracer, mounts ...Mount) http.Handler {
 		mux.Handle(m.Pattern, m.Handler)
 	}
 	return mux
+}
+
+// PprofMounts returns the standard net/http/pprof handlers as telemetry
+// mounts, so daemons can expose CPU/heap/block profiles on the telemetry
+// endpoint they already serve instead of registering pprof on the global
+// http.DefaultServeMux (which the telemetry mux deliberately avoids).
+func PprofMounts() []Mount {
+	return []Mount{
+		{Pattern: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index)},
+		{Pattern: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline)},
+		{Pattern: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile)},
+		{Pattern: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol)},
+		{Pattern: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace)},
+	}
 }
 
 // DebugSnapshot is the JSON document served at /debug/sdx.
