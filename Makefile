@@ -44,7 +44,10 @@ bench:
 # batched). The line-rate experiment (1M clients of aggregate traffic
 # through one switch via InjectBatch) lands in BENCH_linerate.json with
 # throughput-vs-recorded-baseline, megaflow hit-rate, allocation, and p99
-# gates; the pre-megaflow baseline is BENCH_linerate_baseline.json.
+# gates; the pre-megaflow baseline is BENCH_linerate_baseline.json. The
+# route-server cluster experiment (live BGP sessions into the replicated
+# log, streamed to sharded TCP workers with one stream severed mid-run)
+# lands in BENCH_cluster.json with drain/resume/flush/equivalence gates.
 # Finally sdx-benchjson -validate re-checks every recorded result file:
 # positive iterations/ns-op for report-shaped files, every *_ok gate true
 # for experiment-shaped ones.
@@ -62,13 +65,16 @@ bench-smoke:
 	@cat BENCH_analytics.json
 	$(GO) run ./cmd/sdx-bench -experiment linerate -json BENCH_linerate.json
 	@cat BENCH_linerate.json
+	$(GO) run ./cmd/sdx-bench -experiment cluster -json BENCH_cluster.json
+	@cat BENCH_cluster.json
 	$(GO) run ./cmd/sdx-benchjson -validate BENCH_*.json
 
-# The control-plane chaos test (both control channels killed and restored
-# mid-churn; final flow tables must converge byte-identically) runs once as
-# part of `race`/`check`; `chaos` hammers it under the race detector to
+# The chaos tests (control channels killed and restored mid-churn; the
+# active controller killed mid-churn and a log-replaying standby promoted;
+# final flow tables must converge byte-identically in both) run once as
+# part of `race`/`check`; `chaos` hammers them under the race detector to
 # surface rare interleavings.
 chaos:
-	$(GO) test -race -count=20 -run TestChaosControlPlaneConvergence ./internal/core/
+	$(GO) test -race -count=20 -run 'TestChaosControlPlaneConvergence|TestChaosClusterFailover' ./internal/core/
 
 check: vet test race

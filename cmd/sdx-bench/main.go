@@ -30,12 +30,12 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|linerate|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|linerate|cluster|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
 		bursts       = flag.Int("bursts", 200, "update bursts for the churn experiment")
-		jsonOut      = flag.String("json", "", "write the fullscale/analytics/linerate result as JSON to this file")
+		jsonOut      = flag.String("json", "", "write the fullscale/analytics/linerate/cluster result as JSON to this file")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address for the run")
 	)
 	flag.Parse()
@@ -138,6 +138,20 @@ func main() {
 		any = true
 		run("linerate", func() error {
 			res, err := experiments.Linerate(cfg, 0, 0)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			return err
+		})
+	}
+	// The sharded route-server cluster experiment is likewise explicit-only:
+	// it opens live TCP listeners and BGP sessions.
+	if *experiment == "cluster" {
+		any = true
+		run("cluster", func() error {
+			res, err := experiments.Cluster(cfg, *bursts)
 			if res != nil && *jsonOut != "" {
 				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
 					err = werr

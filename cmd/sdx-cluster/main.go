@@ -1,0 +1,248 @@
+// sdx-cluster runs one process of the clustered SDX deployment: the route
+// server split into a thin BGP ingest frontend, N sharded worker replicas
+// fed the same sequenced UPDATE log over TCP, and active/standby controller
+// replicas that fail over without wiping switch flow tables.
+//
+// Usage:
+//
+//	sdx-cluster -mode frontend -config sdx.json \
+//	    -bgp-listen 127.0.0.1:1179 -log-listen 127.0.0.1:2179
+//	sdx-cluster -mode worker -config sdx.json \
+//	    -log-addr 127.0.0.1:2179 -shard-index 0 -shard-count 4
+//	sdx-cluster -mode standby -config sdx.json \
+//	    -log-addr 127.0.0.1:2179 -of-listen 127.0.0.1:6634 \
+//	    -primary-addr 127.0.0.1:6633
+//
+// Every process applies the identical log, so every replica holds identical
+// state (the decision process and policy compiler are deterministic); shard
+// assignment and promotion are pure configuration. A standby with no
+// -primary-addr promotes itself immediately — that is how the active
+// controller replica of the pair is started.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/config"
+	"sdx/internal/core"
+	"sdx/internal/openflow"
+	"sdx/internal/replog"
+	"sdx/internal/routeserver"
+	"sdx/internal/telemetry"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "", "frontend|worker|standby")
+		configPath = flag.String("config", "sdx.json", "topology and policy configuration")
+
+		// Frontend flags.
+		bgpListen = flag.String("bgp-listen", "127.0.0.1:1179", "frontend: route-server BGP listen address")
+		logListen = flag.String("log-listen", "127.0.0.1:2179", "frontend: replicated-log stream listen address")
+		markEvery = flag.Duration("mark-interval", 2*time.Second,
+			"frontend: interval between compile marks in the log (controller replicas compile at marks)")
+
+		// Worker and standby flags.
+		logAddr = flag.String("log-addr", "127.0.0.1:2179", "worker/standby: frontend's log stream address")
+
+		// Worker flags.
+		shardIndex = flag.Int("shard-index", 0, "worker: this worker's shard index")
+		shardCount = flag.Int("shard-count", 1, "worker: total workers in the cluster")
+
+		// Standby flags.
+		ofListen    = flag.String("of-listen", "127.0.0.1:6633", "standby: OpenFlow listen address opened on promotion")
+		primaryAddr = flag.String("primary-addr", "",
+			"standby: the active controller's OpenFlow address to probe; empty = promote immediately")
+		probeEvery = flag.Duration("probe-interval", 500*time.Millisecond, "standby: primary liveness probe interval")
+		probeFails = flag.Int("probe-failures", 3, "standby: consecutive probe failures before promotion")
+
+		telemetryAddr = flag.String("telemetry-addr", "",
+			"HTTP listen address for /metrics and /debug/sdx (empty = no listener)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"HTTP listen address for net/http/pprof (may equal -telemetry-addr to share its mux)")
+	)
+	flag.Parse()
+
+	cfg, err := config.Load(*configPath)
+	if err != nil {
+		log.Fatalf("loading config: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	tracer.SetLogf(log.Printf)
+	if *telemetryAddr != "" {
+		var mounts []telemetry.Mount
+		if *pprofAddr == *telemetryAddr {
+			mounts = telemetry.PprofMounts()
+		}
+		tsrv, err := telemetry.Serve(*telemetryAddr, reg, tracer, mounts...)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		log.Printf("telemetry on http://%v/metrics (events at /debug/sdx)", tsrv.Addr())
+	}
+	if *pprofAddr != "" && *pprofAddr != *telemetryAddr {
+		psrv, err := telemetry.Serve(*pprofAddr, reg, tracer, telemetry.PprofMounts()...)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%v/debug/pprof/", psrv.Addr())
+	}
+
+	switch *mode {
+	case "frontend":
+		runFrontend(cfg, reg, tracer, *bgpListen, *logListen, *markEvery)
+	case "worker":
+		runWorker(cfg, reg, *logAddr, *shardIndex, *shardCount)
+	case "standby":
+		runStandby(cfg, reg, tracer, *logAddr, *ofListen, *primaryAddr, *probeEvery, *probeFails)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runFrontend terminates the participants' BGP sessions, fans every UPDATE
+// into the sequenced log, appends compile marks on a timer, and streams the
+// log to workers and controller replicas.
+func runFrontend(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	bgpListen, logListen string, markEvery time.Duration) {
+	rlog := replog.NewLog()
+	rlog.EnableTelemetry(reg)
+
+	localID := netip.MustParseAddr("10.255.255.254")
+	if cfg.RouterID != "" {
+		localID = netip.MustParseAddr(cfg.RouterID)
+	}
+	speaker := bgp.NewSpeaker(bgp.SessionConfig{
+		LocalAS:  cfg.LocalAS,
+		LocalID:  localID,
+		HoldTime: bgp.DefaultHoldTime,
+		Metrics:  bgp.NewMetrics(reg),
+	})
+	lf := routeserver.NewLogFrontend(rlog, speaker)
+	lf.Tracer = tracer
+	lf.EnableTelemetry(reg)
+	for _, pc := range cfg.Participants {
+		for _, port := range pc.Ports {
+			lf.RegisterPeer(netip.MustParseAddr(port.RouterIP), routeserver.ID(pc.ID))
+		}
+	}
+	bgpAddr, err := speaker.Listen(bgpListen)
+	if err != nil {
+		log.Fatalf("bgp listen: %v", err)
+	}
+	log.Printf("frontend: route server listening on %v (AS%d, id %v)", bgpAddr, cfg.LocalAS, localID)
+
+	// Compile marks sequence the controller replicas' compilation points:
+	// every replica compiles at the same log positions, which keeps the
+	// history-dependent VNH assignment identical across the cluster.
+	if markEvery > 0 {
+		go func() {
+			for range time.Tick(markEvery) {
+				rlog.AppendMark()
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", logListen)
+	if err != nil {
+		log.Fatalf("log listen: %v", err)
+	}
+	log.Printf("frontend: replicated log streaming on %v (marks every %v)", ln.Addr(), markEvery)
+	(&replog.StreamServer{Log: rlog, Logf: log.Printf}).Serve(ln)
+}
+
+// runWorker replays the full log into a private route-server engine and
+// owns the participant shard (index, count) for serving.
+func runWorker(cfg *config.File, reg *telemetry.Registry, logAddr string, index, count int) {
+	parts := make([]routeserver.ClusterParticipant, 0, len(cfg.Participants))
+	for _, pc := range cfg.Participants {
+		parts = append(parts, routeserver.ClusterParticipant{ID: routeserver.ID(pc.ID), AS: pc.AS})
+	}
+	w, err := routeserver.NewWorker(index, count, parts)
+	if err != nil {
+		log.Fatalf("building worker: %v", err)
+	}
+	w.EnableTelemetry(reg)
+	log.Printf("worker %d/%d: shard %v, consuming log at %v", index, count, w.OwnedParticipants(), logAddr)
+
+	c := &replog.Consumer{Addr: logAddr, Apply: w.Apply, Logf: log.Printf}
+	c.EnableTelemetry(reg, "worker")
+	if err := c.Run(nil); err != nil {
+		log.Fatalf("worker %d: %v", index, err)
+	}
+}
+
+// runStandby replays the log into a full controller replica. While the
+// primary answers TCP probes the replica stays passive (no switches, every
+// push a no-op); when the primary stops answering — or when no primary is
+// configured — it promotes and opens its OpenFlow listener, and every
+// switch that re-homes is reconciled make-before-break against the desired
+// state the replica already holds.
+func runStandby(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	logAddr, ofListen, primaryAddr string, probeEvery time.Duration, probeFails int) {
+	opts := cfg.ControllerOptions()
+	opts.Telemetry = reg
+	opts.Tracer = tracer
+	rs := routeserver.New(nil)
+	rs.EnableTelemetry(reg)
+	ctrl := core.NewController(rs, opts)
+	if err := cfg.Apply(ctrl); err != nil {
+		log.Fatalf("applying config: %v", err)
+	}
+	switches := core.NewSwitchServer(reg)
+	switches.HandlePacketIn = ctrl.HandlePacketIn
+	switches.Metrics = openflow.NewMetrics(reg)
+	switches.Logf = log.Printf
+
+	rep := core.NewReplica(ctrl, switches)
+	rep.Logf = log.Printf
+	rep.EnableTelemetry(reg)
+
+	c := &replog.Consumer{Addr: logAddr, Apply: rep.Apply, Logf: log.Printf}
+	c.EnableTelemetry(reg, "standby")
+	go func() {
+		if err := c.Run(nil); err != nil {
+			log.Fatalf("standby: log consumer: %v", err)
+		}
+	}()
+
+	if primaryAddr != "" {
+		log.Printf("standby: replaying log from %v, probing primary %v every %v", logAddr, primaryAddr, probeEvery)
+		failures := 0
+		for failures < probeFails {
+			time.Sleep(probeEvery)
+			conn, err := net.DialTimeout("tcp", primaryAddr, probeEvery)
+			if err != nil {
+				failures++
+				log.Printf("standby: primary probe failed (%d/%d): %v", failures, probeFails, err)
+				continue
+			}
+			conn.Close()
+			failures = 0
+		}
+		log.Printf("standby: primary unreachable, promoting at log seq %d", rep.Applied())
+	}
+	rep.Promote()
+
+	ln, err := net.Listen("tcp", ofListen)
+	if err != nil {
+		log.Fatalf("openflow listen: %v", err)
+	}
+	log.Printf("active: openflow listening on %v", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("openflow accept: %v", err)
+		}
+		go switches.Serve(conn)
+	}
+}

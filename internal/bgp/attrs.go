@@ -207,8 +207,58 @@ func (a PathAttrs) marshal(b []byte, as4 bool) ([]byte, error) {
 	return b, nil
 }
 
+// AttrError classifies a malformed path attribute per RFC 7606 (revised
+// BGP error handling). Recoverable means the attribute's outer framing —
+// the flags/type/length header and the value boundary — is intact, so the
+// rest of the UPDATE (in particular its NLRI) can still be trusted: the
+// receiver demotes the UPDATE to treat-as-withdraw instead of resetting
+// the session. When the framing itself is broken, the remaining attribute
+// bytes cannot be delimited and the session must reset.
+type AttrError struct {
+	// Code is the attribute type code, 0 when the header was unreadable.
+	Code uint8
+	// Recoverable selects treat-as-withdraw over session reset.
+	Recoverable bool
+	reason      string
+}
+
+func (e *AttrError) Error() string {
+	if e.Code == 0 {
+		return "bgp: " + e.reason
+	}
+	return fmt.Sprintf("bgp: attribute %d: %s", e.Code, e.reason)
+}
+
+func attrErr(code uint8, recoverable bool, format string, args ...any) *AttrError {
+	return &AttrError{Code: code, Recoverable: recoverable, reason: fmt.Sprintf(format, args...)}
+}
+
+// checkAttrFlags validates the attribute flag octet for recognized codes
+// (RFC 4271 §6.3 attribute-flags error, demoted to treat-as-withdraw by
+// RFC 7606 §3). Well-known attributes must be transitive and not optional;
+// MED is optional non-transitive; COMMUNITIES is optional transitive.
+func checkAttrFlags(flags, code uint8) *AttrError {
+	fl := flags & (flagOptional | flagTransitive)
+	var want uint8
+	switch code {
+	case attrOrigin, attrASPath, attrNextHop, attrLocalPref:
+		want = flagTransitive
+	case attrMED:
+		want = flagOptional
+	case attrCommunities:
+		want = flagOptional | flagTransitive
+	default:
+		return nil // unrecognized: no flag expectation enforced
+	}
+	if fl != want {
+		return attrErr(code, true, "attribute flags 0x%02x (want 0x%02x)", fl, want)
+	}
+	return nil
+}
+
 // parsePathAttrs decodes an UPDATE's attribute bytes; as4 selects the
-// 4-octet AS_PATH ASN width.
+// 4-octet AS_PATH ASN width. Malformations come back as *AttrError with
+// the RFC 7606 recoverable/unrecoverable split.
 func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 	var a PathAttrs
 	sawNextHop := false
@@ -218,13 +268,13 @@ func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 	}
 	for len(b) > 0 {
 		if len(b) < 3 {
-			return a, fmt.Errorf("bgp: path attribute truncated")
+			return a, attrErr(0, false, "path attribute truncated")
 		}
 		flags, code := b[0], b[1]
 		var alen int
 		if flags&flagExtLen != 0 {
 			if len(b) < 4 {
-				return a, fmt.Errorf("bgp: extended-length attribute truncated")
+				return a, attrErr(code, false, "extended-length attribute truncated")
 			}
 			alen = int(binary.BigEndian.Uint16(b[2:4]))
 			b = b[4:]
@@ -233,28 +283,31 @@ func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 			b = b[3:]
 		}
 		if len(b) < alen {
-			return a, fmt.Errorf("bgp: attribute %d value truncated (%d of %d bytes)", code, len(b), alen)
+			return a, attrErr(code, false, "value truncated (%d of %d bytes)", len(b), alen)
 		}
 		val := b[:alen]
 		b = b[alen:]
 
+		if err := checkAttrFlags(flags, code); err != nil {
+			return a, err
+		}
 		switch code {
 		case attrOrigin:
 			if alen != 1 {
-				return a, fmt.Errorf("bgp: ORIGIN length %d", alen)
+				return a, attrErr(code, true, "ORIGIN length %d", alen)
 			}
 			a.Origin = val[0]
 		case attrASPath:
 			for len(val) > 0 {
 				if len(val) < 2 {
-					return a, fmt.Errorf("bgp: AS_PATH segment header truncated")
+					return a, attrErr(code, true, "AS_PATH segment header truncated")
 				}
 				segType, n := val[0], int(val[1])
 				if segType != ASSet && segType != ASSequence {
-					return a, fmt.Errorf("bgp: AS_PATH segment type %d", segType)
+					return a, attrErr(code, true, "AS_PATH segment type %d", segType)
 				}
 				if len(val) < 2+asnWidth*n {
-					return a, fmt.Errorf("bgp: AS_PATH segment truncated")
+					return a, attrErr(code, true, "AS_PATH segment truncated")
 				}
 				seg := ASPathSegment{Type: segType, ASNs: make([]uint32, n)}
 				for i := 0; i < n; i++ {
@@ -270,23 +323,23 @@ func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 			}
 		case attrNextHop:
 			if alen != 4 {
-				return a, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
+				return a, attrErr(code, true, "NEXT_HOP length %d", alen)
 			}
 			a.NextHop = netip.AddrFrom4([4]byte(val))
 			sawNextHop = true
 		case attrMED:
 			if alen != 4 {
-				return a, fmt.Errorf("bgp: MED length %d", alen)
+				return a, attrErr(code, true, "MED length %d", alen)
 			}
 			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
 		case attrLocalPref:
 			if alen != 4 {
-				return a, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
+				return a, attrErr(code, true, "LOCAL_PREF length %d", alen)
 			}
 			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(val), true
 		case attrCommunities:
 			if alen%4 != 0 {
-				return a, fmt.Errorf("bgp: COMMUNITIES length %d", alen)
+				return a, attrErr(code, true, "COMMUNITIES length %d", alen)
 			}
 			for i := 0; i < alen; i += 4 {
 				a.Communities = append(a.Communities, binary.BigEndian.Uint32(val[i:i+4]))
@@ -299,7 +352,7 @@ func parsePathAttrs(b []byte, as4 bool) (PathAttrs, error) {
 		}
 	}
 	if !sawNextHop {
-		return a, fmt.Errorf("bgp: UPDATE with NLRI missing NEXT_HOP")
+		return a, attrErr(attrNextHop, true, "UPDATE with NLRI missing NEXT_HOP")
 	}
 	return a, nil
 }

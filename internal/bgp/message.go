@@ -7,6 +7,7 @@ package bgp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -107,6 +108,11 @@ type Update struct {
 	Withdrawn []netip.Prefix
 	Attrs     PathAttrs
 	NLRI      []netip.Prefix
+	// TreatAsWithdraw marks an UPDATE whose path attributes were malformed
+	// in a recoverable way (RFC 7606): the NLRI it carried has been moved
+	// into Withdrawn, Attrs is zero, and the session stays established.
+	// Unset on any UPDATE a local caller constructs.
+	TreatAsWithdraw bool
 }
 
 // Type implements Message.
@@ -462,6 +468,22 @@ func decodeUpdate(body []byte, as4 bool) (*Update, error) {
 	if attrLen > 0 {
 		u.Attrs, err = parsePathAttrs(rest[2:2+attrLen], as4)
 		if err != nil {
+			var ae *AttrError
+			if errors.As(err, &ae) && ae.Recoverable {
+				// RFC 7606 treat-as-withdraw: the attribute boundaries were
+				// intact (only a value or flag was wrong), so the NLRI is
+				// still trustworthy — withdraw it instead of resetting the
+				// session. Framing-destroying errors fall through to the
+				// session-reset path below.
+				nlri, nerr := parsePrefixes(rest[2+attrLen:])
+				if nerr != nil {
+					return nil, nerr
+				}
+				u.Withdrawn = append(u.Withdrawn, nlri...)
+				u.Attrs = PathAttrs{}
+				u.TreatAsWithdraw = true
+				return u, nil
+			}
 			return nil, err
 		}
 	}

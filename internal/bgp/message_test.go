@@ -224,8 +224,21 @@ func TestUpdateMissingNextHop(t *testing.T) {
 	msg[18] = byte(MsgUpdate)
 	msg = append(msg, body...)
 	msg[16], msg[17] = byte(len(msg)>>8), byte(len(msg))
-	if _, err := Decode(msg); err == nil {
-		t.Error("UPDATE with NLRI but no NEXT_HOP should fail")
+	// RFC 7606: a missing mandatory attribute leaves the framing intact,
+	// so the UPDATE demotes to treat-as-withdraw instead of failing.
+	got, err := Decode(msg)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	u, ok := got.(*Update)
+	if !ok || !u.TreatAsWithdraw {
+		t.Fatalf("UPDATE without NEXT_HOP should demote to treat-as-withdraw, got %+v", got)
+	}
+	if len(u.Withdrawn) != 1 || u.Withdrawn[0] != netip.MustParsePrefix("10.0.0.0/8") {
+		t.Fatalf("NLRI not converted to withdrawal: %+v", u.Withdrawn)
+	}
+	if len(u.NLRI) != 0 {
+		t.Fatalf("treat-as-withdraw UPDATE still carries NLRI: %+v", u.NLRI)
 	}
 }
 

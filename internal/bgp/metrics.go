@@ -23,6 +23,7 @@ type Metrics struct {
 	OpensIn          *telemetry.Counter
 	OpensOut         *telemetry.Counter
 	HoldExpiries     *telemetry.Counter
+	TreatAsWithdraws *telemetry.Counter
 
 	// Persistent-neighbor resilience: dial attempts, sessions established
 	// by the redial loop, and the loop's current backoff (exposed in
@@ -54,6 +55,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.NotificationsIn, m.NotificationsOut = in.With("NOTIFICATION"), out.With("NOTIFICATION")
 	m.HoldExpiries = reg.Counter("sdx_bgp_hold_expiries_total",
 		"BGP sessions torn down by hold-timer expiry.")
+	m.TreatAsWithdraws = reg.Counter("sdx_bgp_treat_as_withdraw_total",
+		"UPDATEs with recoverable attribute errors demoted to withdrawals (RFC 7606).")
 	m.RedialAttempts = reg.Counter("sdx_bgp_redial_attempts_total",
 		"Dial attempts by persistent-neighbor redial loops.")
 	m.Redials = reg.Counter("sdx_bgp_redials_total",
@@ -63,6 +66,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Current persistent-neighbor redial backoff.",
 		func() float64 { return float64(m.backoffNanos.Value()) / 1e9 })
 	return m
+}
+
+// treatAsWithdraw counts one UPDATE demoted to withdrawals per RFC 7606.
+func (m *Metrics) treatAsWithdraw() {
+	if m == nil {
+		return
+	}
+	m.TreatAsWithdraws.Inc()
 }
 
 // redialAttempt counts one persistent-neighbor dial attempt.

@@ -299,10 +299,23 @@ func (s *Session) Run(handler func(*Update)) error {
 				s.notifyAndClose(NotifHoldTimerExpired, 0)
 				return fmt.Errorf("bgp: hold timer expired: %w", err)
 			}
+			// An unrecoverable attribute malformation (RFC 7606's
+			// session-reset class: the attribute framing itself is broken)
+			// deserves an explicit UPDATE-message-error NOTIFICATION rather
+			// than a silent transport close. Recoverable malformations never
+			// reach here — decode demotes them to treat-as-withdraw.
+			var ae *AttrError
+			if errors.As(err, &ae) {
+				s.notifyAndClose(NotifUpdateMessageError, 0)
+				return fmt.Errorf("bgp: malformed UPDATE: %w", err)
+			}
 			return s.runErr(err)
 		}
 		switch m := msg.(type) {
 		case *Update:
+			if m.TreatAsWithdraw {
+				s.cfg.Metrics.treatAsWithdraw()
+			}
 			handler(m)
 		case *Keepalive:
 			// hold timer already reset by the successful read

@@ -210,6 +210,30 @@ func TestAnalyticsShapes(t *testing.T) {
 	}
 }
 
+// The cluster experiment at its default size: cheap enough to run in the
+// suite, and its gates are correctness properties (drain, resume, flush
+// replication, byte-identical Adj-RIB-Out), so they must hold at any scale.
+func TestClusterShapes(t *testing.T) {
+	var out strings.Builder
+	res, err := Cluster(Config{Seed: 42, Out: &out}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DrainedOK || !res.ResumeOK || !res.FlushOK || !res.EquivalenceOK {
+		t.Errorf("gates failed: drained:%v resume:%v flush:%v equivalence:%v",
+			res.DrainedOK, res.ResumeOK, res.FlushOK, res.EquivalenceOK)
+	}
+	if res.LogEntries == 0 || res.Events == 0 {
+		t.Errorf("empty run: %d events, %d log entries", res.Events, res.LogEntries)
+	}
+	if res.MaxFinalLag != 0 {
+		t.Errorf("final lag = %d, want 0", res.MaxFinalLag)
+	}
+	if !strings.Contains(out.String(), "gates") {
+		t.Error("report should print the gate summary")
+	}
+}
+
 func TestConfigHelpers(t *testing.T) {
 	c := Config{}
 	if c.scale(100) != 100 {

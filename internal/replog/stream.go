@@ -1,0 +1,287 @@
+// TCP replication of the log: length-prefixed frames, resume-from-seq.
+//
+// Wire protocol, all integers big-endian:
+//
+//	client → server:  resume(8)            first sequence number wanted
+//	server → client:  len(4) head(8) entry-payload...   repeated
+//
+// Every frame carries the log's head sequence number at send time, so a
+// consumer can compute its replication lag without a side channel. The
+// server blocks in Log.WaitFor once it reaches the head, streaming new
+// entries as they are appended.
+package replog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"sdx/internal/netutil"
+	"sdx/internal/telemetry"
+)
+
+// maxFrameLen bounds a frame to something sane: an entry payload is a
+// 19-byte header, a participant id, and at most one 4096-byte BGP message.
+const maxFrameLen = 8 + 19 + 0xffff + 4096
+
+// StreamServer replicates a Log to any number of TCP consumers.
+type StreamServer struct {
+	Log *Log
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Serve accepts consumers on ln until the listener is closed. Each
+// connection is handled on its own goroutine.
+func (s *StreamServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn streams the log to one consumer: it reads the resume sequence
+// number, then sends every entry from there onward, blocking at the head
+// until new entries arrive. Returns when the connection breaks or the log
+// closes.
+func (s *StreamServer) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	var resume [8]byte
+	if _, err := io.ReadFull(conn, resume[:]); err != nil {
+		s.logf("replog: reading resume seq: %v", err)
+		return
+	}
+	next := binary.BigEndian.Uint64(resume[:])
+	if next == 0 {
+		next = 1
+	}
+	for {
+		e, err := s.Log.WaitFor(next)
+		if err != nil {
+			return // log closed; tail fully drained
+		}
+		if err := writeFrame(conn, s.Log.Head(), e); err != nil {
+			s.logf("replog: streaming to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		next++
+	}
+}
+
+func (s *StreamServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func writeFrame(w io.Writer, head uint64, e *Entry) error {
+	payload, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	b := make([]byte, 0, 12+len(payload))
+	b = binary.BigEndian.AppendUint32(b, uint32(8+len(payload)))
+	b = binary.BigEndian.AppendUint64(b, head)
+	b = append(b, payload...)
+	_, err = w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) (head uint64, e *Entry, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 8 || n > maxFrameLen {
+		return 0, nil, fmt.Errorf("replog: bad frame length %d", n)
+	}
+	head = binary.BigEndian.Uint64(hdr[4:12])
+	payload := make([]byte, n-8)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	e, err = DecodeEntry(payload)
+	return head, e, err
+}
+
+// Consumer replays a remote log into an Apply callback, reconnecting with
+// exponential backoff and resuming from the last applied sequence number.
+// Duplicate entries after a resume are skipped; a sequence gap (which a
+// retained log can never legitimately produce) drops the connection and
+// redials.
+type Consumer struct {
+	// Addr is the stream server's address.
+	Addr string
+	// Dial opens the transport; nil means net.Dial("tcp", addr). Tests
+	// inject faultnet dialers here.
+	Dial func(addr string) (net.Conn, error)
+	// Apply is invoked for every entry exactly once, in sequence order,
+	// from a single goroutine. An Apply error is fatal to Run: a replica
+	// that cannot apply an entry is divergent and must not keep serving.
+	Apply func(*Entry) error
+	// MinBackoff/MaxBackoff/Seed shape the redial backoff
+	// (netutil.Backoff defaults apply when zero).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	Seed       int64
+	// Logf, when set, receives reconnect diagnostics.
+	Logf func(format string, args ...any)
+
+	applied  atomic.Uint64
+	head     atomic.Uint64
+	dials    atomic.Uint64
+	reclosed atomic.Uint64
+}
+
+// Applied returns the last sequence number handed to Apply.
+func (c *Consumer) Applied() uint64 { return c.applied.Load() }
+
+// Head returns the producer's head sequence number as of the last frame.
+func (c *Consumer) Head() uint64 { return c.head.Load() }
+
+// Lag returns how far behind the producer's last reported head this
+// consumer is.
+func (c *Consumer) Lag() uint64 {
+	h, a := c.head.Load(), c.applied.Load()
+	if h <= a {
+		return 0
+	}
+	return h - a
+}
+
+// Dials returns how many connection attempts Run has made (the first dial
+// counts, so a value above 1 means at least one resume happened).
+func (c *Consumer) Dials() uint64 { return c.dials.Load() }
+
+// Run replicates until stop is closed or Apply fails. Connection loss is
+// not an error: Run redials with backoff and resumes from Applied()+1.
+func (c *Consumer) Run(stop <-chan struct{}) error {
+	dial := c.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	backoff := &netutil.Backoff{Min: c.MinBackoff, Max: c.MaxBackoff, Seed: c.Seed}
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		c.dials.Add(1)
+		conn, err := dial(c.Addr)
+		if err != nil {
+			c.logf("replog: dial %s: %v", c.Addr, err)
+			if !sleepOrStop(backoff.Next(), stop) {
+				return nil
+			}
+			continue
+		}
+		err = c.consume(conn, stop)
+		conn.Close()
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if err != nil {
+			return err
+		}
+		c.reclosed.Add(1)
+		if !sleepOrStop(backoff.Next(), stop) {
+			return nil
+		}
+	}
+}
+
+// consume drains one connection. It returns nil when the transport broke
+// (caller redials) and an error only when Apply failed.
+func (c *Consumer) consume(conn net.Conn, stop <-chan struct{}) error {
+	// Unblock the read loop when asked to stop.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	var resume [8]byte
+	binary.BigEndian.PutUint64(resume[:], c.applied.Load()+1)
+	if _, err := conn.Write(resume[:]); err != nil {
+		c.logf("replog: sending resume seq: %v", err)
+		return nil
+	}
+	for {
+		head, e, err := readFrame(conn)
+		if err != nil {
+			c.logf("replog: stream from %s: %v", c.Addr, err)
+			return nil
+		}
+		c.head.Store(head)
+		want := c.applied.Load() + 1
+		switch {
+		case e.Seq < want:
+			continue // duplicate after resume
+		case e.Seq > want:
+			c.logf("replog: sequence gap: want %d, got %d", want, e.Seq)
+			return nil // redial and resume from want
+		}
+		if err := c.Apply(e); err != nil {
+			return fmt.Errorf("replog: applying seq %d: %w", e.Seq, err)
+		}
+		c.applied.Store(e.Seq)
+	}
+}
+
+func (c *Consumer) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// EnableTelemetry registers the consumer's replication metrics with reg
+// under the given role label value (e.g. "worker0", "standby"). A nil
+// registry is a no-op.
+func (c *Consumer) EnableTelemetry(reg *telemetry.Registry, role string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVecFunc("sdx_replog_applied_seq",
+		"Last log sequence number applied by this consumer.",
+		[]string{"role"},
+		func(emit func(labelValues []string, v float64)) {
+			emit([]string{role}, float64(c.Applied()))
+		})
+	reg.GaugeVecFunc("sdx_replog_lag",
+		"Entries between the producer's head and this consumer's applied position.",
+		[]string{"role"},
+		func(emit func(labelValues []string, v float64)) {
+			emit([]string{role}, float64(c.Lag()))
+		})
+	reg.CounterVecFunc("sdx_replog_dials_total",
+		"Stream connection attempts (first dial included).",
+		[]string{"role"},
+		func(emit func(labelValues []string, v float64)) {
+			emit([]string{role}, float64(c.Dials()))
+		})
+}

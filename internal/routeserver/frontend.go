@@ -1,6 +1,7 @@
 package routeserver
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -240,6 +241,10 @@ func (f *Frontend) onDown(p *bgp.Peer, _ error) {
 func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 	id, ok := f.participantFor(p)
 	if !ok {
+		// No participant behind this session (it raced deprovisioning, or
+		// the registry changed under an established peer): every further
+		// UPDATE would stream into a black hole. Reject and tear down.
+		f.rejectUpdate("", p, u, errUnknownParticipant)
 		return
 	}
 	routes := make([]bgp.Route, len(u.NLRI))
@@ -274,10 +279,18 @@ func (f *Frontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 	f.propagatePrefixes(touched)
 }
 
-// rejectUpdate records an update the server refused: a rejected update must
-// not vanish silently — count it and leave a trace naming the peer, so an
-// operator can see routes being dropped (e.g. a session racing its
-// participant's deprovisioning).
+// errUnknownParticipant is the rejection cause when an established session
+// has no participant behind it anymore.
+var errUnknownParticipant = errors.New("no participant registered for session")
+
+// rejectUpdate records an update the server refused and tears the session
+// down: a rejected update must not vanish silently — count it and leave a
+// trace naming the peer — and a session whose routes the engine refuses
+// must not stay established, or the peer (e.g. one racing its
+// participant's deprovisioning) keeps streaming routes into a black hole
+// while believing them accepted. Close sends a NOTIFICATION (Cease) and
+// the teardown flows through onDown, flushing anything the participant
+// had previously placed in the engine.
 func (f *Frontend) rejectUpdate(id ID, p *bgp.Peer, u *bgp.Update, err error) {
 	f.mRejectedUpdates.Inc()
 	f.Tracer.Emit("routeserver.update_rejected",
@@ -286,6 +299,7 @@ func (f *Frontend) rejectUpdate(id ID, p *bgp.Peer, u *bgp.Update, err error) {
 		telemetry.Int("nlri", len(u.NLRI)),
 		telemetry.Int("withdrawn", len(u.Withdrawn)),
 		telemetry.Str("error", err.Error()))
+	p.Session.Close()
 }
 
 // originPeerID synthesizes a deterministic router identifier for routes the
@@ -395,18 +409,61 @@ func (f *Frontend) runEmitter(e *peerEmitter) {
 		case <-e.wake:
 		}
 		for {
+			// Check displacement BEFORE draining: a displaced emitter that
+			// drains first throws away prefixes its successor will never
+			// see again (the successor's initial dump may already have run
+			// against a next-hop mapping that has since moved).
+			if f.displaced(e) {
+				f.handoffPending(e)
+				return
+			}
 			prefixes := e.take()
 			if len(prefixes) == 0 {
 				break
 			}
-			f.mu.Lock()
-			displaced := f.emitters[e.id] != e
-			f.mu.Unlock()
-			if displaced {
+			// Re-check after the drain: displacement between the check and
+			// take() would otherwise lose exactly the drained set. Hand it
+			// to the successor, which re-reads BestFor under its own emit
+			// lock at drain time.
+			if f.displaced(e) {
+				if succ := f.successor(e); succ != nil {
+					succ.enqueue(prefixes)
+				}
 				return
 			}
 			f.emitPrefixes(e, prefixes)
 		}
+	}
+}
+
+// displaced reports whether e is no longer the participant's live emitter.
+func (f *Frontend) displaced(e *peerEmitter) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.emitters[e.id] != e
+}
+
+// successor returns the emitter that replaced e, or nil if the participant
+// has none (session down with no replacement — the routes die with it, and
+// a future reconnect gets the full dump).
+func (f *Frontend) successor(e *peerEmitter) *peerEmitter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.emitters[e.id]; s != e {
+		return s
+	}
+	return nil
+}
+
+// handoffPending transfers a displaced emitter's undrained pending set to
+// its successor.
+func (f *Frontend) handoffPending(e *peerEmitter) {
+	prefixes := e.take()
+	if len(prefixes) == 0 {
+		return
+	}
+	if succ := f.successor(e); succ != nil {
+		succ.enqueue(prefixes)
 	}
 }
 
