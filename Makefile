@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke chaos check
+.PHONY: build test race vet bench bench-smoke e2e chaos check
 
 build:
 	$(GO) build ./...
@@ -67,14 +67,33 @@ bench-smoke:
 	@cat BENCH_linerate.json
 	$(GO) run ./cmd/sdx-bench -experiment cluster -json BENCH_cluster.json
 	@cat BENCH_cluster.json
+	$(GO) run ./cmd/sdx-bench -experiment e2e-shutdown -json BENCH_e2e_shutdown.json
+	@cat BENCH_e2e_shutdown.json
+	$(GO) run ./cmd/sdx-bench -experiment e2e-vrf -json BENCH_e2e_vrf.json
+	@cat BENCH_e2e_vrf.json
+	$(GO) run ./cmd/sdx-bench -experiment e2e-multicast -json BENCH_e2e_multicast.json
+	@cat BENCH_e2e_multicast.json
 	$(GO) run ./cmd/sdx-benchjson -validate BENCH_*.json
+
+# Daemon-level end-to-end suite: every scenario boots real sdx binaries as
+# separate processes over real TCP/UDP on localhost and asserts on their
+# logs and /metrics — graceful vs hard-kill shutdown (RFC 4486 Cease
+# subcode 2 observed only for graceful), multi-tenant VRF isolation with
+# overlapping prefixes, and multicast group replication through a real
+# switch. The same scenarios run as sdx-bench e2e-* experiments in
+# bench-smoke.
+e2e: build
+	$(GO) test ./e2e -count=1 -timeout 10m -v
 
 # The chaos tests (control channels killed and restored mid-churn; the
 # active controller killed mid-churn and a log-replaying standby promoted;
 # final flow tables must converge byte-identically in both) run once as
 # part of `race`/`check`; `chaos` hammers them under the race detector to
-# surface rare interleavings.
+# surface rare interleavings. The e2e soak then cycles a REAL bgpd/controller
+# pair through partitions (via a severable fault proxy), hard kills, and
+# graceful restarts, requiring re-establishment after every fault.
 chaos:
 	$(GO) test -race -count=20 -run 'TestChaosControlPlaneConvergence|TestChaosClusterFailover' ./internal/core/
+	SDX_E2E_SOAK=1 $(GO) test ./e2e -run TestE2ESoak -count=1 -timeout 10m -v
 
 check: vet test race

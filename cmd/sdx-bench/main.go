@@ -13,6 +13,11 @@
 // full-scale configurations — a 1M-prefix DFZ table and a million-client
 // traffic run — and which must be selected explicitly; -json writes their
 // result files).
+//
+// The e2e-shutdown, e2e-vrf, and e2e-multicast experiments boot REAL daemon
+// processes (sdx-controller, sdx-bgpd, sdx-switch) over real TCP/UDP and are
+// likewise explicit-only; they need the go toolchain on PATH to build the
+// daemon binaries.
 package main
 
 import (
@@ -30,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|linerate|cluster|all")
+		experiment   = flag.String("experiment", "all", "table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|churn|fullscale|analytics|linerate|cluster|e2e-shutdown|e2e-vrf|e2e-multicast|all")
 		seed         = flag.Int64("seed", 42, "random seed")
 		scale        = flag.Float64("scale", 1.0, "prefix-count multiplier (1.0 = defaults)")
 		participants = flag.String("participants", "", "comma-separated participant counts (default per experiment)")
@@ -156,6 +161,53 @@ func main() {
 				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
 					err = werr
 				}
+			}
+			return err
+		})
+	}
+	// The daemon-level e2e experiments are explicit-only: each boots real
+	// processes over real sockets (and builds the binaries first).
+	if *experiment == "e2e-shutdown" {
+		any = true
+		run("e2e-shutdown", func() error {
+			res, err := experiments.E2EShutdown(cfg)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			if err == nil && !(res.GracefulOK && res.HardOK) {
+				err = fmt.Errorf("shutdown gates failed: graceful_ok=%v hard_ok=%v", res.GracefulOK, res.HardOK)
+			}
+			return err
+		})
+	}
+	if *experiment == "e2e-vrf" {
+		any = true
+		run("e2e-vrf", func() error {
+			res, err := experiments.E2EVRF(cfg)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			if err == nil && !res.OK() {
+				err = fmt.Errorf("VRF isolation gates failed")
+			}
+			return err
+		})
+	}
+	if *experiment == "e2e-multicast" {
+		any = true
+		run("e2e-multicast", func() error {
+			res, err := experiments.E2EMulticast(cfg)
+			if res != nil && *jsonOut != "" {
+				if werr := writeJSON(*jsonOut, res); werr != nil && err == nil {
+					err = werr
+				}
+			}
+			if err == nil && !res.OK() {
+				err = fmt.Errorf("multicast gates failed")
 			}
 			return err
 		})

@@ -19,9 +19,12 @@ import (
 	"fmt"
 	"log"
 	"net/netip"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sdx/internal/bgp"
@@ -175,5 +178,14 @@ func main() {
 		})
 	}
 
-	select {} // the redial loop owns the session lifecycle from here
+	// The redial loop owns the session lifecycle until an operator signal
+	// arrives; then the session is closed with CEASE / Administrative
+	// Shutdown (RFC 4486 subcode 2) so the route server withdraws this
+	// router's announcements immediately instead of waiting out hold timers.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	log.Printf("%v: shutting down (sending CEASE administrative shutdown)", sig)
+	speaker.Shutdown()
+	log.Printf("shutdown complete")
 }

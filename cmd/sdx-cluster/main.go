@@ -21,11 +21,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sdx/internal/bgp"
@@ -96,24 +99,36 @@ func main() {
 		log.Printf("pprof on http://%v/debug/pprof/", psrv.Addr())
 	}
 
+	// Every mode shares one teardown trigger: SIGINT/SIGTERM closes stop,
+	// and the mode runners unwind in dependency order from there.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("%s: %v: shutting down", *mode, sig)
+		close(stop)
+	}()
+
 	switch *mode {
 	case "frontend":
-		runFrontend(cfg, reg, tracer, *bgpListen, *logListen, *markEvery)
+		runFrontend(cfg, reg, tracer, *bgpListen, *logListen, *markEvery, stop)
 	case "worker":
-		runWorker(cfg, reg, *logAddr, *shardIndex, *shardCount)
+		runWorker(cfg, reg, *logAddr, *shardIndex, *shardCount, stop)
 	case "standby":
-		runStandby(cfg, reg, tracer, *logAddr, *ofListen, *primaryAddr, *probeEvery, *probeFails)
+		runStandby(cfg, reg, tracer, *logAddr, *ofListen, *primaryAddr, *probeEvery, *probeFails, stop)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	log.Printf("%s: shutdown complete", *mode)
 }
 
 // runFrontend terminates the participants' BGP sessions, fans every UPDATE
 // into the sequenced log, appends compile marks on a timer, and streams the
 // log to workers and controller replicas.
 func runFrontend(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tracer,
-	bgpListen, logListen string, markEvery time.Duration) {
+	bgpListen, logListen string, markEvery time.Duration, stop <-chan struct{}) {
 	rlog := replog.NewLog()
 	rlog.EnableTelemetry(reg)
 
@@ -157,12 +172,24 @@ func runFrontend(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tr
 		log.Fatalf("log listen: %v", err)
 	}
 	log.Printf("frontend: replicated log streaming on %v (marks every %v)", ln.Addr(), markEvery)
-	(&replog.StreamServer{Log: rlog, Logf: log.Printf}).Serve(ln)
+
+	// Teardown order matters: Cease the participant sessions first (RFC 4486
+	// Administrative Shutdown, so routers stop waiting on hold timers), then
+	// close the stream listener to unblock Serve. Consumers ride out the
+	// severed stream with their own redial loops.
+	go func() {
+		<-stop
+		speaker.Shutdown()
+		ln.Close()
+	}()
+	if err := (&replog.StreamServer{Log: rlog, Logf: log.Printf}).Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("log stream: %v", err)
+	}
 }
 
 // runWorker replays the full log into a private route-server engine and
 // owns the participant shard (index, count) for serving.
-func runWorker(cfg *config.File, reg *telemetry.Registry, logAddr string, index, count int) {
+func runWorker(cfg *config.File, reg *telemetry.Registry, logAddr string, index, count int, stop <-chan struct{}) {
 	parts := make([]routeserver.ClusterParticipant, 0, len(cfg.Participants))
 	for _, pc := range cfg.Participants {
 		parts = append(parts, routeserver.ClusterParticipant{ID: routeserver.ID(pc.ID), AS: pc.AS})
@@ -176,7 +203,7 @@ func runWorker(cfg *config.File, reg *telemetry.Registry, logAddr string, index,
 
 	c := &replog.Consumer{Addr: logAddr, Apply: w.Apply, Logf: log.Printf}
 	c.EnableTelemetry(reg, "worker")
-	if err := c.Run(nil); err != nil {
+	if err := c.Run(stop); err != nil {
 		log.Fatalf("worker %d: %v", index, err)
 	}
 }
@@ -188,7 +215,7 @@ func runWorker(cfg *config.File, reg *telemetry.Registry, logAddr string, index,
 // switch that re-homes is reconciled make-before-break against the desired
 // state the replica already holds.
 func runStandby(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tracer,
-	logAddr, ofListen, primaryAddr string, probeEvery time.Duration, probeFails int) {
+	logAddr, ofListen, primaryAddr string, probeEvery time.Duration, probeFails int, stop <-chan struct{}) {
 	opts := cfg.ControllerOptions()
 	opts.Telemetry = reg
 	opts.Tracer = tracer
@@ -210,7 +237,7 @@ func runStandby(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tra
 	c := &replog.Consumer{Addr: logAddr, Apply: rep.Apply, Logf: log.Printf}
 	c.EnableTelemetry(reg, "standby")
 	go func() {
-		if err := c.Run(nil); err != nil {
+		if err := c.Run(stop); err != nil {
 			log.Fatalf("standby: log consumer: %v", err)
 		}
 	}()
@@ -219,7 +246,11 @@ func runStandby(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tra
 		log.Printf("standby: replaying log from %v, probing primary %v every %v", logAddr, primaryAddr, probeEvery)
 		failures := 0
 		for failures < probeFails {
-			time.Sleep(probeEvery)
+			select {
+			case <-stop:
+				return
+			case <-time.After(probeEvery):
+			}
 			conn, err := net.DialTimeout("tcp", primaryAddr, probeEvery)
 			if err != nil {
 				failures++
@@ -238,9 +269,16 @@ func runStandby(cfg *config.File, reg *telemetry.Registry, tracer *telemetry.Tra
 		log.Fatalf("openflow listen: %v", err)
 	}
 	log.Printf("active: openflow listening on %v", ln.Addr())
+	go func() {
+		<-stop
+		ln.Close()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
 			log.Fatalf("openflow accept: %v", err)
 		}
 		go switches.Serve(conn)

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/netip"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"sdx/internal/bgp"
@@ -153,9 +157,29 @@ func main() {
 		log.Fatalf("openflow listen: %v", err)
 	}
 	log.Printf("openflow listening on %v", ln.Addr())
+
+	// Graceful teardown on SIGINT/SIGTERM, in dependency order: stop the
+	// pending background recompilation, send CEASE / Administrative Shutdown
+	// (RFC 4486 subcode 2) to every participant session so their routers
+	// drop our routes without waiting out hold timers, then close the
+	// OpenFlow listener, which unblocks the accept loop below.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v: shutting down (sending CEASE administrative shutdown to peers)", sig)
+		d.stopReopt()
+		speaker.Shutdown()
+		ln.Close()
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				log.Printf("shutdown complete")
+				return
+			}
 			log.Fatalf("openflow accept: %v", err)
 		}
 		// The switch server handshakes, reconciles the switch's flow table
@@ -176,6 +200,16 @@ type daemon struct {
 
 	mu     sync.Mutex
 	reoptT *time.Timer
+}
+
+// stopReopt cancels any pending background recompilation timer so shutdown
+// does not race a recompile against the closing switch connections.
+func (d *daemon) stopReopt() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.reoptT != nil {
+		d.reoptT.Stop()
+	}
 }
 
 // recompile runs the full pipeline and diff-pushes the base table to every

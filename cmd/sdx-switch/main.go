@@ -26,8 +26,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdx/internal/analytics"
@@ -105,6 +108,9 @@ func main() {
 	// nothing; with it on, 1-in-N frames pay one Record build and a
 	// non-blocking channel send.
 	var flowMounts []telemetry.Mount
+	storeStop := make(chan struct{})
+	storeDone := make(chan struct{})
+	close(storeDone) // replaced below when the analytics store runs
 	if *sampleRate > 0 {
 		var ex *flowexport.Exporter
 		if *sampleRandom {
@@ -116,7 +122,11 @@ func main() {
 		}
 		sw.SetFlowExporter(ex)
 		store := analytics.New(analytics.Config{SampleRate: *sampleRate})
-		go store.Run(ex.Records(), make(chan struct{})) // runs for process lifetime
+		storeDone = make(chan struct{})
+		go func() {
+			defer close(storeDone)
+			store.Run(ex.Records(), storeStop) // drains buffered records on stop
+		}()
 		ex.EnableTelemetry(reg)
 		store.EnableTelemetry(reg)
 		flowMounts = []telemetry.Mount{{Pattern: "/debug/sdx/flows", Handler: store.Handler()}}
@@ -165,6 +175,18 @@ func main() {
 		log.Printf("port %d: %s -> %s", spec.number, spec.listen, spec.peer)
 	}
 
+	// Graceful teardown on SIGINT/SIGTERM: stop the controller redial loop
+	// (severing the OpenFlow session), then drain the sampled-flow channel
+	// into the analytics store so no already-exported records are lost.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v: shutting down", sig)
+		close(stop)
+	}()
+
 	// Stay attached to the controller: RunController redials with
 	// exponential backoff and jitter. While disconnected the switch keeps
 	// forwarding on its installed flow table (fail-open) — only table-miss
@@ -179,7 +201,11 @@ func main() {
 		}
 		log.Printf("connected to controller %s", *controller)
 		return conn, nil
-	}, nil, dataplane.ReconnectConfig{MinBackoff: *minBackoff, MaxBackoff: *maxBackoff})
+	}, stop, dataplane.ReconnectConfig{MinBackoff: *minBackoff, MaxBackoff: *maxBackoff})
+
+	close(storeStop)
+	<-storeDone
+	log.Printf("shutdown complete")
 }
 
 // attachUDPPort binds the tunnel socket and wires it to the switch port.

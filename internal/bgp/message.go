@@ -285,6 +285,33 @@ const (
 	NotifCease              uint8 = 6
 )
 
+// Cease NOTIFICATION subcodes (RFC 4486). Subcode 0 remains the
+// unspecified legacy value RFC 4271 allows.
+const (
+	CeaseMaxPrefixes       uint8 = 1 // Maximum Number of Prefixes Reached
+	CeaseAdminShutdown     uint8 = 2 // Administrative Shutdown
+	CeaseDeconfigured      uint8 = 3 // Peer De-configured
+	CeaseAdminReset        uint8 = 4 // Administrative Reset
+	CeaseConnectionRejected uint8 = 5 // Connection Rejected
+)
+
+// CeaseSubcodeString names an RFC 4486 Cease subcode for telemetry labels.
+func CeaseSubcodeString(subcode uint8) string {
+	switch subcode {
+	case CeaseMaxPrefixes:
+		return "max_prefixes"
+	case CeaseAdminShutdown:
+		return "admin_shutdown"
+	case CeaseDeconfigured:
+		return "peer_deconfigured"
+	case CeaseAdminReset:
+		return "admin_reset"
+	case CeaseConnectionRejected:
+		return "connection_rejected"
+	}
+	return "unspecified"
+}
+
 // Type implements Message.
 func (*Notification) Type() MsgType { return MsgNotification }
 

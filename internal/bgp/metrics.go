@@ -31,6 +31,12 @@ type Metrics struct {
 	RedialAttempts *telemetry.Counter
 	Redials        *telemetry.Counter
 	backoffNanos   *telemetry.Gauge
+
+	// RFC 4486 Cease visibility: sent and received CEASE notifications,
+	// labeled by subcode name, so operators can tell an administrative
+	// shutdown from a deprovisioning or an unspecified legacy Cease.
+	ceaseIn  *telemetry.CounterVec
+	ceaseOut *telemetry.CounterVec
 }
 
 // NewMetrics registers the BGP session metrics with reg and returns the
@@ -65,7 +71,27 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	reg.GaugeFunc("sdx_bgp_redial_backoff_seconds",
 		"Current persistent-neighbor redial backoff.",
 		func() float64 { return float64(m.backoffNanos.Value()) / 1e9 })
+	m.ceaseIn = reg.CounterVec("sdx_bgp_cease_in_total",
+		"CEASE notifications received, by RFC 4486 subcode.", "subcode")
+	m.ceaseOut = reg.CounterVec("sdx_bgp_cease_out_total",
+		"CEASE notifications sent, by RFC 4486 subcode.", "subcode")
 	return m
+}
+
+// ceaseSent counts one outbound CEASE by RFC 4486 subcode.
+func (m *Metrics) ceaseSent(subcode uint8) {
+	if m == nil {
+		return
+	}
+	m.ceaseOut.With(CeaseSubcodeString(subcode)).Inc()
+}
+
+// ceaseReceived counts one inbound CEASE by RFC 4486 subcode.
+func (m *Metrics) ceaseReceived(subcode uint8) {
+	if m == nil {
+		return
+	}
+	m.ceaseIn.With(CeaseSubcodeString(subcode)).Inc()
 }
 
 // treatAsWithdraw counts one UPDATE demoted to withdrawals per RFC 7606.

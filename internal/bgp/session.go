@@ -320,6 +320,9 @@ func (s *Session) Run(handler func(*Update)) error {
 		case *Keepalive:
 			// hold timer already reset by the successful read
 		case *Notification:
+			if m.Code == NotifCease {
+				s.cfg.Metrics.ceaseReceived(m.Subcode)
+			}
 			s.abort()
 			return m
 		default:
@@ -372,9 +375,19 @@ func (s *Session) send(m Message) error {
 	return err
 }
 
-// Close sends a CEASE notification and tears down the transport.
+// Close sends a CEASE notification (unspecified subcode) and tears down
+// the transport. Callers that know why the session is ending should use
+// CloseCease with the matching RFC 4486 subcode instead.
 func (s *Session) Close() error {
 	s.notifyAndClose(NotifCease, 0)
+	return nil
+}
+
+// CloseCease sends a CEASE notification with the given RFC 4486 subcode
+// (CeaseAdminShutdown for a graceful daemon shutdown, CeaseDeconfigured
+// when the peer is deprovisioned, ...) and tears down the transport.
+func (s *Session) CloseCease(subcode uint8) error {
+	s.notifyAndClose(NotifCease, subcode)
 	return nil
 }
 
@@ -389,6 +402,9 @@ func (s *Session) notifyAndClose(code, subcode uint8) {
 		s.conn.SetWriteDeadline(time.Now().Add(time.Second))
 		if _, werr := s.conn.Write(b); werr == nil { // best effort; the transport is going away regardless
 			s.cfg.Metrics.msgOut(&Notification{})
+			if code == NotifCease {
+				s.cfg.Metrics.ceaseSent(subcode)
+			}
 		}
 		s.writeMu.Unlock()
 	}

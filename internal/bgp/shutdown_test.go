@@ -1,0 +1,115 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdx/internal/telemetry"
+)
+
+// dialEstablished wires a client speaker to a listening server speaker and
+// waits for the client side of the session to establish, returning a channel
+// that receives the client's teardown error.
+func dialEstablished(t *testing.T, server, client *Speaker, addr string) <-chan error {
+	t.Helper()
+	established := make(chan struct{}, 1)
+	downs := make(chan error, 1)
+	client.OnEstablished = func(*Peer) { established <- struct{}{} }
+	client.OnDown = func(_ *Peer, err error) { downs <- err }
+	if _, err := client.Dial(addr); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-established:
+	case <-time.After(2 * time.Second):
+		t.Fatal("session not established")
+	}
+	return downs
+}
+
+// TestSpeakerShutdownSendsAdminShutdownCease is the graceful-shutdown
+// regression test: Speaker.Shutdown must say goodbye with an RFC 4486
+// CEASE / Administrative Shutdown (subcode 2), and the peer must observe
+// exactly that notification — not a bare transport error, and not the
+// legacy unspecified subcode Close uses.
+func TestSpeakerShutdownSendsAdminShutdownCease(t *testing.T) {
+	server := NewSpeaker(SessionConfig{LocalAS: 65000, LocalID: ma("10.0.0.100")})
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	client := NewSpeaker(SessionConfig{
+		LocalAS: 65001, LocalID: ma("10.0.0.1"), Metrics: NewMetrics(reg),
+	})
+	defer client.Close()
+	downs := dialEstablished(t, server, client, addr.String())
+
+	server.Shutdown()
+	select {
+	case err := <-downs:
+		n, ok := err.(*Notification)
+		if !ok {
+			t.Fatalf("teardown error = %v, want CEASE notification", err)
+		}
+		if n.Code != NotifCease || n.Subcode != CeaseAdminShutdown {
+			t.Fatalf("notification = code %d subcode %d, want CEASE/AdminShutdown", n.Code, n.Subcode)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never observed the shutdown")
+	}
+
+	// The received Cease lands in telemetry under the RFC 4486 label, where
+	// the e2e shutdown gate scrapes it.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sdx_bgp_cease_in_total{subcode="admin_shutdown"} 1`) {
+		t.Errorf("admin_shutdown cease not counted; metrics:\n%s", b.String())
+	}
+}
+
+// TestSpeakerCloseUsesUnspecifiedSubcode pins the contrast: plain Close is
+// the legacy RFC 4271 teardown, so its Cease carries subcode 0, not one of
+// the RFC 4486 operational subcodes.
+func TestSpeakerCloseUsesUnspecifiedSubcode(t *testing.T) {
+	server := NewSpeaker(SessionConfig{LocalAS: 65000, LocalID: ma("10.0.0.100")})
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewSpeaker(SessionConfig{LocalAS: 65001, LocalID: ma("10.0.0.1")})
+	defer client.Close()
+	downs := dialEstablished(t, server, client, addr.String())
+
+	server.Close()
+	select {
+	case err := <-downs:
+		n, ok := err.(*Notification)
+		if !ok || n.Code != NotifCease || n.Subcode != 0 {
+			t.Fatalf("teardown error = %v, want CEASE subcode 0", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never observed the close")
+	}
+}
+
+// TestCeaseSubcodeStrings pins the telemetry label names the dashboards and
+// e2e scrapes key on.
+func TestCeaseSubcodeStrings(t *testing.T) {
+	want := map[uint8]string{
+		0:                       "unspecified",
+		CeaseMaxPrefixes:        "max_prefixes",
+		CeaseAdminShutdown:      "admin_shutdown",
+		CeaseDeconfigured:       "peer_deconfigured",
+		CeaseAdminReset:         "admin_reset",
+		CeaseConnectionRejected: "connection_rejected",
+	}
+	for sub, name := range want {
+		if got := CeaseSubcodeString(sub); got != name {
+			t.Errorf("CeaseSubcodeString(%d) = %q, want %q", sub, got, name)
+		}
+	}
+}

@@ -55,8 +55,12 @@ type Speaker struct {
 	peers     map[string]*Peer
 	neighbors map[string]chan struct{} // addr -> stop channel
 	closed    bool
-	ln        net.Listener
-	wg        sync.WaitGroup
+	// closeSubcode is the RFC 4486 Cease subcode the teardown paths use
+	// once the speaker is closing (0 for Close, CeaseAdminShutdown for
+	// Shutdown); read by the redial stop watchers.
+	closeSubcode uint8
+	ln           net.Listener
+	wg           sync.WaitGroup
 }
 
 // NewSpeaker returns a Speaker with the given local session configuration.
@@ -188,7 +192,7 @@ func (s *Speaker) redialLoop(addr string, stop <-chan struct{}) {
 				go func() {
 					select {
 					case <-stop:
-						sess.Close()
+						sess.CloseCease(s.stopSubcode())
 					case <-done:
 					}
 				}()
@@ -306,10 +310,27 @@ func (s *Speaker) Broadcast(u *Update) error {
 }
 
 // Close shuts down the listener, the persistent-neighbor redial loops, and
-// all sessions, and waits for their goroutines to finish.
-func (s *Speaker) Close() {
+// all sessions (CEASE, unspecified subcode), and waits for their goroutines
+// to finish. Daemons ending on an operator's signal should use Shutdown,
+// which tells peers why.
+func (s *Speaker) Close() { s.closeCease(0) }
+
+// Shutdown is the graceful variant of Close: every established session is
+// torn down with CEASE / Administrative Shutdown (RFC 4486 subcode 2), so
+// peers withdraw our routes immediately instead of waiting out hold timers.
+func (s *Speaker) Shutdown() { s.closeCease(CeaseAdminShutdown) }
+
+// stopSubcode returns the Cease subcode teardown paths should use.
+func (s *Speaker) stopSubcode() uint8 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeSubcode
+}
+
+func (s *Speaker) closeCease(subcode uint8) {
 	s.mu.Lock()
 	s.closed = true
+	s.closeSubcode = subcode
 	ln := s.ln
 	peers := make([]*Peer, 0, len(s.peers))
 	for _, p := range s.peers {
@@ -328,7 +349,7 @@ func (s *Speaker) Close() {
 		ln.Close()
 	}
 	for _, p := range peers {
-		p.Session.Close()
+		p.Session.CloseCease(subcode)
 	}
 	s.wg.Wait()
 }

@@ -31,6 +31,17 @@ type File struct {
 	RouterID string `json:"routerID"`
 
 	Participants []ParticipantConfig `json:"participants"`
+
+	// Groups declares multicast groups: traffic from any member addressed
+	// to the group prefix is replicated to every other member.
+	Groups []GroupConfig `json:"groups,omitempty"`
+}
+
+// GroupConfig declares one multicast group.
+type GroupConfig struct {
+	Name    string   `json:"name"`
+	Prefix  string   `json:"prefix"`
+	Members []string `json:"members"`
 }
 
 // ParticipantConfig declares one AS at the exchange.
@@ -38,6 +49,10 @@ type ParticipantConfig struct {
 	ID    string       `json:"id"`
 	AS    uint32       `json:"as"`
 	Ports []PortConfig `json:"ports,omitempty"`
+	// VRF places the participant in a tenant isolation domain: VRFs never
+	// exchange routes or traffic, so different tenants may advertise
+	// overlapping private prefixes. Empty means the shared default domain.
+	VRF string `json:"vrf,omitempty"`
 	// Prefixes the participant is authorized to originate remotely
 	// (the ownership check for announce()).
 	Owns []string `json:"owns,omitempty"`
@@ -163,6 +178,27 @@ func (f *File) validate() error {
 			}
 		}
 	}
+	groupNames := map[string]bool{}
+	for _, g := range f.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("config: multicast group with empty name")
+		}
+		if groupNames[g.Name] {
+			return fmt.Errorf("config: duplicate multicast group %q", g.Name)
+		}
+		groupNames[g.Name] = true
+		if _, err := netip.ParsePrefix(g.Prefix); err != nil {
+			return fmt.Errorf("config: group %q prefix: %w", g.Name, err)
+		}
+		if len(g.Members) < 2 {
+			return fmt.Errorf("config: group %q needs at least two members", g.Name)
+		}
+		for _, m := range g.Members {
+			if !seen[m] {
+				return fmt.Errorf("config: group %q member %q is not a participant", g.Name, m)
+			}
+		}
+	}
 	return nil
 }
 
@@ -262,13 +298,22 @@ func (f *File) ControllerOptions() core.Options {
 // declared policies.
 func (f *File) Apply(ctrl *core.Controller) error {
 	for _, pc := range f.Participants {
-		p := core.Participant{ID: core.ID(pc.ID), AS: pc.AS}
+		p := core.Participant{ID: core.ID(pc.ID), AS: pc.AS, VRF: core.VRF(pc.VRF)}
 		for _, port := range pc.Ports {
 			mac, _ := netutil.ParseMAC(port.MAC)
 			ip, _ := netip.ParseAddr(port.RouterIP)
 			p.Ports = append(p.Ports, core.Port{Number: port.Number, MAC: mac, RouterIP: ip})
 		}
 		if err := ctrl.AddParticipant(p); err != nil {
+			return err
+		}
+	}
+	for _, gc := range f.Groups {
+		g := core.Group{Name: gc.Name, Prefix: netip.MustParsePrefix(gc.Prefix)} // validated by Parse
+		for _, m := range gc.Members {
+			g.Members = append(g.Members, core.ID(m))
+		}
+		if err := ctrl.AddGroup(g); err != nil {
 			return err
 		}
 	}

@@ -142,7 +142,15 @@ func (p *pipeline) run() (*CompileResult, []*FEC, []netip.Addr, error) {
 	if err != nil {
 		return nil, nil, fresh, err
 	}
-	res.Rules = rules
+	// Multicast-group replication rules go first: they must outrank the
+	// unicast base rules for the group prefix. The fast-path band installs
+	// above the whole base table, so tagged unicast reactions still win —
+	// group traffic never carries a VMAC tag, so the bands never collide.
+	groupRules, err := p.buildGroupRules()
+	if err != nil {
+		return nil, nil, fresh, err
+	}
+	res.Rules = append(groupRules, rules...)
 	res.Stats.PolicyTime = time.Since(polStart)
 	res.Stats.FlowRules = len(rules)
 	for _, f := range fecs {
@@ -190,7 +198,7 @@ func (p *pipeline) buildGlobalPolicy(sets []reachSet, fecs []*FEC) (policy.Polic
 		}
 		filters := make([]policy.Policy, len(hops))
 		fanOut(p.workers, len(hops), func(i int) {
-			filters[i] = p.reachFilter(hopSets[i], fecs)
+			filters[i] = p.reachFilter(p.vrfOf(hops[i]), hopSets[i], fecs)
 		})
 		for i, hop := range hops {
 			filterCache[hop] = filters[i]
@@ -421,16 +429,21 @@ func (p *pipeline) rewriteMod(m *policy.Mod, owner ID, sets []reachSet, fecs []*
 			return policy.SeqOf(cached, m), nil
 		}
 	}
-	return policy.SeqOf(p.reachFilter(reach, fecs), m), nil
+	return policy.SeqOf(p.reachFilter(p.vrfOf(owner), reach, fecs), m), nil
 }
 
 // reachFilter builds the predicate-policy admitting exactly the traffic
 // destined to the given prefix set: tag matches on the covering equivalence
 // classes under VNH encoding, raw destination-prefix matches otherwise.
-func (p *pipeline) reachFilter(reach *netutil.PrefixSet, fecs []*FEC) policy.Policy {
+// vrf is the domain the reach set was computed in — classes from other
+// domains are skipped, since their bare prefixes may coincide.
+func (p *pipeline) reachFilter(vrf VRF, reach *netutil.PrefixSet, fecs []*FEC) policy.Policy {
 	var tests []policy.Policy
 	if p.opts.VNHEncoding {
 		for _, f := range fecs {
+			if f.VRF != vrf {
+				continue
+			}
 			// Classes are built from these very sets, so each class is
 			// entirely inside or outside reach: probing one member decides.
 			if len(f.Prefixes) > 0 && reach.Contains(f.Prefixes[0]) {

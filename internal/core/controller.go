@@ -67,6 +67,11 @@ type Controller struct {
 	portOwner    map[uint16]ID
 	nextVirtual  uint16
 
+	// groups holds the registered multicast groups; groupOrder preserves
+	// registration order for deterministic compilation.
+	groups     map[string]*Group
+	groupOrder []string
+
 	pool     *netutil.IPPool
 	fecs     *FECTable
 	fastPath *fastPathState
@@ -141,6 +146,13 @@ func (c *Controller) AddParticipant(p Participant) error {
 			return err
 		}
 	}
+	if p.VRF != "" {
+		// The route server enforces isolation at the decision process; the
+		// controller's compile passes enforce it in the forwarding tables.
+		if err := c.rs.SetVRF(p.ID, p.VRF); err != nil {
+			return err
+		}
+	}
 	cp := p
 	cp.Ports = append([]Port(nil), p.Ports...)
 	c.participants[p.ID] = &cp
@@ -202,16 +214,32 @@ func (c *Controller) PortOwner(port uint16) (ID, bool) {
 // advertise that class's virtual next hop; everything else keeps the
 // original next-hop address (plain route-server behaviour).
 func (c *Controller) NextHopFor(receiver routeserver.ID, prefix netip.Prefix, route bgp.Route) netip.Addr {
-	if fec, ok := c.fecs.ByPrefix(prefix); ok {
+	if fec, ok := c.fecs.ByVRFPrefix(c.vrfOfID(receiver), prefix); ok {
 		return fec.VNH
 	}
 	return route.NextHop()
 }
 
-// VMACFor returns the virtual MAC tagging prefix's equivalence class, if
-// the prefix is in one.
+// vrfOfID returns a registered participant's isolation domain (the default
+// domain for unknown IDs).
+func (c *Controller) vrfOfID(id ID) VRF {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p, ok := c.participants[id]; ok {
+		return p.VRF
+	}
+	return ""
+}
+
+// VMACFor returns the virtual MAC tagging prefix's equivalence class in
+// the default domain, if the prefix is in one.
 func (c *Controller) VMACFor(prefix netip.Prefix) (netutil.MAC, bool) {
-	fec, ok := c.fecs.ByPrefix(prefix)
+	return c.VMACForIn("", prefix)
+}
+
+// VMACForIn is VMACFor scoped to a tenant domain.
+func (c *Controller) VMACForIn(vrf VRF, prefix netip.Prefix) (netutil.MAC, bool) {
+	fec, ok := c.fecs.ByVRFPrefix(vrf, prefix)
 	if !ok {
 		return netutil.MAC{}, false
 	}

@@ -19,11 +19,24 @@ type FEC struct {
 	VNH      netip.Addr
 	VMAC     netutil.MAC
 	Prefixes []netip.Prefix
+	// VRF is the isolation domain the class belongs to: with multi-tenant
+	// VRFs active the same bare prefix may be classed independently in
+	// several domains, each with its own tag and next hops. VNHs and VMACs
+	// still come from one global pool, so the ARP responder and the data
+	// plane need no VRF awareness.
+	VRF VRF
 	// First and Second are the advertisers of the globally best and
 	// second-best routes; participant X's default next hop for the class is
 	// First unless X == First, in which case Second.
 	First  ID
 	Second ID
+}
+
+// vrfPrefix qualifies a prefix by its isolation domain — the key space the
+// class assignment and the MDS universe live in once tenancy is active.
+type vrfPrefix struct {
+	vrf    VRF
+	prefix netip.Prefix
 }
 
 // DefaultNextHop returns the participant that receiver's default (BGP-
@@ -47,7 +60,7 @@ const maxFECID = 1<<24 - 1
 // by the background pass and appended to by the fast path.
 type FECTable struct {
 	mu       sync.RWMutex
-	byPrefix map[netip.Prefix]*FEC
+	byPrefix map[vrfPrefix]*FEC
 	list     []*FEC
 	nextID   uint32
 	// freeIDs holds IDs retired by replace(), sorted ascending so reuse is
@@ -57,14 +70,19 @@ type FECTable struct {
 }
 
 func newFECTable() *FECTable {
-	return &FECTable{byPrefix: make(map[netip.Prefix]*FEC)}
+	return &FECTable{byPrefix: make(map[vrfPrefix]*FEC)}
 }
 
-// ByPrefix returns the class containing prefix.
+// ByPrefix returns the default-domain class containing prefix.
 func (t *FECTable) ByPrefix(p netip.Prefix) (*FEC, bool) {
+	return t.ByVRFPrefix("", p)
+}
+
+// ByVRFPrefix returns the class containing prefix within a tenant domain.
+func (t *FECTable) ByVRFPrefix(vrf VRF, p netip.Prefix) (*FEC, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	f, ok := t.byPrefix[p.Masked()]
+	f, ok := t.byPrefix[vrfPrefix{vrf: vrf, prefix: p.Masked()}]
 	return f, ok
 }
 
@@ -122,10 +140,10 @@ func (t *FECTable) replace(fecs []*FEC) {
 	}
 	sort.Slice(t.freeIDs, func(i, j int) bool { return t.freeIDs[i] < t.freeIDs[j] })
 	t.list = fecs
-	t.byPrefix = make(map[netip.Prefix]*FEC)
+	t.byPrefix = make(map[vrfPrefix]*FEC)
 	for _, f := range fecs {
 		for _, p := range f.Prefixes {
-			t.byPrefix[p] = f
+			t.byPrefix[vrfPrefix{vrf: f.VRF, prefix: p}] = f
 		}
 	}
 }
@@ -137,7 +155,7 @@ func (t *FECTable) add(f *FEC) {
 	defer t.mu.Unlock()
 	t.list = append(t.list, f)
 	for _, p := range f.Prefixes {
-		t.byPrefix[p] = f
+		t.byPrefix[vrfPrefix{vrf: f.VRF, prefix: p}] = f
 	}
 }
 
@@ -166,6 +184,10 @@ func collectFwdTargets(pol policy.Policy, into map[uint16]bool) {
 	case *policy.Seq:
 		for _, ch := range v.Children {
 			collectFwdTargets(ch, into)
+		}
+	case *policy.Multicast:
+		for _, port := range v.Ports {
+			into[port] = true
 		}
 	case *policy.If:
 		collectFwdTargets(v.Then, into)
@@ -206,6 +228,7 @@ func (p *pipeline) computeFECs() ([]*FEC, []netip.Addr, error) {
 	for _, sig := range order {
 		candidate := &FEC{
 			Prefixes: groups[sig],
+			VRF:      sig.vrf,
 			First:    sig.first,
 			Second:   sig.second,
 		}
@@ -244,6 +267,7 @@ func (p *pipeline) computeFECs() ([]*FEC, []netip.Addr, error) {
 // proofs — matches are verified with prefixesEqual before reuse.
 type fecIdentKey struct {
 	first, second ID
+	vrf           VRF
 	n             int
 	hash          uint64
 }
@@ -263,7 +287,7 @@ func fecIdentity(f *FEC) fecIdentKey {
 		}
 		h = (h ^ uint64(uint8(p.Bits()))) * prime64
 	}
-	return fecIdentKey{first: f.First, second: f.Second, n: len(f.Prefixes), hash: h}
+	return fecIdentKey{first: f.First, second: f.Second, vrf: f.VRF, n: len(f.Prefixes), hash: h}
 }
 
 func prefixesEqual(a, b []netip.Prefix) bool {

@@ -144,6 +144,21 @@ func (c *Controller) FastReact(affected []netip.Prefix) (*FastPathResult, error)
 	defer c.mu.RUnlock()
 	snap := c.snapshotLocked()
 
+	// With tenancy active the same bare prefix may need a reaction in
+	// several domains; the work list is the cross product, which collapses
+	// back to the plain prefix list on single-tenant exchanges.
+	domains := snap.vrfDomains()
+	type workItem struct {
+		vrf VRF
+		pfx netip.Prefix
+	}
+	work := make([]workItem, 0, len(affected)*len(domains))
+	for _, pfx := range affected {
+		for _, vrf := range domains {
+			work = append(work, workItem{vrf: vrf, pfx: pfx})
+		}
+	}
+
 	// React to the batch's prefixes concurrently (large withdrawal bursts
 	// touch hundreds), writing into index-addressed slots so the merged
 	// output order stays the arrival order regardless of scheduling.
@@ -152,9 +167,9 @@ func (c *Controller) FastReact(affected []netip.Prefix) (*FastPathResult, error)
 		rules []policy.Rule
 		err   error
 	}
-	slots := make([]slot, len(affected))
-	fanOut(snap.workers, len(affected), func(i int) {
-		fec, rules, err := snap.fastPathForPrefix(affected[i], &c.fastCache)
+	slots := make([]slot, len(work))
+	fanOut(snap.workers, len(work), func(i int) {
+		fec, rules, err := snap.fastPathForPrefix(work[i].vrf, work[i].pfx, &c.fastCache)
 		slots[i] = slot{fec: fec, rules: rules, err: err}
 	})
 
@@ -181,12 +196,13 @@ func (c *Controller) FastReact(affected []netip.Prefix) (*FastPathResult, error)
 	return res, nil
 }
 
-// fastPathForPrefix assigns prefix a fresh singleton FEC and produces the
-// slice of the global policy that concerns it — compiled once per
-// reachability signature and cloned from the template cache thereafter.
-func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) (*FEC, []policy.Rule, error) {
+// fastPathForPrefix assigns prefix a fresh singleton FEC in one isolation
+// domain and produces the slice of the global policy that concerns it —
+// compiled once per reachability signature and cloned from the template
+// cache thereafter.
+func (p *pipeline) fastPathForPrefix(vrf VRF, prefix netip.Prefix, cache *fastPathCache) (*FEC, []policy.Rule, error) {
 	prefix = prefix.Masked()
-	first, second := p.rs.BestTwo(prefix)
+	first, second := p.rs.BestTwoIn(vrf, prefix)
 	if first == "" {
 		// The prefix is gone: no new tag; traffic falls back to the base
 		// table, whose route-server withdrawals already stopped attracting
@@ -207,6 +223,7 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) 
 		VNH:      vnh,
 		VMAC:     netutil.VMAC(id),
 		Prefixes: []netip.Prefix{prefix},
+		VRF:      vrf,
 		First:    first,
 		Second:   second,
 	}
@@ -218,7 +235,7 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) 
 	// default rules forward to. Everything else — policies, ports, virtual
 	// port numbers — is fixed controller configuration whose mutation
 	// invalidates the cache.
-	key := p.signatureKey(prefix, first, second)
+	key := p.signatureKey(vrf, prefix, first, second)
 	if tpl, ok := cache.lookup(key); ok {
 		rules := make([]policy.Rule, len(tpl.rules))
 		for i, r := range tpl.rules {
@@ -252,12 +269,16 @@ func (p *pipeline) fastPathForPrefix(prefix netip.Prefix, cache *fastPathCache) 
 }
 
 // signatureKey renders the reachability signature the quick-stage template
-// cache is keyed by: the participants currently advertising the prefix (in
-// registration order, so the rendering is canonical) plus the best and
-// backup next-hop participants.
-func (p *pipeline) signatureKey(prefix netip.Prefix, first, second ID) string {
+// cache is keyed by: the domain, the same-domain participants currently
+// advertising the prefix (in registration order, so the rendering is
+// canonical), and the best and backup next-hop participants. Advertisers in
+// other domains are invisible to this slice, so they stay out of the key.
+func (p *pipeline) signatureKey(vrf VRF, prefix netip.Prefix, first, second ID) string {
 	var b strings.Builder
 	for _, part := range p.parts {
+		if p.vrfOf(part.ID) != vrf {
+			continue
+		}
 		if _, ok := p.rs.AdvertisedRoute(part.ID, prefix); ok {
 			b.WriteString(string(part.ID))
 			b.WriteByte(0)
@@ -267,6 +288,8 @@ func (p *pipeline) signatureKey(prefix netip.Prefix, first, second ID) string {
 	b.WriteString(string(first))
 	b.WriteByte(0)
 	b.WriteString(string(second))
+	b.WriteByte(0)
+	b.WriteString(string(vrf))
 	return b.String()
 }
 
@@ -278,6 +301,9 @@ func (p *pipeline) buildPrefixSlicePolicy(prefix netip.Prefix, fec *FEC) (policy
 	tag := policy.MatchPolicy(policy.MatchAll.DstMAC(fec.VMAC))
 	var pols1, pols2 []policy.Policy
 	for _, part := range p.parts {
+		if p.vrfOf(part.ID) != fec.VRF {
+			continue // other domains never see this tag
+		}
 		if part.Outbound != nil && len(part.Ports) > 0 {
 			rewritten, err := p.rewriteForPrefix(part.Outbound, part.ID, prefix, tag)
 			if err != nil {
@@ -348,7 +374,7 @@ func (p *pipeline) rewriteForPrefix(pol policy.Policy, owner ID, prefix netip.Pr
 		if hop == "" {
 			return nil, fmt.Errorf("forward to unknown virtual port %d", port)
 		}
-		if _, exports := p.rs.AdvertisedRoute(hop, prefix); !exports || hop == owner {
+		if _, exports := p.rs.AdvertisedRoute(hop, prefix); !exports || hop == owner || !p.sameVRF(hop, owner) {
 			return policy.Drop{}, nil
 		}
 		return policy.SeqOf(tag, v), nil

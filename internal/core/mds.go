@@ -32,9 +32,11 @@ type reachKey struct {
 
 // fecSig is one interned membership signature. Prefixes sharing a pointer
 // are in the same equivalence class; the grouping sweep compares pointers
-// only.
+// only. The signature key embeds the VRF, so classes never span isolation
+// domains even when tenants advertise identical prefixes.
 type fecSig struct {
 	key           string
+	vrf           VRF
 	first, second ID
 }
 
@@ -51,17 +53,24 @@ type fecState struct {
 	// journal does not record, forcing a full rebuild.
 	epoch uint64
 	// keys/sets are the reach sets in deterministic (participant, hop)
-	// order; sets are patched in place for touched prefixes.
-	keys []reachKey
-	sets []*netutil.PrefixSet
+	// order; sets are patched in place for touched prefixes. keyVRFs[i] is
+	// the isolation domain of keys[i]'s hop: a reach set only ever holds
+	// prefixes from that domain, so signature bits are guarded by it —
+	// without the guard, a bare-prefix Contains probe would let one
+	// tenant's 10.0.0.0/8 light up another tenant's signature bit.
+	keys    []reachKey
+	keyVRFs []VRF
+	sets    []*netutil.PrefixSet
 	// portless lists the participants with no physical ports, whose
 	// advertised prefixes always need a tag (remote origination).
 	portless []ID
 
-	// universe maps every policy-relevant prefix to its interned
-	// signature; sorted is the same key set in canonical prefix order.
-	universe map[netip.Prefix]*fecSig
-	sorted   []netip.Prefix
+	// universe maps every policy-relevant (VRF, prefix) pair to its
+	// interned signature; sorted is the same key set in canonical (VRF,
+	// prefix) order. Single-tenant exchanges only ever populate the
+	// default domain, so the keying is byte-transparent there.
+	universe map[vrfPrefix]*fecSig
+	sorted   []vrfPrefix
 
 	// sigs hash-conses signatures so the grouping sweep is pointer-based.
 	sigs map[string]*fecSig
@@ -119,12 +128,12 @@ func (st *fecState) grouping() ([]*fecSig, map[*fecSig][]netip.Prefix) {
 	defer st.mu.Unlock()
 	groups := make(map[*fecSig][]netip.Prefix)
 	order := make([]*fecSig, 0, 64)
-	for _, pfx := range st.sorted {
-		sig := st.universe[pfx]
+	for _, key := range st.sorted {
+		sig := st.universe[key]
 		if _, seen := groups[sig]; !seen {
 			order = append(order, sig)
 		}
-		groups[sig] = append(groups[sig], pfx)
+		groups[sig] = append(groups[sig], key.prefix)
 	}
 	return order, groups
 }
@@ -134,6 +143,10 @@ func (st *fecState) grouping() ([]*fecSig, map[*fecSig][]netip.Prefix) {
 func (st *fecState) rebuildLocked(p *pipeline, keys []reachKey, epoch uint64) {
 	st.keys = keys
 	st.epoch = epoch
+	st.keyVRFs = make([]VRF, len(keys))
+	for i, k := range keys {
+		st.keyVRFs[i] = p.vrfOf(k.hop)
+	}
 	st.sets = make([]*netutil.PrefixSet, len(keys))
 	fanOut(p.workers, len(keys), func(i int) {
 		st.sets[i] = p.rs.ReachableVia(keys[i].participant, keys[i].hop)
@@ -144,22 +157,24 @@ func (st *fecState) rebuildLocked(p *pipeline, keys []reachKey, epoch uint64) {
 			st.portless = append(st.portless, part.ID)
 		}
 	}
-	st.universe = make(map[netip.Prefix]*fecSig)
-	for _, set := range st.sets {
+	st.universe = make(map[vrfPrefix]*fecSig)
+	for i, set := range st.sets {
+		vrf := st.keyVRFs[i]
 		for _, pfx := range set.Prefixes() {
-			st.universe[pfx] = nil
+			st.universe[vrfPrefix{vrf: vrf, prefix: pfx}] = nil
 		}
 	}
 	for _, id := range st.portless {
+		vrf := p.vrfOf(id)
 		for _, pfx := range p.rs.Advertised(id) {
-			st.universe[pfx] = nil
+			st.universe[vrfPrefix{vrf: vrf, prefix: pfx}] = nil
 		}
 	}
-	st.sorted = make([]netip.Prefix, 0, len(st.universe))
-	for pfx := range st.universe {
-		st.sorted = append(st.sorted, pfx)
+	st.sorted = make([]vrfPrefix, 0, len(st.universe))
+	for key := range st.universe {
+		st.sorted = append(st.sorted, key)
 	}
-	netutil.SortPrefixes(st.sorted)
+	sortVRFPrefixes(st.sorted)
 
 	// Sign every prefix. Key construction is embarrassingly parallel;
 	// interning is a serial map pass afterwards so the workers never
@@ -174,10 +189,25 @@ func (st *fecState) rebuildLocked(p *pipeline, keys []reachKey, epoch uint64) {
 		parts[i] = sigParts{k, f, s}
 	})
 	st.sigs = make(map[string]*fecSig)
-	for i, pfx := range st.sorted {
-		st.universe[pfx] = st.intern(parts[i].key, parts[i].first, parts[i].second)
+	for i, key := range st.sorted {
+		st.universe[key] = st.intern(parts[i].key, key.vrf, parts[i].first, parts[i].second)
 	}
 	st.valid = true
+}
+
+// sortVRFPrefixes orders universe keys canonically: by domain first, then
+// by prefix, so the grouping sweep (and therefore VNH/class-ID assignment)
+// is deterministic across passes.
+func sortVRFPrefixes(keys []vrfPrefix) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].vrf != keys[j].vrf {
+			return keys[i].vrf < keys[j].vrf
+		}
+		if c := keys[i].prefix.Addr().Compare(keys[j].prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		return keys[i].prefix.Bits() < keys[j].prefix.Bits()
+	})
 }
 
 // patchLocked re-signs exactly the journaled prefixes against the cached
@@ -186,75 +216,85 @@ func (st *fecState) rebuildLocked(p *pipeline, keys []reachKey, epoch uint64) {
 // order so the pass is reproducible.
 func (st *fecState) patchLocked(p *pipeline, touched []netip.Prefix) {
 	netutil.SortPrefixes(touched)
+	domains := p.vrfDomains()
 	membershipChanged := false
 	for _, pfx := range touched {
-		inUniverse := false
+		// Patch the reach sets, accumulating which domains still hold the
+		// prefix (Exports is already VRF-aware, so a set only ever gains
+		// prefixes from its own domain).
+		present := make(map[VRF]bool, len(domains))
 		for i, k := range st.keys {
 			if p.rs.Exports(k.hop, k.participant, pfx) {
 				st.sets[i].Add(pfx)
-				inUniverse = true
+				present[st.keyVRFs[i]] = true
 			} else {
 				st.sets[i].Remove(pfx)
 			}
 		}
-		if !inUniverse {
-			for _, id := range st.portless {
-				if _, ok := p.rs.AdvertisedRoute(id, pfx); ok {
-					inUniverse = true
-					break
-				}
+		for _, id := range st.portless {
+			if _, ok := p.rs.AdvertisedRoute(id, pfx); ok {
+				present[p.vrfOf(id)] = true
 			}
 		}
-		_, was := st.universe[pfx]
-		if !inUniverse {
-			if was {
-				delete(st.universe, pfx)
+		// Reconcile the prefix's universe entry per domain.
+		for _, vrf := range domains {
+			ukey := vrfPrefix{vrf: vrf, prefix: pfx}
+			_, was := st.universe[ukey]
+			if !present[vrf] {
+				if was {
+					delete(st.universe, ukey)
+					membershipChanged = true
+				}
+				continue
+			}
+			key, first, second := st.sigKey(p, ukey)
+			st.universe[ukey] = st.intern(key, vrf, first, second)
+			if !was {
 				membershipChanged = true
 			}
-			continue
-		}
-		key, first, second := st.sigKey(p, pfx)
-		st.universe[pfx] = st.intern(key, first, second)
-		if !was {
-			membershipChanged = true
 		}
 	}
 	if membershipChanged {
 		st.sorted = st.sorted[:0]
-		for pfx := range st.universe {
-			st.sorted = append(st.sorted, pfx)
+		for key := range st.universe {
+			st.sorted = append(st.sorted, key)
 		}
-		netutil.SortPrefixes(st.sorted)
+		sortVRFPrefixes(st.sorted)
 	}
 }
 
-// sigKey renders one prefix's signature from the cached reach sets plus
-// the route server's current best-two advertisers. The rendering is
-// byte-identical to the legacy from-scratch key, so interned pointers are
-// interchangeable across incremental and full passes.
-func (st *fecState) sigKey(p *pipeline, pfx netip.Prefix) (string, ID, ID) {
+// sigKey renders one universe entry's signature from the cached reach sets
+// plus the route server's current best-two advertisers in the entry's
+// domain. A set contributes a bit only when it belongs to the same domain:
+// reach sets hold bare prefixes, so without the guard a tenant's private
+// prefix would match another tenant's identical advertisement. The
+// rendering is stable across incremental and full passes, so interned
+// pointers are interchangeable.
+func (st *fecState) sigKey(p *pipeline, ukey vrfPrefix) (string, ID, ID) {
 	var b strings.Builder
-	b.Grow(len(st.sets) + 16)
-	for _, set := range st.sets {
-		if set.Contains(pfx) {
+	b.Grow(len(st.sets) + len(ukey.vrf) + 16)
+	for i, set := range st.sets {
+		if st.keyVRFs[i] == ukey.vrf && set.Contains(ukey.prefix) {
 			b.WriteByte('1')
 		} else {
 			b.WriteByte('0')
 		}
 	}
-	first, second := p.rs.BestTwo(pfx)
+	first, second := p.rs.BestTwoIn(ukey.vrf, ukey.prefix)
 	b.WriteByte('|')
 	b.WriteString(string(first))
 	b.WriteByte('|')
 	b.WriteString(string(second))
+	b.WriteByte('|')
+	b.WriteString(string(ukey.vrf))
 	return b.String(), first, second
 }
 
-func (st *fecState) intern(key string, first, second ID) *fecSig {
+func (st *fecState) intern(key string, vrf VRF, first, second ID) *fecSig {
 	if s, ok := st.sigs[key]; ok {
 		return s
 	}
-	s := &fecSig{key: key, first: first, second: second}
+	s := &fecSig{key: key, vrf: vrf, first: first, second: second}
 	if st.sigs == nil {
 		st.sigs = make(map[string]*fecSig)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sort"
 	"sync"
 
 	"sdx/internal/netutil"
@@ -58,9 +59,31 @@ type pipeline struct {
 	byID     map[ID]*Participant
 	vports   map[ID]uint16
 	portMACs map[uint16]netutil.MAC
+	// vrfs maps each participant to its isolation domain; vrfList is the
+	// distinct domains in sorted order (the fan-out axis for per-domain
+	// passes). Both default to the shared domain when tenancy is unused.
+	vrfs    map[ID]VRF
+	vrfList []VRF
+	// groups are the multicast groups in registration order; value copies.
+	groups []*Group
 
 	// workers is the resolved worker count for the parallel stages (>= 1).
 	workers int
+}
+
+// vrfOf returns a participant's isolation domain (the default domain for
+// unknown IDs, which keeps test pipelines without tenancy working).
+func (p *pipeline) vrfOf(id ID) VRF { return p.vrfs[id] }
+
+// sameVRF reports whether two participants share an isolation domain.
+func (p *pipeline) sameVRF(a, b ID) bool { return p.vrfs[a] == p.vrfs[b] }
+
+// vrfDomains returns the snapshot's domain list, never empty.
+func (p *pipeline) vrfDomains() []VRF {
+	if len(p.vrfList) == 0 {
+		return []VRF{""}
+	}
+	return p.vrfList
 }
 
 // snapshot captures the compilation inputs under the read lock.
@@ -84,10 +107,24 @@ func (c *Controller) snapshotLocked() *pipeline {
 		portMACs: make(map[uint16]netutil.MAC, len(c.portMACs)),
 		workers:  c.opts.Compile.Workers(),
 	}
+	p.vrfs = make(map[ID]VRF, len(c.order))
 	for _, id := range c.order {
 		cp := *c.participants[id]
 		p.parts = append(p.parts, &cp)
 		p.byID[id] = &cp
+		p.vrfs[id] = cp.VRF
+	}
+	seenVRF := make(map[VRF]bool)
+	for _, cp := range p.parts {
+		if !seenVRF[cp.VRF] {
+			seenVRF[cp.VRF] = true
+			p.vrfList = append(p.vrfList, cp.VRF)
+		}
+	}
+	sort.Slice(p.vrfList, func(i, j int) bool { return p.vrfList[i] < p.vrfList[j] })
+	for _, name := range c.groupOrder {
+		cg := *c.groups[name]
+		p.groups = append(p.groups, &cg)
 	}
 	for id, v := range c.vports {
 		p.vports[id] = v

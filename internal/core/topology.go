@@ -40,6 +40,10 @@ const (
 // ID names a participant (re-exported from routeserver for convenience).
 type ID = routeserver.ID
 
+// VRF names a tenant isolation domain (re-exported from routeserver). The
+// empty VRF is the shared default domain.
+type VRF = routeserver.VRF
+
 // Port is one physical attachment of a participant's border router to the
 // fabric.
 type Port struct {
@@ -60,6 +64,12 @@ type Participant struct {
 	// (RFC 6793); the BGP codec downgrades to AS_TRANS at the wire.
 	AS    uint32
 	Ports []Port
+
+	// VRF is the participant's tenant isolation domain. Participants in
+	// different VRFs never exchange routes or traffic, so overlapping
+	// (e.g. RFC 1918) prefixes from different tenants compile without
+	// collision. Empty means the shared default domain.
+	VRF VRF
 
 	// Inbound applies to traffic arriving at the participant's virtual
 	// switch from other participants; Outbound to traffic its own border

@@ -252,6 +252,9 @@ func TestFlowTableCountersExactUnderConcurrentInjectBatch(t *testing.T) {
 // Distinct 5-tuples per frame keep the batch run on the megaflow tier
 // (microflow alone would make the pin vacuous for aggregate traffic).
 func TestCachedForwardingAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race: the instrumentation allocates")
+	}
 	sw := NewSwitch(1)
 	for _, p := range []uint16{1, 2} {
 		sw.AttachPort(p, func([]byte) {})

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dataplane
+
+const raceEnabled = false

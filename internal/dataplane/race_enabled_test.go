@@ -1,0 +1,9 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count assertions are skipped under -race: the
+// instrumentation itself allocates, so AllocsPerRun measures the
+// detector, not the packet path.
+const raceEnabled = true

@@ -44,10 +44,11 @@ type Switch struct {
 	Table      *FlowTable
 
 	mu sync.RWMutex
-	// ports is copy-on-write: AttachPort/DetachPort clone the map under mu
+	// ports is copy-on-write: AttachPort/DetachPort clone the table under mu
 	// and swap the pointer, so the per-frame paths (Inject, emit, flood)
-	// read it with one atomic load and no lock.
-	ports atomic.Pointer[map[uint16]*port]
+	// read it with one atomic load and no lock. The table carries both the
+	// lookup map and the ascending port-number order flood/replication use.
+	ports atomic.Pointer[portTable]
 
 	// controller delivery; nil when no controller is attached. ctrlGen is
 	// bumped on every attach and acts as a token: a detaching connection
@@ -97,21 +98,37 @@ type Switch struct {
 	ctrlConnected     telemetry.Gauge
 }
 
+// portTable is one immutable snapshot of the attached ports: the number →
+// port map plus the numbers in ascending order, kept together so flood and
+// group replication emit in a deterministic order without sorting per frame.
+type portTable struct {
+	byNum  map[uint16]*port
+	sorted []uint16
+}
+
+func newPortTable(byNum map[uint16]*port) *portTable {
+	t := &portTable{byNum: byNum, sorted: make([]uint16, 0, len(byNum))}
+	for n := range byNum {
+		t.sorted = append(t.sorted, n)
+	}
+	sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+	return t
+}
+
 // NewSwitch returns an empty switch.
 func NewSwitch(datapathID uint64) *Switch {
 	s := &Switch{
 		DatapathID: datapathID,
 		Table:      NewFlowTable(),
 	}
-	empty := make(map[uint16]*port)
-	s.ports.Store(&empty)
+	s.ports.Store(newPortTable(make(map[uint16]*port)))
 	return s
 }
 
 // portMap returns the current port map snapshot. The map is never mutated
 // after publication; treat it as read-only.
 func (s *Switch) portMap() map[uint16]*port {
-	return *s.ports.Load()
+	return s.ports.Load().byNum
 }
 
 // AttachPort connects a port: frames the switch emits on portNo are passed
@@ -126,7 +143,7 @@ func (s *Switch) AttachPort(portNo uint16, out func(frame []byte)) {
 		next[n] = p
 	}
 	next[portNo] = &port{out: out}
-	s.ports.Store(&next)
+	s.ports.Store(newPortTable(next))
 }
 
 // DetachPort removes a port.
@@ -140,7 +157,7 @@ func (s *Switch) DetachPort(portNo uint16) {
 			next[n] = p
 		}
 	}
-	s.ports.Store(&next)
+	s.ports.Store(newPortTable(next))
 }
 
 // NumPorts returns the number of attached ports.
@@ -208,22 +225,18 @@ func (s *Switch) FlowExporter() *flowexport.Exporter {
 
 // PortNumbers returns the attached port numbers in ascending order.
 func (s *Switch) PortNumbers() []uint16 {
-	m := s.portMap()
-	out := make([]uint16, 0, len(m))
-	for n := range m {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	t := s.ports.Load()
+	return append([]uint16(nil), t.sorted...)
 }
 
 // PortStatsEntries snapshots every port's counters in port order — the
 // source for both the telemetry collectors and the OpenFlow port-stats
 // reply.
 func (s *Switch) PortStatsEntries() []openflow.PortStatsEntry {
-	m := s.portMap()
-	out := make([]openflow.PortStatsEntry, 0, len(m))
-	for n, p := range m {
+	t := s.ports.Load()
+	out := make([]openflow.PortStatsEntry, 0, len(t.sorted))
+	for _, n := range t.sorted {
+		p := t.byNum[n]
 		out = append(out, openflow.PortStatsEntry{
 			PortNo:    n,
 			RxPackets: p.rxPkts.Load(),
@@ -232,7 +245,6 @@ func (s *Switch) PortStatsEntries() []openflow.PortStatsEntry {
 			TxBytes:   p.txBytes.Load(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
 	return out
 }
 
@@ -600,6 +612,8 @@ func (s *Switch) applyActions(actions []openflow.Action, pkt *packet.Packet, fra
 			default:
 				s.emit(a.Port, render(), ctx)
 			}
+		case openflow.ActionTypeGroup:
+			s.replicate(a.Ports, render(), ctx)
 		case openflow.ActionTypeSetDLSrc:
 			clone()
 			work.Eth.SrcMAC = a.MAC
@@ -661,14 +675,26 @@ func (s *Switch) emitPort(p *port, portNo uint16, frame []byte, ctx *frameCtx) {
 }
 
 // flood emits the (already rendered) frame on every attached port except
-// the ingress. The port-map snapshot is lock-free and iterated directly —
-// no per-call targets slice.
+// the ingress, in ascending port order — run-to-run deterministic so e2e
+// packet captures and sampled flow-record sequences are comparable. The
+// port-table snapshot is lock-free; its sorted slice is iterated directly.
 func (s *Switch) flood(frame []byte, ctx *frameCtx) {
 	inPort := ctx.key.Port
-	for n, p := range s.portMap() {
+	t := s.ports.Load()
+	for _, n := range t.sorted {
 		if n != inPort {
-			s.emitPort(p, n, frame, ctx)
+			s.emitPort(t.byNum[n], n, frame, ctx)
 		}
+	}
+}
+
+// replicate emits the (already rendered) frame to every port of a group
+// action, in the action's ascending member order. Unlike flood it does not
+// exclude the ingress — a group action is exactly equivalent to that many
+// consecutive outputs; source exclusion is the compiler's business.
+func (s *Switch) replicate(ports []uint16, frame []byte, ctx *frameCtx) {
+	for _, n := range ports {
+		s.emit(n, frame, ctx)
 	}
 }
 

@@ -1,0 +1,84 @@
+package e2e
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"sdx/internal/faultnet"
+)
+
+// FaultProxy is a TCP proxy whose upstream legs are faultnet connections,
+// so the soak scenarios can partition real daemon-to-daemon sessions at
+// will: the daemons speak real TCP to the proxy, and SeverAll cuts every
+// live flow mid-stream exactly the way the in-process chaos tests cut
+// theirs.
+type FaultProxy struct {
+	ln       net.Listener
+	upstream string
+
+	mu    sync.Mutex
+	conns []*faultnet.Conn
+}
+
+// NewFaultProxy listens on an ephemeral localhost port and pipes every
+// accepted connection to upstream through a severable faultnet wrapper.
+func NewFaultProxy(upstream string) (*FaultProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FaultProxy{ln: ln, upstream: upstream}
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the address daemons should dial instead of the upstream.
+func (p *FaultProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *FaultProxy) serve() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		fc := faultnet.Wrap(up)
+		p.mu.Lock()
+		p.conns = append(p.conns, fc)
+		p.mu.Unlock()
+		// Either leg failing (including a sever) tears down both, so the
+		// daemons on each side observe a broken transport, not a stall.
+		go func() {
+			io.Copy(fc, down)
+			fc.Close()
+			down.Close()
+		}()
+		go func() {
+			io.Copy(down, fc)
+			fc.Close()
+			down.Close()
+		}()
+	}
+}
+
+// SeverAll cuts every connection currently flowing through the proxy.
+func (p *FaultProxy) SeverAll() {
+	p.mu.Lock()
+	conns := append([]*faultnet.Conn(nil), p.conns...)
+	p.conns = p.conns[:0]
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Sever()
+	}
+}
+
+// Close stops accepting and severs everything in flight.
+func (p *FaultProxy) Close() {
+	p.ln.Close()
+	p.SeverAll()
+}

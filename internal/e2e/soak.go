@@ -1,0 +1,146 @@
+package e2e
+
+import (
+	"io"
+	"syscall"
+	"time"
+)
+
+// SoakResult reports the kill/partition soak: a real sdx-controller and a
+// real sdx-bgpd whose BGP transport runs through a severable fault proxy,
+// hammered through repeated partitions, hard kills, and graceful restarts.
+// All *_ok fields are acceptance gates.
+type SoakResult struct {
+	Rounds         int     `json:"rounds"`
+	Establishments float64 `json:"establishments"`
+	GracefulCeases float64 `json:"graceful_ceases"`
+
+	// ReestablishOK: after every fault the session came back up.
+	ReestablishOK bool `json:"reestablish_ok"`
+	// CeaseOK: every graceful restart (and only those) produced an
+	// administrative-shutdown Cease at the route server.
+	CeaseOK bool `json:"cease_ok"`
+}
+
+// OK reports whether every gate passed.
+func (r *SoakResult) OK() bool { return r.ReestablishOK && r.CeaseOK }
+
+// RunSoak cycles a live BGP session through rounds of faults — partition
+// (transport severed mid-stream), hard kill (SIGKILL, then a fresh daemon),
+// graceful restart (SIGTERM, Cease, then a fresh daemon) — and requires the
+// session to re-establish after every one. Progress lines go to out (nil
+// discards).
+func RunSoak(rounds int, out io.Writer) (*SoakResult, error) {
+	logf := printer(out)
+	if rounds <= 0 {
+		rounds = 6
+	}
+	bins, err := Binaries("sdx-controller", "sdx-bgpd")
+	if err != nil {
+		return nil, err
+	}
+	cfgPath, err := WriteConfig(shutdownConfig)
+	if err != nil {
+		return nil, err
+	}
+	bgpAddr, err := FreeTCPAddr()
+	if err != nil {
+		return nil, err
+	}
+	ofAddr, err := FreeTCPAddr()
+	if err != nil {
+		return nil, err
+	}
+	telAddr, err := FreeTCPAddr()
+	if err != nil {
+		return nil, err
+	}
+
+	ctrl, err := StartDaemon("sdx-controller", bins["sdx-controller"],
+		"-config", cfgPath, "-bgp-listen", bgpAddr, "-of-listen", ofAddr,
+		"-telemetry-addr", telAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Stop()
+	if _, err := ctrl.WaitLog(`route server listening`, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	// The router's BGP transport runs through the fault proxy so partitions
+	// cut a real TCP stream mid-flight, not a mock.
+	proxy, err := NewFaultProxy(bgpAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+
+	startRouter := func() (*Daemon, error) {
+		return StartDaemon("sdx-bgpd", bins["sdx-bgpd"],
+			"-routeserver", proxy.Addr(), "-as", "65001", "-id", "172.31.0.1",
+			"-announce", "10.50.0.0/16",
+			"-redial-min-backoff", "25ms", "-redial-max-backoff", "250ms")
+	}
+	bgpd, err := startRouter()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { bgpd.Stop() }()
+
+	res := &SoakResult{Rounds: rounds}
+	const establishedSeries = `sdx_bgp_sessions{state="Established"}`
+	const ceaseSeries = `sdx_bgp_cease_in_total{subcode="admin_shutdown"}`
+	waitUp := func() bool {
+		_, err := WaitMetric(telAddr, establishedSeries,
+			func(v float64) bool { return v >= 1 }, 15*time.Second)
+		return err == nil
+	}
+	waitDown := func() bool {
+		_, err := WaitMetric(telAddr, establishedSeries,
+			func(v float64) bool { return v == 0 }, 15*time.Second)
+		return err == nil
+	}
+
+	allUp := waitUp()
+	wantCeases := 0.0
+	for round := 0; round < rounds && allUp; round++ {
+		switch round % 3 {
+		case 0: // partition: sever the proxied transport mid-stream
+			logf("round %d: partition", round)
+			proxy.SeverAll()
+		case 1: // hard kill, fresh daemon
+			logf("round %d: hard kill", round)
+			bgpd.Kill()
+			bgpd.WaitExit(10 * time.Second)
+			if !waitDown() {
+				allUp = false
+				break
+			}
+			if bgpd, err = startRouter(); err != nil {
+				return res, err
+			}
+		case 2: // graceful restart: SIGTERM, Cease, fresh daemon
+			logf("round %d: graceful restart", round)
+			wantCeases++
+			bgpd.Signal(syscall.SIGTERM)
+			bgpd.WaitExit(10 * time.Second)
+			if !waitDown() {
+				allUp = false
+				break
+			}
+			if bgpd, err = startRouter(); err != nil {
+				return res, err
+			}
+		}
+		if allUp {
+			allUp = waitUp()
+		}
+	}
+	res.ReestablishOK = allUp
+	res.GracefulCeases, _, _ = ScrapeMetric(telAddr, ceaseSeries)
+	res.CeaseOK = res.GracefulCeases == wantCeases
+	res.Establishments, _, _ = ScrapeMetric(telAddr, `sdx_bgp_messages_in_total{type="OPEN"}`)
+	logf("rounds=%d establishments=%v ceases=%v/%v reestablish=%v",
+		rounds, res.Establishments, res.GracefulCeases, wantCeases, res.ReestablishOK)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package e2e
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+)
+
+// VRFResult reports the multi-tenant VRF isolation scenario. All *_ok
+// fields are acceptance gates.
+type VRFResult struct {
+	// Tenant1Via / Tenant2Via are the next hops each tenant's receiver was
+	// given for the SAME overlapping prefix — virtual next hops drawn from
+	// the shared pool, but belonging to different per-tenant equivalence
+	// classes.
+	Prefix     string `json:"prefix"`
+	Tenant1Via string `json:"tenant1_via"`
+	Tenant2Via string `json:"tenant2_via"`
+
+	// Tenant1OK / Tenant2OK: each tenant's receiver learned the overlapping
+	// prefix from its own tenant's announcer (AS path proves provenance).
+	Tenant1OK bool `json:"tenant1_ok"`
+	Tenant2OK bool `json:"tenant2_ok"`
+	// IsolationOK: neither receiver ever saw a route carrying the other
+	// tenant's AS — the cross-tenant leak the VRF layer exists to prevent.
+	IsolationOK bool `json:"isolation_ok"`
+	// DistinctNexthopsOK: the two tenants' copies of the prefix resolved to
+	// different virtual next hops, i.e. they landed in different FECs.
+	DistinctNexthopsOK bool `json:"distinct_nexthops_ok"`
+}
+
+// OK reports whether every gate passed.
+func (r *VRFResult) OK() bool {
+	return r.Tenant1OK && r.Tenant2OK && r.IsolationOK && r.DistinctNexthopsOK
+}
+
+// vrfConfig is a two-tenant exchange: tenants t1 and t2 each have an
+// announcing router and a receiving router, and both announcers will
+// advertise the SAME private prefix — only VRF isolation keeps the copies
+// apart.
+const vrfConfig = `{
+  "localAS": 65000,
+  "routerID": "10.255.255.254",
+  "participants": [
+    {"id": "t1a", "as": 65101, "vrf": "t1", "ports": [
+      {"number": 1, "mac": "02:01:00:00:00:01", "routerIP": "172.31.1.1"}]},
+    {"id": "t1b", "as": 65102, "vrf": "t1", "ports": [
+      {"number": 2, "mac": "02:01:00:00:00:02", "routerIP": "172.31.1.2"}]},
+    {"id": "t2a", "as": 65201, "vrf": "t2", "ports": [
+      {"number": 3, "mac": "02:02:00:00:00:01", "routerIP": "172.31.2.1"}]},
+    {"id": "t2b", "as": 65202, "vrf": "t2", "ports": [
+      {"number": 4, "mac": "02:02:00:00:00:02", "routerIP": "172.31.2.2"}]}
+  ]
+}`
+
+// vrfOverlapPrefix is the overlapping tenant-private prefix both announcers
+// advertise.
+const vrfOverlapPrefix = "10.42.0.0/16"
+
+// RunVRFIsolation boots a real sdx-controller and four real sdx-bgpd
+// daemons in two tenants. Both tenants' announcers advertise the same
+// private prefix; each tenant's receiver must learn exactly its own
+// tenant's copy (proved by the AS path in the received route) and the two
+// copies must resolve to distinct virtual next hops. Progress lines go to
+// out (nil discards).
+func RunVRFIsolation(out io.Writer) (*VRFResult, error) {
+	logf := printer(out)
+	bins, err := Binaries("sdx-controller", "sdx-bgpd")
+	if err != nil {
+		return nil, err
+	}
+	cfgPath, err := WriteConfig(vrfConfig)
+	if err != nil {
+		return nil, err
+	}
+
+	bgpAddr, err := FreeTCPAddr()
+	if err != nil {
+		return nil, err
+	}
+	ofAddr, err := FreeTCPAddr()
+	if err != nil {
+		return nil, err
+	}
+
+	ctrl, err := StartDaemon("sdx-controller", bins["sdx-controller"],
+		"-config", cfgPath, "-bgp-listen", bgpAddr, "-of-listen", ofAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Stop()
+	if _, err := ctrl.WaitLog(`route server listening`, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	start := func(name, routerID, as string, announce bool) (*Daemon, error) {
+		args := []string{"-routeserver", bgpAddr, "-as", as, "-id", routerID}
+		if announce {
+			args = append(args, "-announce", vrfOverlapPrefix)
+		}
+		return StartDaemon(name, bins["sdx-bgpd"], args...)
+	}
+	t1a, err := start("t1a", "172.31.1.1", "65101", true)
+	if err != nil {
+		return nil, err
+	}
+	defer t1a.Stop()
+	t1b, err := start("t1b", "172.31.1.2", "65102", false)
+	if err != nil {
+		return nil, err
+	}
+	defer t1b.Stop()
+	t2a, err := start("t2a", "172.31.2.1", "65201", true)
+	if err != nil {
+		return nil, err
+	}
+	defer t2a.Stop()
+	t2b, err := start("t2b", "172.31.2.2", "65202", false)
+	if err != nil {
+		return nil, err
+	}
+	defer t2b.Stop()
+
+	res := &VRFResult{Prefix: vrfOverlapPrefix}
+
+	// Each receiver logs learned routes as
+	//   rib: 10.42.0.0/16 via <nexthop> as-path [<asns>]
+	// The AS path survives the route server's re-advertisement (only the
+	// next hop is rewritten), so it names the tenant the route came from.
+	pfx := regexp.QuoteMeta(vrfOverlapPrefix)
+	ribRe := regexp.MustCompile(`rib: ` + pfx + ` via (\S+) as-path \[([0-9 ]+)\]`)
+	wantRib := func(d *Daemon, wantAS string) (via string, err error) {
+		line, err := d.WaitLog(`rib: `+pfx+` via \S+ as-path \[`+wantAS+`\]`, 15*time.Second)
+		if err != nil {
+			return "", err
+		}
+		m := ribRe.FindStringSubmatch(line)
+		if m == nil {
+			return "", fmt.Errorf("e2e: %s: unparseable rib line %q", d.Name, line)
+		}
+		return m[1], nil
+	}
+
+	if via, err := wantRib(t1b, "65101"); err == nil {
+		res.Tenant1OK, res.Tenant1Via = true, via
+	} else {
+		logf("tenant1 receiver: %v", err)
+	}
+	if via, err := wantRib(t2b, "65201"); err == nil {
+		res.Tenant2OK, res.Tenant2Via = true, via
+	} else {
+		logf("tenant2 receiver: %v", err)
+	}
+
+	// Both positives have landed, so the route server has processed both
+	// announcements; give emission a final beat, then assert no receiver
+	// ever saw the other tenant's AS in any rib line.
+	time.Sleep(300 * time.Millisecond)
+	leaked := func(d *Daemon, otherAS string) bool {
+		re := regexp.MustCompile(`rib: .*as-path \[[0-9 ]*` + otherAS + `[0-9 ]*\]`)
+		for _, l := range d.Logs() {
+			if re.MatchString(l) {
+				logf("LEAK at %s: %s", d.Name, l)
+				return true
+			}
+		}
+		return false
+	}
+	res.IsolationOK = !leaked(t1b, "65201") && !leaked(t2b, "65101") &&
+		!leaked(t1a, "65201") && !leaked(t2a, "65101")
+
+	res.DistinctNexthopsOK = res.Tenant1OK && res.Tenant2OK && res.Tenant1Via != res.Tenant2Via
+	logf("t1 via %s, t2 via %s, isolation=%v", res.Tenant1Via, res.Tenant2Via, res.IsolationOK)
+	return res, nil
+}

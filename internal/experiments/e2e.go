@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"sdx/internal/e2e"
+)
+
+// The e2e-* experiments boot real daemons (sdx-controller, sdx-bgpd,
+// sdx-switch) as separate processes over real TCP/UDP and gate on what the
+// survivors observed. They are the sdx-bench face of the e2e/ test suite:
+// the same scenarios, emitted as *_ok-gated JSON for sdx-benchjson.
+
+// E2EShutdownResult combines the graceful and hard-kill shutdown runs so one
+// JSON artifact gates the whole contrast: SIGTERM must yield an RFC 4486
+// Administrative Shutdown Cease at the route server, SIGKILL must not.
+type E2EShutdownResult struct {
+	Graceful *e2e.ShutdownResult `json:"graceful"`
+	Hard     *e2e.ShutdownResult `json:"hard"`
+
+	GracefulOK bool `json:"graceful_ok"`
+	HardOK     bool `json:"hard_ok"`
+}
+
+// E2EShutdown runs the shutdown scenario both ways against real daemons.
+func E2EShutdown(cfg Config) (*E2EShutdownResult, error) {
+	cfg.printf("# e2e-shutdown: graceful (SIGTERM, expect Cease subcode 2)\n")
+	graceful, err := e2e.RunShutdown(true, cfg.out())
+	if err != nil {
+		return nil, err
+	}
+	cfg.printf("# e2e-shutdown: hard kill (SIGKILL, expect no Cease)\n")
+	hard, err := e2e.RunShutdown(false, cfg.out())
+	if err != nil {
+		return nil, err
+	}
+	res := &E2EShutdownResult{
+		Graceful:   graceful,
+		Hard:       hard,
+		GracefulOK: graceful.OK() && graceful.CeaseAdminShutdown >= 1,
+		HardOK:     hard.OK() && hard.CeaseAdminShutdown == 0,
+	}
+	cfg.printf("graceful_ok=%v hard_ok=%v\n", res.GracefulOK, res.HardOK)
+	return res, nil
+}
+
+// E2EVRF runs the multi-tenant VRF isolation scenario against real daemons:
+// two tenants announce the same private prefix and each tenant's receiver
+// must learn only its own copy.
+func E2EVRF(cfg Config) (*e2e.VRFResult, error) {
+	cfg.printf("# e2e-vrf: overlapping tenant prefixes across real BGP sessions\n")
+	return e2e.RunVRFIsolation(cfg.out())
+}
+
+// E2EMulticast runs the multicast-group scenario against a real controller
+// and a real switch: group frames fan out to the member port set and nowhere
+// else.
+func E2EMulticast(cfg Config) (*e2e.MulticastResult, error) {
+	cfg.printf("# e2e-multicast: group replication through a real switch\n")
+	return e2e.RunMulticast(cfg.out())
+}

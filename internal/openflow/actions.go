@@ -10,7 +10,12 @@ import (
 	"sdx/internal/policy"
 )
 
-// Action types (OF 1.0 §5.2.4).
+// Action types (OF 1.0 §5.2.4). ActionTypeGroup is a private extension in
+// the vendor code space: one replication action carrying a whole output
+// port set. It is exactly equivalent to that many consecutive Output
+// actions — the dataplane renders the rewritten frame once and emits it to
+// every listed port in ascending order — so lowering multi-copy rules to it
+// never changes semantics, only the serialization cost.
 const (
 	ActionTypeOutput   uint16 = 0
 	ActionTypeSetDLSrc uint16 = 4
@@ -19,20 +24,29 @@ const (
 	ActionTypeSetNWDst uint16 = 7
 	ActionTypeSetTPSrc uint16 = 9
 	ActionTypeSetTPDst uint16 = 10
+	ActionTypeGroup    uint16 = 0xffa0
 )
 
 // Action is one element of a flow-mod or packet-out action list, applied in
 // order; Output emits the packet as currently rewritten.
 type Action struct {
-	Type uint16
-	Port uint16      // Output
-	MAC  netutil.MAC // SetDLSrc / SetDLDst
-	IP   netip.Addr  // SetNWSrc / SetNWDst
-	TP   uint16      // SetTPSrc / SetTPDst
+	Type  uint16
+	Port  uint16      // Output
+	MAC   netutil.MAC // SetDLSrc / SetDLDst
+	IP    netip.Addr  // SetNWSrc / SetNWDst
+	TP    uint16      // SetTPSrc / SetTPDst
+	Ports []uint16    // Group: member ports, ascending
 }
 
 // Output returns an output action.
 func Output(port uint16) Action { return Action{Type: ActionTypeOutput, Port: port} }
+
+// Group returns a replication action emitting to every listed port in
+// ascending order. The slice is sorted in place.
+func Group(ports []uint16) Action {
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return Action{Type: ActionTypeGroup, Ports: ports}
+}
 
 func (a Action) encode(b []byte) []byte {
 	switch a.Type {
@@ -55,6 +69,21 @@ func (a Action) encode(b []byte) []byte {
 		b = binary.BigEndian.AppendUint16(b, 8)
 		b = binary.BigEndian.AppendUint16(b, a.TP)
 		return append(b, 0, 0) // pad
+	case ActionTypeGroup:
+		// type(2) len(2) count(2) ports(2*count), zero-padded to the 8-byte
+		// action alignment.
+		alen := 6 + 2*len(a.Ports)
+		alen = (alen + 7) &^ 7
+		b = binary.BigEndian.AppendUint16(b, a.Type)
+		b = binary.BigEndian.AppendUint16(b, uint16(alen))
+		b = binary.BigEndian.AppendUint16(b, uint16(len(a.Ports)))
+		for _, p := range a.Ports {
+			b = binary.BigEndian.AppendUint16(b, p)
+		}
+		for pad := alen - 6 - 2*len(a.Ports); pad > 0; pad-- {
+			b = append(b, 0)
+		}
+		return b
 	}
 	panic(fmt.Sprintf("openflow: cannot encode action type %d", a.Type))
 }
@@ -83,6 +112,15 @@ func decodeActions(b []byte) ([]Action, error) {
 			a.IP = netip.AddrFrom4([4]byte(b[4:8]))
 		case ActionTypeSetTPSrc, ActionTypeSetTPDst:
 			a.TP = binary.BigEndian.Uint16(b[4:6])
+		case ActionTypeGroup:
+			n := int(binary.BigEndian.Uint16(b[4:6]))
+			if 6+2*n > alen {
+				return nil, fmt.Errorf("openflow: group action with %d ports in %d bytes", n, alen)
+			}
+			a.Ports = make([]uint16, n)
+			for i := range a.Ports {
+				a.Ports[i] = binary.BigEndian.Uint16(b[6+2*i : 8+2*i])
+			}
 		default:
 			return nil, fmt.Errorf("openflow: unsupported action type %d", typ)
 		}
@@ -144,6 +182,21 @@ func FlowModFromRule(r policy.Rule, priority uint16) (*FlowMod, error) {
 	sort.Slice(actions, func(i, j int) bool {
 		return modsWeight(actions[i]) < modsWeight(actions[j])
 	})
+	// Copies that differ only in output port are a replication rule: lower
+	// to the shared rewrites once plus a single Group action over the member
+	// ports, so the dataplane serializes the rewritten frame exactly once.
+	if len(actions) >= 2 && samePortlessCopies(actions) {
+		ports := make([]uint16, len(actions))
+		for i, m := range actions {
+			ports[i], _ = m.GetPort()
+		}
+		acts, err := ActionsFromMods(actions[0])
+		if err != nil {
+			return nil, err
+		}
+		fm.Actions = append(acts[:len(acts)-1], Group(ports))
+		return fm, nil
+	}
 	applied := policy.Identity
 	for _, mods := range actions {
 		delta, err := deltaMods(applied, mods, r.Match)
@@ -161,6 +214,24 @@ func FlowModFromRule(r policy.Rule, priority uint16) (*FlowMod, error) {
 		applied = applied.Then(delta)
 	}
 	return fm, nil
+}
+
+// samePortlessCopies reports whether every copy carries an output port and
+// all copies apply identical header rewrites (ports normalized away).
+func samePortlessCopies(actions []policy.Mods) bool {
+	if _, ok := actions[0].GetPort(); !ok {
+		return false
+	}
+	base := actions[0].SetPort(0)
+	for _, m := range actions[1:] {
+		if _, ok := m.GetPort(); !ok {
+			return false
+		}
+		if m.SetPort(0) != base {
+			return false
+		}
+	}
+	return true
 }
 
 func modsWeight(m policy.Mods) int {

@@ -1,0 +1,128 @@
+package openflow
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"sdx/internal/policy"
+)
+
+// TestGroupActionWireRoundTrip pins the private group-action extension's
+// wire format: type/len/count/ports, zero-padded to the 8-byte action
+// alignment, surviving an encode/decode cycle inside a FlowMod.
+func TestGroupActionWireRoundTrip(t *testing.T) {
+	for _, ports := range [][]uint16{{2, 3}, {1, 2, 3}, {4, 9, 17, 60000}} {
+		fm := &FlowMod{
+			Match:    MatchFromPolicy(policy.MatchAll.Port(1)),
+			Command:  FlowModAdd,
+			Priority: 7,
+			Actions:  []Action{Group(append([]uint16(nil), ports...))},
+		}
+		wire := EncodeFlowMod(fm, 3)
+		msg, err := ReadMessage(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := msg.DecodeFlowMod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Actions) != 1 || got.Actions[0].Type != ActionTypeGroup {
+			t.Fatalf("ports %v: actions = %+v", ports, got.Actions)
+		}
+		back := got.Actions[0].Ports
+		if len(back) != len(ports) {
+			t.Fatalf("ports %v: decoded %v", ports, back)
+		}
+		for i := range ports {
+			if back[i] != ports[i] {
+				t.Fatalf("ports %v: decoded %v", ports, back)
+			}
+		}
+	}
+}
+
+// TestGroupSortsMembers: the constructor orders members ascending so every
+// layer (compiler, wire, switch) sees one canonical replication order.
+func TestGroupSortsMembers(t *testing.T) {
+	a := Group([]uint16{9, 2, 7, 4})
+	want := []uint16{2, 4, 7, 9}
+	for i, p := range want {
+		if a.Ports[i] != p {
+			t.Fatalf("ports = %v, want %v", a.Ports, want)
+		}
+	}
+}
+
+// TestFlowModLowersIdenticalCopiesToGroup: a multicast rule whose copies
+// share one rewrite and differ only in output port must lower to the shared
+// rewrite once plus a single group action — not N rewrite/output pairs.
+func TestFlowModLowersIdenticalCopiesToGroup(t *testing.T) {
+	rule := policy.Rule{
+		Match: policy.MatchAll.Port(1).DstIP(netip.MustParsePrefix("239.9.0.0/16")),
+		Actions: []policy.Mods{
+			policy.Identity.SetDstMAC(macY).SetPort(4),
+			policy.Identity.SetDstMAC(macY).SetPort(2),
+			policy.Identity.SetDstMAC(macY).SetPort(3),
+		},
+	}
+	fm, err := FlowModFromRule(rule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Actions) != 2 {
+		t.Fatalf("actions = %+v, want rewrite+group", fm.Actions)
+	}
+	if fm.Actions[0].Type != ActionTypeSetDLDst || fm.Actions[0].MAC != macY {
+		t.Errorf("action 0 = %+v", fm.Actions[0])
+	}
+	g := fm.Actions[1]
+	if g.Type != ActionTypeGroup {
+		t.Fatalf("action 1 = %+v, want group", g)
+	}
+	want := []uint16{2, 3, 4}
+	if len(g.Ports) != 3 {
+		t.Fatalf("group ports = %v", g.Ports)
+	}
+	for i, p := range want {
+		if g.Ports[i] != p {
+			t.Fatalf("group ports = %v, want ascending %v", g.Ports, want)
+		}
+	}
+
+	// Pure fan-out with no rewrites at all lowers to just the group action.
+	bare := policy.Rule{
+		Match: policy.MatchAll.Port(2).DstIP(netip.MustParsePrefix("239.9.0.0/16")),
+		Actions: []policy.Mods{
+			policy.Identity.SetPort(3),
+			policy.Identity.SetPort(1),
+		},
+	}
+	fm, err = FlowModFromRule(bare, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Actions) != 1 || fm.Actions[0].Type != ActionTypeGroup {
+		t.Fatalf("bare fan-out actions = %+v, want single group", fm.Actions)
+	}
+
+	// Copies with DIFFERENT rewrites must keep the classic multicast
+	// lowering (per-copy rewrite deltas), not collapse into a group.
+	mixed := policy.Rule{
+		Match: policy.MatchAll.DstPort(80),
+		Actions: []policy.Mods{
+			policy.Identity.SetPort(2),
+			policy.Identity.SetDstPort(8080).SetPort(3),
+		},
+	}
+	fm, err = FlowModFromRule(mixed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range fm.Actions {
+		if a.Type == ActionTypeGroup {
+			t.Fatalf("differing rewrites lowered to group: %+v", fm.Actions)
+		}
+	}
+}

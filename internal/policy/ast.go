@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -60,6 +61,53 @@ func (m *Mod) String() string {
 		return fmt.Sprintf("fwd(%d)", p)
 	}
 	return fmt.Sprintf("mod(%s)", m.Mods)
+}
+
+// Multicast replicates a packet to a fixed set of locations — the
+// language's group-membership construct, equivalent to Par(Fwd(p) for p in
+// Ports) but compiled as one multi-copy rule, which the OpenFlow lowering
+// collapses into a single group replication action (rendered once, emitted
+// in ascending port order).
+type Multicast struct {
+	Ports []uint16 // ascending, deduplicated (MulticastTo guarantees both)
+}
+
+// MulticastTo builds the replication policy for the given locations,
+// sorting and deduplicating them. No ports is equivalent to Drop; one port
+// is plain forwarding.
+func MulticastTo(ports ...uint16) Policy {
+	sorted := append([]uint16(nil), ports...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || p != sorted[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	switch len(uniq) {
+	case 0:
+		return Drop{}
+	case 1:
+		return Fwd(uniq[0])
+	}
+	return &Multicast{Ports: uniq}
+}
+
+// Eval implements Policy.
+func (m *Multicast) Eval(pkt Packet) []Packet {
+	out := make([]Packet, len(m.Ports))
+	for i, p := range m.Ports {
+		out[i] = Identity.SetPort(p).Apply(pkt)
+	}
+	return out
+}
+
+func (m *Multicast) String() string {
+	parts := make([]string, len(m.Ports))
+	for i, p := range m.Ports {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return "multicast(" + strings.Join(parts, ", ") + ")"
 }
 
 // Drop discards every packet.

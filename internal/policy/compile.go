@@ -191,6 +191,14 @@ func (m *Mod) compile(*compiler) Classifier {
 	return Classifier{Rules: []Rule{{Match: MatchAll, Actions: []Mods{m.Mods}}}}
 }
 
+func (m *Multicast) compile(*compiler) Classifier {
+	mods := make([]Mods, len(m.Ports))
+	for i, p := range m.Ports {
+		mods[i] = Identity.SetPort(p)
+	}
+	return Classifier{Rules: []Rule{{Match: MatchAll, Actions: mods}}}
+}
+
 func (Drop) compile(*compiler) Classifier {
 	return Classifier{Rules: []Rule{{Match: MatchAll}}}
 }

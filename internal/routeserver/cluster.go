@@ -234,7 +234,7 @@ func (lf *LogFrontend) participantFor(p *bgp.Peer) (ID, bool) {
 func (lf *LogFrontend) onEstablished(p *bgp.Peer) {
 	id, ok := lf.participantFor(p)
 	if !ok {
-		p.Session.Close()
+		p.Session.CloseCease(bgp.CeaseDeconfigured)
 		return
 	}
 	lf.mu.Lock()
@@ -250,7 +250,7 @@ func (lf *LogFrontend) onUpdate(p *bgp.Peer, u *bgp.Update) {
 		lf.Tracer.Emit("replog.update_rejected",
 			telemetry.Str("peer", p.Session.PeerID().String()),
 			telemetry.Int("nlri", len(u.NLRI)))
-		p.Session.Close()
+		p.Session.CloseCease(bgp.CeaseDeconfigured)
 		return
 	}
 	lf.Log.AppendUpdate(string(id), p.Session.PeerAS(), p.Session.PeerID(), u)

@@ -139,7 +139,7 @@ func (f *Frontend) emitLock(id ID) *sync.Mutex {
 func (f *Frontend) onEstablished(p *bgp.Peer) {
 	id, ok := f.participantFor(p)
 	if !ok {
-		p.Session.Close() // unknown router; an IXP would alarm here
+		p.Session.CloseCease(bgp.CeaseDeconfigured) // unknown router; an IXP would alarm here
 		return
 	}
 	e := &peerEmitter{
@@ -299,7 +299,7 @@ func (f *Frontend) rejectUpdate(id ID, p *bgp.Peer, u *bgp.Update, err error) {
 		telemetry.Int("nlri", len(u.NLRI)),
 		telemetry.Int("withdrawn", len(u.Withdrawn)),
 		telemetry.Str("error", err.Error()))
-	p.Session.Close()
+	p.Session.CloseCease(bgp.CeaseDeconfigured)
 }
 
 // originPeerID synthesizes a deterministic router identifier for routes the

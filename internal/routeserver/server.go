@@ -42,6 +42,13 @@ import (
 // ID names a participant. The SDX uses short names ("A", "B", "AS65001").
 type ID string
 
+// VRF names a routing/forwarding isolation domain for multi-tenant
+// deployments: participants in different VRFs never see each other's
+// routes, so overlapping private prefixes from different tenants coexist
+// without collision. The empty VRF is the shared default domain every
+// participant starts in.
+type VRF string
+
 // ExportFilter decides whether advertiser's route for prefix may be
 // exported to the given receiver. A nil filter exports everything, the
 // route-server default.
@@ -60,6 +67,8 @@ type participant struct {
 	id ID
 	// as is the participant's 4-octet ASN (RFC 6793).
 	as uint32
+	// vrf is the participant's isolation domain ("" = shared default).
+	vrf VRF
 	// advertised is this participant's Adj-RIB-In at the route server.
 	advertised *bgp.RIB
 }
@@ -174,6 +183,10 @@ type Server struct {
 	// routeExport is the optional route-level export filter
 	// (SetRouteExportPolicy); it sees communities and other attributes.
 	routeExport RouteExportFilter
+	// vrfActive counts participants assigned a non-default VRF. While it
+	// is zero every VRF check short-circuits, so single-tenant exchanges
+	// pay nothing for the isolation machinery.
+	vrfActive int
 	// epoch counts export-visibility configuration changes (participant
 	// add/remove, route-export policy installs). Consumers caching derived
 	// export views (the controller's reach sets) compare it to detect that
@@ -213,9 +226,31 @@ func (s *Server) shardOf(p netip.Prefix) *shard {
 	return &s.shards[s.shardIndex(p)]
 }
 
-// filteredLocked reports whether best routes are receiver-dependent.
-// Called with partMu held (routeExport is guarded by it).
-func (s *Server) filteredLocked() bool { return s.export != nil || s.routeExport != nil }
+// filteredLocked reports whether best routes are receiver-dependent:
+// an export policy is installed, or VRF tenancy is active (a receiver only
+// sees candidates from its own VRF). Called with partMu held (routeExport
+// and vrfActive are guarded by it).
+func (s *Server) filteredLocked() bool {
+	return s.export != nil || s.routeExport != nil || s.vrfActive > 0
+}
+
+// vrfOfLocked returns id's VRF ("" for unknown participants, which keeps
+// pre-registration probes in the default domain). partMu is held.
+func (s *Server) vrfOfLocked(id ID) VRF {
+	if p, ok := s.participants[id]; ok {
+		return p.vrf
+	}
+	return ""
+}
+
+// sameVRFLocked reports whether two participants share an isolation
+// domain. partMu is held.
+func (s *Server) sameVRFLocked(a, b ID) bool {
+	if s.vrfActive == 0 {
+		return true
+	}
+	return s.vrfOfLocked(a) == s.vrfOfLocked(b)
+}
 
 func (s *Server) rebuildSortedLocked() {
 	s.sorted = s.sorted[:0]
@@ -273,11 +308,58 @@ func (s *Server) RemoveParticipant(id ID) []BestChange {
 	}
 	changes, _ := s.ApplyUpdate(id, prefixes, nil)
 	s.partMu.Lock()
+	if p2, ok := s.participants[id]; ok && p2.vrf != "" {
+		s.vrfActive--
+	}
 	delete(s.participants, id)
 	s.rebuildSortedLocked()
 	s.epoch++
 	s.partMu.Unlock()
 	return changes
+}
+
+// SetVRF places a participant in an isolation domain. Participants in
+// different VRFs never exchange routes, so overlapping (e.g. RFC 1918)
+// prefixes advertised by different tenants coexist in the candidate table
+// without colliding — candidates stay keyed by bare prefix and the
+// decision process filters by domain. Setting the empty VRF returns the
+// participant to the shared default domain.
+func (s *Server) SetVRF(id ID, vrf VRF) error {
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
+	p, ok := s.participants[id]
+	if !ok {
+		return fmt.Errorf("routeserver: unknown participant %q", id)
+	}
+	if p.vrf == vrf {
+		return nil
+	}
+	if p.vrf == "" {
+		s.vrfActive++
+	} else if vrf == "" {
+		s.vrfActive--
+	}
+	p.vrf = vrf
+	s.epoch++
+	// Receiver-dependent decisions cached before the move are stale: they
+	// were computed against the old domain boundaries.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.perRecv) > 0 {
+			sh.perRecv = make(map[netip.Prefix]map[ID]recvBest)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// VRFOf returns the participant's VRF; the empty VRF is the shared
+// default domain (also returned for unknown participants).
+func (s *Server) VRFOf(id ID) VRF {
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
+	return s.vrfOfLocked(id)
 }
 
 // FlushParticipant withdraws every route the participant has advertised —
@@ -666,6 +748,9 @@ func (s *Server) computeBestLocked(sh *shard, id ID, prefix netip.Prefix) (bgp.R
 		if c.id == id {
 			continue // a participant never learns its own route back
 		}
+		if !s.sameVRFLocked(c.id, id) {
+			continue // tenant isolation: other domains are invisible
+		}
 		if s.export != nil && !s.export(c.id, id, prefix) {
 			continue
 		}
@@ -802,11 +887,17 @@ func (s *Server) BestNextHopParticipant(id ID, prefix netip.Prefix) (ID, bool) {
 	if !ok {
 		return "", false
 	}
+	// The scan needs the registry for VRF checks: router IDs and next hops
+	// are only unique within a tenant's domain, so a bare attribute match
+	// could pick another tenant's participant.
+	s.partMu.RLock()
+	defer s.partMu.RUnlock()
 	sh := s.shardOf(prefix)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	for _, c := range sh.candidates[prefix] {
-		if c.id != id && c.route.PeerID == best.PeerID && c.route.NextHop() == best.NextHop() {
+		if c.id != id && s.sameVRFLocked(c.id, id) &&
+			c.route.PeerID == best.PeerID && c.route.NextHop() == best.NextHop() {
 			return c.id, true
 		}
 	}
@@ -847,6 +938,52 @@ func (s *Server) BestTwo(prefix netip.Prefix) (first, second ID) {
 	return pr.firstID, pr.secondID
 }
 
+// BestTwoIn is the VRF-scoped BestTwo: the best and second-best
+// advertisers among the candidates in the given isolation domain. With no
+// tenancy configured (and the default domain asked for) it is exactly
+// BestTwo, served from the pair cache; once VRFs are active the candidate
+// slice is scanned directly — uncached, which is cheap because an IXP
+// prefix attracts a handful of candidates.
+func (s *Server) BestTwoIn(vrf VRF, prefix netip.Prefix) (first, second ID) {
+	s.partMu.RLock()
+	if s.vrfActive == 0 {
+		s.partMu.RUnlock()
+		if vrf != "" {
+			return "", "" // nobody lives in a named VRF
+		}
+		return s.BestTwo(prefix)
+	}
+	defer s.partMu.RUnlock()
+	prefix = prefix.Masked()
+	sh := s.shardOf(prefix)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cands := sh.candidates[prefix]
+	if len(cands) == 0 {
+		return "", ""
+	}
+	s.mBestRecomputations.Inc()
+	// Same two-pass shape as computePair, restricted to the domain.
+	var firstR, secondR bgp.Route
+	for _, c := range cands {
+		if s.vrfOfLocked(c.id) != vrf {
+			continue
+		}
+		if first == "" || c.route.Better(firstR) {
+			first, firstR = c.id, c.route
+		}
+	}
+	for _, c := range cands {
+		if c.id == first || s.vrfOfLocked(c.id) != vrf {
+			continue
+		}
+		if second == "" || c.route.Better(secondR) {
+			second, secondR = c.id, c.route
+		}
+	}
+	return first, second
+}
+
 // Exports reports whether hop's current route for prefix is exported to
 // id under the configured export policies — the single-prefix probe the
 // controller's incremental reach-set maintenance uses to patch cached
@@ -860,6 +997,9 @@ func (s *Server) Exports(hop, id ID, prefix netip.Prefix) bool {
 	defer s.partMu.RUnlock()
 	p, ok := s.participants[hop]
 	if !ok {
+		return false
+	}
+	if !s.sameVRFLocked(hop, id) {
 		return false
 	}
 	r, ok := p.advertised.Get(prefix)
@@ -883,6 +1023,9 @@ func (s *Server) ReachableVia(id, hop ID) *netutil.PrefixSet {
 	p, ok := s.participants[hop]
 	if !ok {
 		return out
+	}
+	if !s.sameVRFLocked(hop, id) {
+		return out // tenant isolation: nothing crosses a VRF boundary
 	}
 	p.advertised.Walk(func(r bgp.Route) bool {
 		if (s.export == nil || s.export(hop, id, r.Prefix)) &&
